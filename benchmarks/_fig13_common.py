@@ -1,0 +1,37 @@
+"""Shared driver for the six Figure 13 benches."""
+
+from __future__ import annotations
+
+from conftest import publish, run_once
+from repro.core.search import SearchConfig
+from repro.experiments.laxity import run_laxity_sweep
+from repro.experiments.report import ascii_series, format_sweep
+
+#: One sweep configuration for all six subplots: the coarse laxity grid
+#: keeps the full Figure 13 regeneration within a few minutes.
+LAXITIES = (1.0, 1.5, 2.0, 2.5, 3.0)
+N_PASSES = 20
+SEARCH = SearchConfig(max_depth=5, max_candidates=12, max_iterations=6, seed=0)
+
+
+def run_fig13(benchmark, name: str) -> None:
+    sweep = run_once(benchmark, lambda: run_laxity_sweep(
+        name, laxities=LAXITIES, n_passes=N_PASSES, search=SEARCH))
+    xs = [p.laxity for p in sweep.points]
+    plot = ascii_series(xs, {
+        "A-Power": [p.a_power for p in sweep.points],
+        "I-Power": [p.i_power for p in sweep.points],
+        "I-Area": [p.i_area for p in sweep.points],
+    })
+    text = format_sweep(sweep) + "\n" + plot
+    publish(f"fig13_{name}", text)
+    benchmark.extra_info["max_reduction_vs_base"] = round(
+        sweep.max_power_reduction_vs_base(), 2)
+    benchmark.extra_info["max_reduction_vs_a"] = round(
+        sweep.max_power_reduction_vs_a(), 2)
+    benchmark.extra_info["max_area_overhead"] = round(sweep.max_area_overhead(), 3)
+
+    assert sweep.total_mismatches() == 0, "measured design diverged from behavior"
+    for point in sweep.points:
+        assert point.i_area <= 1.3 + 1e-6
+        assert point.i_power <= point.a_power + 0.05

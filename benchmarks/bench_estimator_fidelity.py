@@ -1,0 +1,48 @@
+"""Estimator vs bit-level measurement: the model driving the search must
+point in the right direction (Section 2.3's purpose).
+"""
+
+from conftest import publish, run_once
+from repro.benchmarks import BENCHMARKS, get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.core.binding import Binding
+from repro.gatesim import simulate_architecture
+from repro.library import default_library
+from repro.power import estimate_power, merge_unit_traces
+from repro.rtl import build_architecture
+from repro.sched import replay, wavesched
+from repro.experiments.report import format_table
+
+
+def bench_estimator_fidelity(benchmark):
+    def run():
+        rows = []
+        for name in sorted(BENCHMARKS):
+            bench_def = get_benchmark(name)
+            cdfg = bench_def.cdfg()
+            stim = bench_def.stimulus(15, seed=4)
+            binding = Binding.initial_parallel(cdfg, default_library())
+            store = simulate(cdfg, stim)
+            stg = wavesched(cdfg, binding, clock_ns=bench_def.clock_ns)
+            rep = replay(stg, cdfg, store)
+            arch = build_architecture(cdfg, binding, stg,
+                                      clock_ns=bench_def.clock_ns)
+            traces = merge_unit_traces(arch, store, rep)
+            est = estimate_power(arch, traces, vdd=5.0).total
+            meas = simulate_architecture(arch, stim,
+                                         expected_outputs=store.outputs,
+                                         vdd=5.0)
+            assert meas.output_mismatches == 0
+            rows.append({
+                "benchmark": name,
+                "estimate (mW)": round(est, 3),
+                "measured (mW)": round(meas.power_mw, 3),
+                "ratio": round(est / meas.power_mw, 2),
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = format_table(rows, title="RT-level estimate vs bit-level measurement (5 V)")
+    publish("estimator_fidelity", text)
+    for row in rows:
+        assert 0.7 <= row["ratio"] <= 1.4

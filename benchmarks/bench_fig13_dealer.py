@@ -1,0 +1,7 @@
+"""Figure 13: the dealer subplot (normalized power and area vs laxity)."""
+
+from _fig13_common import run_fig13
+
+
+def bench_fig13_dealer(benchmark):
+    run_fig13(benchmark, "dealer")

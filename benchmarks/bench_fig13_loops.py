@@ -1,0 +1,7 @@
+"""Figure 13: the loops subplot (normalized power and area vs laxity)."""
+
+from _fig13_common import run_fig13
+
+
+def bench_fig13_loops(benchmark):
+    run_fig13(benchmark, "loops")

@@ -1,0 +1,7 @@
+"""Figure 13(d): the Send (X.25) subplot (normalized power/area vs laxity)."""
+
+from _fig13_common import run_fig13
+
+
+def bench_fig13_send(benchmark):
+    run_fig13(benchmark, "x25_send")

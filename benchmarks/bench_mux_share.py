@@ -1,0 +1,58 @@
+"""The [13] claim: multiplexer networks can consume a large share of a CFI
+circuit's power.
+
+The paper motivates mux restructuring with interconnect consuming "more
+than 40%" of total power in CFI circuits.  Parallel initial designs have
+few muxes; aggressive area-mode sharing builds the big mux networks the
+claim is about — we report the mux share of both, measured bit-level.
+"""
+
+from conftest import publish, run_once
+from repro.benchmarks import get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.core.impact import synthesize
+from repro.core.search import SearchConfig
+from repro.gatesim import simulate_architecture
+from repro.experiments.report import format_table
+from repro.sched.engine import ScheduleOptions
+
+SEARCH = SearchConfig(max_depth=5, max_candidates=12, max_iterations=6, seed=0)
+NAMES = ("gcd", "dealer", "x25_send", "loops")
+
+
+def bench_mux_share(benchmark):
+    def run():
+        rows = []
+        for name in NAMES:
+            bench_def = get_benchmark(name)
+            cdfg = bench_def.cdfg()
+            stim = bench_def.stimulus(15, seed=13)
+            options = ScheduleOptions(clock_ns=bench_def.clock_ns)
+            result = synthesize(cdfg, stim, mode="area", laxity=3.0,
+                                options=options, search=SEARCH)
+            parallel = simulate_architecture(
+                result.initial.arch, stim,
+                expected_outputs=result.store.outputs)
+            shared = simulate_architecture(
+                result.design.arch, stim,
+                expected_outputs=result.store.outputs)
+            assert parallel.output_mismatches == 0
+            assert shared.output_mismatches == 0
+
+            def mux_share(measured):
+                interconnect = measured.breakdown["muxes"]
+                return interconnect / measured.breakdown["total"]
+
+            rows.append({
+                "benchmark": name,
+                "mux share (parallel)": f"{mux_share(parallel):.1%}",
+                "mux share (area-shared)": f"{mux_share(shared):.1%}",
+                "fus parallel->shared": (f"{len(result.initial.binding.fus)}"
+                                         f"->{len(result.design.binding.fus)}"),
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = format_table(rows, title=(
+        "Multiplexer share of measured power ([13]: >40% in CFI circuits)"))
+    publish("mux_share", text)

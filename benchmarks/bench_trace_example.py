@@ -1,0 +1,18 @@
+"""Section 2.3 worked example: the merged trace of the shared adder.
+
+With the three additions of Figure 3 on one adder and the condition
+evaluating [T, T, F, T], the unit's trace must interleave
+(+1,+3), (+1,+3), (+1,+2), (+1,+3) (paper labels; our builder numbers the
+then-arm add +2 and the else-arm add +3).
+"""
+
+from conftest import publish, run_once
+from repro.experiments.trace_example import trace_worked_example
+
+
+def bench_trace_example(benchmark):
+    result = run_once(benchmark, trace_worked_example)
+    text = ("Merged trace of the shared adder (condition e8 = [T, T, F, T]):\n"
+            + result.table())
+    publish("trace_example", text)
+    assert result.op_sequence == ["+1", "+2", "+1", "+2", "+1", "+3", "+1", "+2"]

@@ -1,0 +1,48 @@
+"""Trace manipulation vs re-simulation (the Section 2.3 engineering claim).
+
+One behavioral simulation is recorded; every synthesis step then derives
+unit traces by merging.  This bench times a binding evaluation done the
+trace-manipulation way (replay + merge) against a full re-simulation, on
+the largest benchmark.
+"""
+
+import time
+
+from conftest import publish
+from repro.benchmarks import get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.core.binding import Binding
+from repro.library import default_library
+from repro.power.trace_manip import merge_unit_traces
+from repro.rtl import build_architecture
+from repro.sched import replay, wavesched
+
+
+def bench_trace_speedup(benchmark):
+    bench_def = get_benchmark("x25_send")
+    cdfg = bench_def.cdfg()
+    stim = bench_def.stimulus(40, seed=17)
+    store = simulate(cdfg, stim)
+    binding = Binding.initial_parallel(cdfg, default_library())
+    stg = wavesched(cdfg, binding, clock_ns=bench_def.clock_ns)
+    rep = replay(stg, cdfg, store)
+    arch = build_architecture(cdfg, binding, stg, clock_ns=bench_def.clock_ns)
+
+    def merge_only():
+        return merge_unit_traces(arch, store, rep)
+
+    benchmark(merge_only)
+
+    t0 = time.perf_counter()
+    merge_unit_traces(arch, store, rep)
+    merge_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    simulate(cdfg, stim)
+    resim_s = time.perf_counter() - t0
+    speedup = resim_s / merge_s if merge_s > 0 else float("inf")
+    text = (f"Trace manipulation vs re-simulation (x25_send, 40 passes)\n"
+            f"  merge unit traces : {merge_s * 1e3:8.2f} ms\n"
+            f"  full re-simulation: {resim_s * 1e3:8.2f} ms\n"
+            f"  speedup           : {speedup:8.2f}x")
+    publish("trace_speedup", text)
+    benchmark.extra_info["speedup_vs_resim"] = round(speedup, 2)

@@ -1,0 +1,25 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one figure/table of the paper, prints the
+reproduction table, stores headline numbers in ``benchmark.extra_info``,
+and writes the full text to ``results/<name>.txt`` so the artifacts survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,44 @@
+"""Design-space exploration: regenerate one Figure 13 subplot.
+
+Sweeps the laxity factor for a chosen benchmark, printing the normalized
+A-Power / I-Power / I-Area series exactly as the paper plots them, plus an
+ASCII rendition of the subplot and the Section 4 headline ratios.
+
+Run:  python examples/design_space_exploration.py [benchmark] [n_points]
+      (default: gcd, 5 points)
+"""
+
+import sys
+
+from repro.benchmarks import BENCHMARKS
+from repro.core.search import SearchConfig
+from repro.experiments.laxity import run_laxity_sweep
+from repro.experiments.report import ascii_series, format_sweep
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcd"
+    n_points = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; pick one of {sorted(BENCHMARKS)}")
+
+    laxities = tuple(round(1.0 + 2.0 * i / (n_points - 1), 2)
+                     for i in range(n_points))
+    print(f"Sweeping {name} over laxity factors {laxities} ...")
+    sweep = run_laxity_sweep(
+        name, laxities=laxities, n_passes=20,
+        search=SearchConfig(max_depth=5, max_candidates=12, max_iterations=6))
+
+    print()
+    print(format_sweep(sweep))
+    print()
+    xs = [p.laxity for p in sweep.points]
+    print(ascii_series(xs, {
+        "A-Power": [p.a_power for p in sweep.points],
+        "I-Power": [p.i_power for p in sweep.points],
+        "I-Area": [p.i_area for p in sweep.points],
+    }))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""A custom CFI design: a network packet classifier.
+
+The paper's introduction motivates CFI synthesis with network protocol
+handlers and switches.  This example writes a new behavioral description —
+a little packet classifier that parses a header word, checks the protocol
+field, validates a checksum over the payload words, and counts accepted
+packets — and takes it through the full flow, comparing the three
+schedulers and then synthesizing a low-power implementation.
+
+Run:  python examples/packet_filter.py
+"""
+
+import numpy as np
+
+from repro.cdfg.interpreter import simulate
+from repro.core.binding import Binding
+from repro.core.impact import synthesize
+from repro.core.search import SearchConfig
+from repro.gatesim import simulate_architecture
+from repro.lang import parse
+from repro.library import default_library
+from repro.sched import loop_directed_schedule, path_based_schedule, replay, wavesched
+from repro.sched.engine import ScheduleOptions
+
+SOURCE = """
+process packet_filter(header: uint16, seed: int8, want_proto: uint8)
+    -> (accepted: bool, checksum: int16) {
+  // header layout: [15:12] version, [11:8] proto, [7:0] length
+  var version: uint16 = (header >> 12) & 15;
+  var proto: uint16 = (header >> 8) & 15;
+  var length: uint16 = header & 255;
+  var accepted: bool = false;
+  var checksum: int16 = 0;
+  if (version == 4) {
+    if (proto == (want_proto & 15)) {
+      var word: int8 = seed;
+      var limit: uint16 = length & 31;   // cap payload walk
+      var i: uint16 = 0;
+      while (i < limit) {
+        checksum = checksum + word;
+        word = word + 13;
+        i = i + 1;
+      }
+      if (checksum > 0) {
+        accepted = true;
+      }
+    }
+  }
+}
+"""
+
+
+def main() -> None:
+    cdfg = parse(SOURCE)
+    print(f"packet_filter CDFG: {cdfg.summary()}")
+
+    rng = np.random.default_rng(11)
+    stimulus = []
+    for _ in range(40):
+        version = 4 if rng.random() < 0.8 else int(rng.integers(0, 16))
+        proto = int(rng.integers(0, 16))
+        length = int(rng.integers(0, 40))
+        stimulus.append({
+            "header": (version << 12) | (proto << 8) | length,
+            "seed": int(rng.integers(-60, 61)),
+            "want_proto": int(rng.integers(0, 16)),
+        })
+
+    store = simulate(cdfg, stimulus)
+    library = default_library()
+    binding = Binding.initial_parallel(cdfg, library)
+    options = ScheduleOptions(clock_ns=8.0)
+
+    print("\nScheduler comparison (fully parallel binding):")
+    for name, scheduler in (("wavesched", wavesched),
+                            ("loop-directed", loop_directed_schedule),
+                            ("path-based", path_based_schedule)):
+        stg = scheduler(cdfg, binding, clock_ns=options.clock_ns)
+        rep = replay(stg, cdfg, store)
+        print(f"  {name:14s}: ENC {rep.enc:7.2f}  states {stg.n_states:3d}")
+
+    result = synthesize(cdfg, stimulus, mode="power", laxity=1.5,
+                        options=options,
+                        search=SearchConfig(max_depth=5, max_candidates=12,
+                                            max_iterations=6))
+    evaluation = result.design.evaluate()
+    measured = simulate_architecture(result.design.arch, stimulus,
+                                     expected_outputs=store.outputs,
+                                     vdd=evaluation.vdd)
+    print(f"\nLow-power synthesis at laxity 1.5:")
+    print(f"  design: {result.design.summary()}")
+    print(f"  verified: {measured.output_mismatches} mismatches; measured "
+          f"{measured.power_mw:.3f} mW at {evaluation.vdd:.2f} V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Scheduler shoot-out: Wavesched vs the CFG-era baselines.
+
+Schedules every benchmark with the three engines (same parallel binding)
+and prints the empirical ENC plus STG sizes — the Section 2.2 comparison.
+Also shows a state-by-state dump of the GCD STG under Wavesched so you can
+see the loop kernel with its hoisted next-iteration test.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from repro.benchmarks import get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.core.binding import Binding
+from repro.experiments.report import format_table
+from repro.experiments.wavesched_enc import enc_comparison
+from repro.library import default_library
+from repro.sched import wavesched
+
+
+def dump_stg(name: str = "gcd") -> None:
+    bench = get_benchmark(name)
+    cdfg = bench.cdfg()
+    binding = Binding.initial_parallel(cdfg, default_library())
+    stg = wavesched(cdfg, binding, clock_ns=bench.clock_ns)
+    print(f"\n{name} STG under Wavesched ({stg.n_states} states):")
+    for sid, state in stg.states.items():
+        ops = ", ".join(f"{cdfg.node(op.node).name}@{op.start:.1f}ns"
+                        for op in state.ops) or "(empty)"
+        arcs = []
+        for transition in stg.out_transitions(sid):
+            guard = " & ".join(
+                f"{'' if v else '!'}{cdfg.node(c).name}"
+                for c, v in sorted(transition.conds)) or "always"
+            arcs.append(f"[{guard}] -> s{transition.dst}")
+        marker = " (start)" if sid == stg.start else \
+                 " (done)" if sid == stg.done else ""
+        print(f"  s{sid}{marker}: {ops}")
+        for arc in arcs:
+            print(f"      {arc}")
+
+
+def main() -> None:
+    rows = enc_comparison(n_passes=25)
+    print(format_table([r.row() for r in rows],
+                       title="ENC comparison over the benchmark suite"))
+    dump_stg("gcd")
+
+
+if __name__ == "__main__":
+    main()

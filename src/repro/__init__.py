@@ -1,0 +1,55 @@
+"""IMPACT: low-power high-level synthesis for CFI circuits (DATE 1998).
+
+Public API (one import per concept a user needs):
+
+>>> import repro
+>>> cdfg = repro.parse(source_text)             # behavioral code -> CDFG
+>>> store = repro.simulate(cdfg, stimulus)      # behavioral profiling
+>>> result = repro.synthesize(cdfg, stimulus, mode="power", laxity=2.0)
+>>> measured = repro.simulate_architecture(result.design.arch, stimulus,
+...                                        expected_outputs=store.outputs)
+
+See README.md for the walk-through and DESIGN.md for the system map.
+"""
+
+from repro.lang import parse
+from repro.cdfg.interpreter import simulate
+from repro.cdfg.graph import CDFG
+from repro.core.binding import Binding
+from repro.core.design import DesignPoint
+from repro.core.impact import SynthesisResult, synthesize
+from repro.core.search import SearchConfig
+from repro.gatesim import simulate_architecture
+from repro.library import ModuleLibrary, default_library
+from repro.sched import (
+    ScheduleOptions,
+    loop_directed_schedule,
+    path_based_schedule,
+    replay,
+    wavesched,
+)
+from repro.benchmarks import BENCHMARKS, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse",
+    "simulate",
+    "CDFG",
+    "Binding",
+    "DesignPoint",
+    "SynthesisResult",
+    "synthesize",
+    "SearchConfig",
+    "simulate_architecture",
+    "ModuleLibrary",
+    "default_library",
+    "ScheduleOptions",
+    "wavesched",
+    "loop_directed_schedule",
+    "path_based_schedule",
+    "replay",
+    "BENCHMARKS",
+    "get_benchmark",
+    "__version__",
+]

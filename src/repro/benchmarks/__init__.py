@@ -1,0 +1,12 @@
+"""The paper's benchmark suite, reconstructed.
+
+Six behavioral descriptions (Section 4): the Loops example of Figure 1,
+GCD [22], the X.25 send process [9], a Blackjack dealer [10], Cordic [2]
+and Paulin [23].  Originals are unavailable; each module documents its
+reconstruction and ships a seeded stimulus generator plus a plain-Python
+reference model used in differential tests.
+"""
+
+from repro.benchmarks.registry import BENCHMARKS, Benchmark, get_benchmark
+
+__all__ = ["BENCHMARKS", "Benchmark", "get_benchmark"]

@@ -1,0 +1,73 @@
+"""Cordic — the coordinate-rotation algorithm [2].
+
+Reconstruction notes: 12 rotation-mode iterations with sign-steered
+add/subtract pairs and iteration-indexed arithmetic shifts.  The arc-tangent
+table is approximated by ``angle0 >> i`` (our language has no memories;
+the control/datapath structure — a counted loop whose body branches on the
+sign of the residual angle — is what the benchmark exercises).  Mostly
+data-flow with a single conditional: the paper classifies it between the
+CFI suite and the data-dominated Paulin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SOURCE = """
+process cordic(x0: int16, y0: int16, z0: int16) -> (xr: int16, yr: int16) {
+  var x: int16 = x0;
+  var y: int16 = y0;
+  var z: int16 = z0;
+  var angle: int16 = 11520;
+  for (i = 0; i < 12; i++) {
+    var dx: int16 = y >> i;
+    var dy: int16 = x >> i;
+    if (z > 0) {
+      x = x - dx;
+      y = y + dy;
+      z = z - angle;
+    } else {
+      x = x + dx;
+      y = y - dy;
+      z = z + angle;
+    }
+    angle = angle >> 1;
+  }
+  xr = x;
+  yr = y;
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    passes = []
+    for _ in range(n_passes):
+        passes.append({
+            "x0": int(rng.integers(-1000, 1001)),
+            "y0": int(rng.integers(-1000, 1001)),
+            "z0": int(rng.integers(-8000, 8001)),
+        })
+    return passes
+
+
+def reference(x0: int, y0: int, z0: int) -> dict[str, int]:
+    def wrap16(v: int) -> int:
+        v &= 0xFFFF
+        return v - 65536 if v >= 32768 else v
+
+    x, y, z = x0, y0, z0
+    angle = 11520
+    for i in range(12):
+        dx = y >> i
+        dy = x >> i
+        if z > 0:
+            x = wrap16(x - dx)
+            y = wrap16(y + dy)
+            z = wrap16(z - angle)
+        else:
+            x = wrap16(x + dx)
+            y = wrap16(y - dy)
+            z = wrap16(z + angle)
+        angle = angle >> 1
+    return {"xr": x, "yr": y}

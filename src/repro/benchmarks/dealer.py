@@ -1,0 +1,75 @@
+"""Dealer — a Blackjack dealer process [10].
+
+Reconstruction notes: the published benchmark is the dealer's drawing rule:
+draw cards while the hand total is below 17, count aces as 11 and demote
+them to 1 on bust.  Cards come from a small LFSR seeded by the input (the
+original drew from a bus; an in-process generator keeps the benchmark
+self-contained while preserving the control structure: a while loop with a
+cascade of conditionals, exactly the CFI shape the paper targets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SOURCE = """
+process dealer(seed: uint8) -> (total: int8, bust: bool) {
+  var total: int8 = 0;
+  var aces: int8 = 0;
+  var deck: uint8 = seed;
+  while (total < 17) {
+    var card: int8 = deck & 15;
+    if ((deck & 1) == 1) {
+      deck = (deck >> 1) ^ 184;
+    } else {
+      deck = deck >> 1;
+    }
+    if (card > 10) {
+      card = 10;
+    }
+    if (card < 1) {
+      card = 1;
+    }
+    if (card == 1) {
+      aces = aces + 1;
+      total = total + 11;
+    } else {
+      total = total + card;
+    }
+    if ((total > 21) && (aces > 0)) {
+      total = total - 10;
+      aces = aces - 1;
+    }
+  }
+  bust = total > 21;
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    return [{"seed": int(rng.integers(1, 256))} for _ in range(n_passes)]
+
+
+def reference(seed: int) -> dict[str, int]:
+    total = aces = 0
+    deck = seed
+    while total < 17:
+        card = deck & 15
+        if deck & 1:
+            deck = ((deck >> 1) ^ 184) & 0xFF
+        else:
+            deck = deck >> 1
+        if card > 10:
+            card = 10
+        if card < 1:
+            card = 1
+        if card == 1:
+            aces += 1
+            total += 11
+        else:
+            total += card
+        if total > 21 and aces > 0:
+            total -= 10
+            aces -= 1
+    return {"total": total, "bust": int(total > 21)}

@@ -1,0 +1,36 @@
+"""GCD — from the 1995 high-level synthesis design repository [22].
+
+The classic subtractive Euclid: a while loop with a nested conditional,
+the canonical control-flow-intensive micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+SOURCE = """
+process gcd(a: int8, b: int8) -> (g: int8) {
+  var x: int8 = a;
+  var y: int8 = b;
+  while (x != y) {
+    if (x > y) {
+      x = x - y;
+    } else {
+      y = y - x;
+    }
+  }
+  g = x;
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    return [{"a": int(rng.integers(1, 64)), "b": int(rng.integers(1, 64))}
+            for _ in range(n_passes)]
+
+
+def reference(a: int, b: int) -> dict[str, int]:
+    return {"g": math.gcd(a, b)}

@@ -1,0 +1,77 @@
+"""Loops — the paper's running example (Figure 1).
+
+Reconstruction notes: Figure 1 shows one conditional and three loops; the
+two rightmost loops are independent and execute concurrently when the
+condition ``c`` is false.  The operation mix matches the figure (two
+multiplies, adds/subtracts, three comparisons, one equality, one logical
+AND); initial values ``h(8)``, ``m(0)``, ``z(0)`` and the 10/8 iteration
+bounds are taken from the figure's annotations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SOURCE = """
+process loops(a: int8, b: int8, d: int8) -> (z: int16) {
+  var z: int16 = 0;
+  var c: bool = a && b;
+  var e: int16 = 0;
+  for (i = 0; i < 10; i++) {
+    e = d * i;
+    z = z + e;
+  }
+  if (c == 1) {
+    z = 0;
+  } else {
+    var h: int8 = 8;
+    var m: int16 = 0;
+    for (i2 = 0; i2 < 10; i2++) {
+      var g: int8 = i2 - h;
+      h = g + 5;
+    }
+    for (j = 0; j < 8; j++) {
+      var k: int16 = d * j;
+      m = m + k;
+    }
+    z = h - m;
+  }
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    passes = []
+    for _ in range(n_passes):
+        passes.append({
+            "a": int(rng.integers(0, 4)),   # c true ~9/16 of the time
+            "b": int(rng.integers(0, 4)),
+            "d": int(rng.integers(-10, 11)),
+        })
+    return passes
+
+
+def reference(a: int, b: int, d: int) -> dict[str, int]:
+    def wrap8(v: int) -> int:
+        v &= 0xFF
+        return v - 256 if v >= 128 else v
+
+    def wrap16(v: int) -> int:
+        v &= 0xFFFF
+        return v - 65536 if v >= 32768 else v
+
+    z = 0
+    for i in range(10):
+        z = wrap16(z + wrap16(d * i))
+    if a and b:
+        z = 0
+    else:
+        h, m = 8, 0
+        for i2 in range(10):
+            g = wrap8(i2 - h)
+            h = wrap8(g + 5)
+        for j in range(8):
+            m = wrap16(m + wrap16(d * j))
+        z = wrap16(h - m)
+    return {"z": z}

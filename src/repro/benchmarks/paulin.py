@@ -1,0 +1,70 @@
+"""Paulin — the differential-equation solver of [23] (HAL / diffeq).
+
+The canonical *data-dominated* benchmark: the paper includes it to show
+IMPACT handles data-flow designs too.  One while loop integrates
+``y'' + 3xy' + 3y = 0`` with fixed-point scaling (the ``>> 7`` rescales are
+constant shifts, i.e. free wiring).  Operation mix per iteration: six
+multiplies, two adds, two subtracts, one comparison — matching [23].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SOURCE = """
+process paulin(x0: int16, y0: int16, u0: int16, dx: int8, a: int16) -> (yr: int16) {
+  var x: int16 = x0;
+  var y: int16 = y0;
+  var u: int16 = u0;
+  while (x < a) {
+    var t1: int16 = (u * dx) >> 7;
+    var t2: int16 = (3 * x) >> 2;
+    var t3: int16 = (t2 * t1) >> 7;
+    var t4: int16 = (3 * y) >> 2;
+    var t5: int16 = (t4 * dx) >> 7;
+    var u1: int16 = u - t3 - t5;
+    var y1: int16 = y + t1;
+    x = x + dx;
+    u = u1;
+    y = y1;
+  }
+  yr = y;
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    passes = []
+    for _ in range(n_passes):
+        x0 = int(rng.integers(0, 40))
+        passes.append({
+            "x0": x0,
+            "y0": int(rng.integers(-500, 501)),
+            "u0": int(rng.integers(-500, 501)),
+            "dx": int(rng.integers(4, 17)),
+            "a": x0 + int(rng.integers(20, 120)),
+        })
+    return passes
+
+
+def reference(x0: int, y0: int, u0: int, dx: int, a: int) -> dict[str, int]:
+    def wrap16(v: int) -> int:
+        v &= 0xFFFF
+        return v - 65536 if v >= 32768 else v
+
+    x, y, u = x0, y0, u0
+    while x < a:
+        # Products/sums are wide enough not to wrap before the assignment
+        # (24/32-bit intermediate widths); only assignments truncate.
+        t1 = wrap16((u * dx) >> 7)
+        t2 = wrap16((3 * x) >> 2)
+        t3 = wrap16((t2 * t1) >> 7)
+        t4 = wrap16((3 * y) >> 2)
+        t5 = wrap16((t4 * dx) >> 7)
+        u1 = wrap16(u - t3 - t5)
+        y1 = wrap16(y + t1)
+        x = wrap16(x + dx)
+        u = u1
+        y = y1
+    return {"yr": y}

@@ -1,0 +1,58 @@
+"""Benchmark registry: name -> (source, stimulus, reference)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.benchmarks import cordic, dealer, gcd, loops, paulin, x25_send
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark: behavioral source plus its stimulus and reference.
+
+    ``clock_ns`` is the designer-chosen clock period (Section 2.2): tight
+    relative to the benchmark's module delays, so resource sharing and slow
+    modules genuinely cost cycles — the tension the laxity sweep explores.
+    """
+
+    name: str
+    source: str
+    stimulus: Callable[..., list[dict[str, int]]]
+    reference: Callable[..., dict[str, int]]
+    description: str
+    clock_ns: float = 15.0
+
+    def cdfg(self):
+        from repro.lang import parse
+
+        return parse(self.source)
+
+
+BENCHMARKS: dict[str, Benchmark] = {
+    "loops": Benchmark("loops", loops.SOURCE, loops.stimulus, loops.reference,
+                       "Figure 1 running example: conditional + three loops",
+                       clock_ns=15.0),
+    "gcd": Benchmark("gcd", gcd.SOURCE, gcd.stimulus, gcd.reference,
+                     "subtractive Euclid GCD [22]", clock_ns=6.0),
+    "x25_send": Benchmark("x25_send", x25_send.SOURCE, x25_send.stimulus,
+                          x25_send.reference,
+                          "X.25 windowed send process [9]", clock_ns=8.0),
+    "dealer": Benchmark("dealer", dealer.SOURCE, dealer.stimulus, dealer.reference,
+                        "Blackjack dealer draw-to-17 [10]", clock_ns=6.0),
+    "cordic": Benchmark("cordic", cordic.SOURCE, cordic.stimulus, cordic.reference,
+                        "12-iteration Cordic rotation [2]", clock_ns=8.0),
+    "paulin": Benchmark("paulin", paulin.SOURCE, paulin.stimulus, paulin.reference,
+                        "Paulin differential-equation solver [23] (data-dominated)",
+                        clock_ns=15.0),
+}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}") from None

@@ -1,0 +1,84 @@
+"""Send — the send process of the X.25 communications protocol [9].
+
+Reconstruction notes: the published description is a windowed frame
+transmitter — a loop that sends frames while the window is open, folds the
+payload into a checksum, and on a missing acknowledgment performs a
+go-back-N retransmission.  We model acknowledgments as an input bitmap
+(bit ``va`` decides whether frame ``va`` is acknowledged on first attempt);
+a retransmitted frame is always acknowledged, so every pass terminates.
+The structure exercises what the paper cares about: a data loop nested in
+protocol conditionals with modular sequence-number arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SOURCE = """
+process x25_send(nframes: int8, wsize: int8, acks: uint16, data0: int8)
+    -> (sent: int16, chk: int16) {
+  var vs: int8 = 0;
+  var va: int8 = 0;
+  var sent: int16 = 0;
+  var chk: int16 = 0;
+  var data: int8 = data0;
+  var ack: uint16 = acks;
+  var one: uint16 = 1;
+  while (va < nframes) {
+    var open: bool = (vs < nframes) && ((vs - va) < wsize);
+    if (open == 1) {
+      chk = chk + ((data & 255) ^ (vs & 7));
+      data = data + 7;
+      sent = sent + 1;
+      vs = vs + 1;
+    } else {
+      var ackbit: uint16 = (ack >> va) & 1;
+      if (ackbit == 1) {
+        va = va + 1;
+      } else {
+        vs = va;
+        ack = ack | (one << va);
+      }
+    }
+  }
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    passes = []
+    for _ in range(n_passes):
+        passes.append({
+            "nframes": int(rng.integers(1, 13)),
+            "wsize": int(rng.integers(1, 8)),
+            "acks": int(rng.integers(0, 1 << 16)),
+            "data0": int(rng.integers(-40, 41)),
+        })
+    return passes
+
+
+def reference(nframes: int, wsize: int, acks: int, data0: int) -> dict[str, int]:
+    def wrap8(v: int) -> int:
+        v &= 0xFF
+        return v - 256 if v >= 128 else v
+
+    def wrap16(v: int) -> int:
+        v &= 0xFFFF
+        return v - 65536 if v >= 32768 else v
+
+    vs = va = sent = chk = 0
+    data = data0
+    while va < nframes:
+        if vs < nframes and (vs - va) < wsize:
+            chk = wrap16(chk + ((data & 0xFF) ^ (vs & 7)))
+            data = wrap8(data + 7)
+            sent = wrap16(sent + 1)
+            vs = wrap8(vs + 1)
+        else:
+            if (acks >> va) & 1:
+                va = wrap8(va + 1)
+            else:
+                vs = va
+                acks = (acks | (1 << va)) & 0xFFFF
+    return {"sent": sent, "chk": chk}

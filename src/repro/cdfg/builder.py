@@ -1,0 +1,594 @@
+"""AST -> CDFG compilation.
+
+The builder walks a checked :class:`repro.lang.ast_nodes.Process` and emits
+the flat graph plus the region tree:
+
+* every assignment becomes a *write event*: either the fresh operation node
+  computing the right-hand side (its ``carrier`` set to the variable) or a
+  zero-delay ``COPY`` node when the right-hand side is a literal or a plain
+  variable reference;
+* ``if``/``else`` arms become nested block regions whose nodes receive a
+  control port tied to the condition (active-high / active-low); variables
+  assigned in an arm are merged by a ``Sel`` node (the paper's branch-merge
+  multiplexer);
+* loops become test-first :class:`LoopRegion`\\ s; reads of a variable whose
+  defining write happens later in the loop body become *loop-carried* edges
+  with an initial value — exactly the ``i(0)`` annotations of Figure 1;
+* an ``Elp`` node per live-out variable marks loop termination (control
+  port active-low on the loop condition).
+
+Register allocation in later stages keys off ``carrier`` names: every node
+whose output is a program variable carries that variable's name, so the
+register file and its input multiplexers fall out of the graph naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CDFGError
+from repro.lang import ast_nodes as ast
+from repro.lang.typecheck import check_process, literal_type, result_type, unary_result_type
+from repro.cdfg.edge import CONTROL_PORT, Edge
+from repro.cdfg.graph import CDFG
+from repro.cdfg.node import ControlPort, Node, OpKind, Polarity
+from repro.cdfg.regions import (
+    BlockRegion,
+    CarriedVar,
+    IfRegion,
+    LoopRegion,
+    RegionKind,
+)
+
+_BINOP_KINDS = {
+    "+": OpKind.ADD, "-": OpKind.SUB, "*": OpKind.MUL,
+    "<<": OpKind.SHL, ">>": OpKind.SHR,
+    "<": OpKind.LT, ">": OpKind.GT, "<=": OpKind.LE, ">=": OpKind.GE,
+    "==": OpKind.EQ, "!=": OpKind.NE,
+    "&&": OpKind.LAND, "||": OpKind.LOR,
+    "&": OpKind.BAND, "|": OpKind.BOR, "^": OpKind.BXOR,
+}
+
+_NAME_SYMBOLS = {
+    OpKind.ADD: "+", OpKind.SUB: "-", OpKind.MUL: "*",
+    OpKind.SHL: "<<", OpKind.SHR: ">>",
+    OpKind.LT: "<", OpKind.GT: ">", OpKind.LE: "<=", OpKind.GE: ">=",
+    OpKind.EQ: "==", OpKind.NE: "!=",
+    OpKind.LAND: "&&", OpKind.LOR: "||", OpKind.LNOT: "!",
+    OpKind.BAND: "&", OpKind.BOR: "|", OpKind.BXOR: "^",
+    OpKind.SELECT: "Sel", OpKind.ENDLOOP: "Elp", OpKind.COPY: "mov",
+}
+
+
+# -- value references during construction -----------------------------------
+
+@dataclass(frozen=True)
+class NodeRef:
+    node: int
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    value: int
+    width: int
+    signed: bool
+
+
+@dataclass(frozen=True)
+class VarMarker:
+    """A read of a variable whose loop-carried producer is not yet known."""
+
+    loop_scope: int  # index into the builder's loop-scope stack
+    var: str
+
+
+Ref = NodeRef | ConstRef | VarMarker
+
+
+@dataclass
+class _PendingEdge:
+    dst: int
+    port: int
+
+
+@dataclass
+class _LoopScope:
+    """Bookkeeping for a loop currently under construction."""
+
+    region: LoopRegion
+    entry_env: dict[str, Ref]
+    pending: dict[str, list[_PendingEdge]] = field(default_factory=dict)
+    pending_inits: dict[str, list[CarriedVar]] = field(default_factory=dict)
+
+    def note_read(self, var: str, dst: int, port: int) -> None:
+        self.pending.setdefault(var, []).append(_PendingEdge(dst, port))
+
+
+class _Builder:
+    def __init__(self, process: ast.Process):
+        self._process = process
+        self._types = check_process(process).var_types
+        self._cdfg = CDFG(name=process.name)
+        self._env: dict[str, Ref] = {}
+        self._const_nodes: dict[tuple[int, int, bool], int] = {}
+        self._name_counters: dict[str, int] = {}
+        self._control_stack: list[tuple[int, Polarity]] = []
+        self._guard_stack: list[tuple[int, bool]] = []
+        self._loop_scopes: list[_LoopScope] = []
+        self._block_stack: list[BlockRegion] = []
+        self._decl_scopes: list[set[str]] = [set()]
+
+    # -- top level -----------------------------------------------------------
+
+    def run(self) -> CDFG:
+        cdfg = self._cdfg
+        root = BlockRegion(id=cdfg.new_region_id(), kind=RegionKind.BLOCK, parent=None)
+        cdfg.add_region(root)
+        cdfg.root_region = root.id
+        self._block_stack.append(root)
+        for name, vtype in self._types.items():
+            cdfg.var_types[name] = (vtype.width, vtype.signed)
+
+        for param in self._process.inputs:
+            node = self._new_node(OpKind.INPUT, param.type.width, param.type.signed,
+                                  name=param.name, carrier=param.name)
+            self._env[param.name] = NodeRef(node.id)
+
+        self._build_body(self._process.body)
+
+        for param in self._process.outputs:
+            out = self._new_node(OpKind.OUTPUT, param.type.width, param.type.signed,
+                                 name=f"out:{param.name}", carrier=None)
+            self._connect(out.id, 0, self._env[param.name])
+
+        self._block_stack.pop()
+        cdfg.validate()
+        return cdfg
+
+    # -- node / edge helpers ---------------------------------------------------
+
+    def _fresh_name(self, kind: OpKind) -> str:
+        symbol = _NAME_SYMBOLS.get(kind, kind.value)
+        count = self._name_counters.get(symbol, 0) + 1
+        self._name_counters[symbol] = count
+        return f"{symbol}{count}"
+
+    def _current_block(self) -> BlockRegion:
+        return self._block_stack[-1]
+
+    def _new_node(self, kind: OpKind, width: int, signed: bool, *, name: str | None = None,
+                  carrier: str | None = None, value: int | None = None,
+                  const_shift: bool = False, line: int = 0,
+                  control: ControlPort | None = None, in_items: bool | None = None) -> Node:
+        cdfg = self._cdfg
+        if control is None:
+            if kind in (OpKind.INPUT, OpKind.CONST, OpKind.OUTPUT):
+                control = ControlPort()
+            elif self._control_stack:
+                src, pol = self._control_stack[-1]
+                control = ControlPort(src, pol)
+            else:
+                control = ControlPort()
+        node = Node(
+            id=cdfg.new_node_id(),
+            kind=kind,
+            name=name if name is not None else self._fresh_name(kind),
+            width=width,
+            signed=signed,
+            control=control,
+            guard=frozenset(self._guard_stack),
+            region=self._current_block().id,
+            carrier=carrier,
+            value=value,
+            const_shift=const_shift,
+            line=line,
+        )
+        cdfg.add_node(node)
+        if control.source is not None:
+            cdfg.add_edge(Edge(src=control.source, dst=node.id, dst_port=CONTROL_PORT,
+                               width=self._cdfg.node(control.source).width))
+        schedulable = node.is_schedulable if in_items is None else in_items
+        if schedulable:
+            self._current_block().append_node(node.id)
+        return node
+
+    def _const_node(self, value: int, width: int, signed: bool) -> int:
+        key = (value, width, signed)
+        node_id = self._const_nodes.get(key)
+        if node_id is None:
+            node = self._new_node(OpKind.CONST, width, signed, name=f"c:{value}", value=value)
+            # Constants belong to the root region regardless of where they
+            # are first used; they are tie-offs, not computations.
+            node.region = self._cdfg.root_region
+            node.control = ControlPort()
+            node.guard = frozenset()
+            self._const_nodes[key] = node.id
+            node_id = node.id
+        return node_id
+
+    def _ref_width(self, ref: Ref) -> tuple[int, bool]:
+        if isinstance(ref, NodeRef):
+            node = self._cdfg.node(ref.node)
+            return node.width, node.signed
+        if isinstance(ref, ConstRef):
+            return ref.width, ref.signed
+        width, signed = self._cdfg.var_types[ref.var]
+        return width, signed
+
+    def _connect(self, dst: int, port: int, ref: Ref) -> None:
+        """Create the data edge ``ref -> dst.port`` (deferred for markers)."""
+        if isinstance(ref, NodeRef):
+            width = self._cdfg.node(ref.node).width
+            self._cdfg.add_edge(Edge(src=ref.node, dst=dst, dst_port=port, width=width))
+        elif isinstance(ref, ConstRef):
+            node_id = self._const_node(ref.value, ref.width, ref.signed)
+            self._cdfg.add_edge(Edge(src=node_id, dst=dst, dst_port=port, width=ref.width))
+        elif isinstance(ref, VarMarker):
+            self._loop_scopes[ref.loop_scope].note_read(ref.var, dst, port)
+        else:  # pragma: no cover - exhaustive
+            raise CDFGError(f"unknown ref {ref!r}")
+
+    def _read_var(self, name: str, line: int) -> Ref:
+        ref = self._env.get(name)
+        if ref is None:
+            raise CDFGError(f"line {line}: read of unassigned variable {name!r}")
+        return ref
+
+    # -- expressions -------------------------------------------------------------
+
+    def _build_expr(self, expr: ast.Expr) -> Ref:
+        if isinstance(expr, ast.IntLit):
+            ltype = literal_type(expr.value)
+            return ConstRef(expr.value, ltype.width, ltype.signed)
+        if isinstance(expr, ast.BoolLit):
+            return ConstRef(int(expr.value), 1, False)
+        if isinstance(expr, ast.VarRef):
+            return self._read_var(expr.name, expr.line)
+        if isinstance(expr, ast.UnaryOp):
+            return self._build_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._build_binary(expr)
+        raise CDFGError(f"unknown expression {type(expr).__name__}")
+
+    def _expr_type(self, ref: Ref) -> ast.Type:
+        width, signed = self._ref_width(ref)
+        return ast.Type(width, signed)
+
+    def _build_unary(self, expr: ast.UnaryOp) -> Ref:
+        operand = self._build_expr(expr.operand)
+        if expr.op == "-":
+            if isinstance(operand, ConstRef):
+                ltype = literal_type(-operand.value)
+                return ConstRef(-operand.value, ltype.width, ltype.signed)
+            rtype = unary_result_type("-", self._expr_type(operand))
+            node = self._new_node(OpKind.SUB, rtype.width, rtype.signed, line=expr.line)
+            self._connect(node.id, 0, ConstRef(0, 1, False))
+            self._connect(node.id, 1, operand)
+            return NodeRef(node.id)
+        if expr.op == "!":
+            node = self._new_node(OpKind.LNOT, 1, False, line=expr.line)
+            self._connect(node.id, 0, operand)
+            return NodeRef(node.id)
+        raise CDFGError(f"unknown unary operator {expr.op!r}")
+
+    def _build_binary(self, expr: ast.BinaryOp) -> Ref:
+        left = self._build_expr(expr.left)
+        right = self._build_expr(expr.right)
+        if isinstance(left, ConstRef) and isinstance(right, ConstRef):
+            folded = _fold_const(expr.op, left.value, right.value)
+            if folded is not None:
+                ltype = literal_type(folded)
+                return ConstRef(folded, ltype.width, ltype.signed)
+        kind = _BINOP_KINDS[expr.op]
+        rtype = result_type(expr.op, self._expr_type(left), self._expr_type(right))
+        const_shift = kind in (OpKind.SHL, OpKind.SHR) and isinstance(right, ConstRef)
+        node = self._new_node(kind, rtype.width, rtype.signed, line=expr.line,
+                              const_shift=const_shift)
+        self._connect(node.id, 0, left)
+        self._connect(node.id, 1, right)
+        return NodeRef(node.id)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _build_body(self, body: tuple[ast.Stmt, ...]) -> None:
+        for stmt in body:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            existing = self._env.get(stmt.name)
+            shadows = existing is not None and not (
+                isinstance(existing, VarMarker) and existing.var == stmt.name)
+            if shadows:
+                raise CDFGError(
+                    f"line {stmt.line}: declaration of {stmt.name!r} shadows an "
+                    f"existing variable (rename it)")
+            self._decl_scopes[-1].add(stmt.name)
+            if stmt.init is not None:
+                self._build_assign(stmt.name, stmt.init, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._build_assign(stmt.name, stmt.value, stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._build_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self._build_stmt(stmt.init)
+            self._build_loop(test=stmt.cond, body=stmt.body, update=stmt.update,
+                             loop_kind="for", line=stmt.line)
+        elif isinstance(stmt, ast.While):
+            self._build_loop(test=stmt.cond, body=stmt.body, update=None,
+                             loop_kind="while", line=stmt.line)
+        else:
+            raise CDFGError(f"unknown statement {type(stmt).__name__}")
+
+    def _build_assign(self, name: str, value: ast.Expr, line: int) -> None:
+        width, signed = self._cdfg.var_types[name]
+        ref = self._build_expr(value)
+        fresh_op = (
+            isinstance(ref, NodeRef)
+            and self._cdfg.node(ref.node).carrier is None
+            and isinstance(value, (ast.BinaryOp, ast.UnaryOp))
+        )
+        if fresh_op:
+            node = self._cdfg.node(ref.node)
+            node.carrier = name
+            node.width = width
+            node.signed = signed
+            for edge in self._cdfg.out_edges(node.id):
+                edge.width = width
+        else:
+            node = self._new_node(OpKind.COPY, width, signed, carrier=name, line=line)
+            self._connect(node.id, 0, ref)
+        self._env[name] = NodeRef(node.id)
+
+    def _materialize_condition(self, cond: ast.Expr, line: int) -> int:
+        """Build a condition expression down to a concrete node id.
+
+        Constant, loop-carried, and structurally-merged (Sel/Elp) conditions
+        are funneled through a 1-bit COPY so the controller always reads a
+        condition node that actually executes.
+        """
+        ref = self._build_expr(cond)
+        if isinstance(ref, NodeRef):
+            kind = self._cdfg.node(ref.node).kind
+            if kind not in (OpKind.SELECT, OpKind.ENDLOOP):
+                return ref.node
+        node = self._new_node(OpKind.COPY, 1, False, line=line)
+        self._connect(node.id, 0, ref)
+        return node.id
+
+    def _build_if(self, stmt: ast.If) -> None:
+        cdfg = self._cdfg
+        cond_node = self._materialize_condition(stmt.cond, stmt.line)
+        parent_block = self._current_block()
+
+        region = IfRegion(id=cdfg.new_region_id(), kind=RegionKind.IF,
+                          parent=parent_block.id, cond_node=cond_node)
+        cdfg.add_region(region)
+        parent_block.append_region(region.id)
+
+        env_before = dict(self._env)
+        env_then, assigned_then = self._build_arm(region, "then", cond_node, Polarity.HIGH, stmt.then_body)
+        self._env = dict(env_before)
+        env_else, assigned_else = self._build_arm(region, "else", cond_node, Polarity.LOW, stmt.else_body)
+        self._env = dict(env_before)
+
+        for var in sorted(assigned_then | assigned_else):
+            then_ref = env_then.get(var, env_before.get(var))
+            else_ref = env_else.get(var, env_before.get(var))
+            if then_ref is None or else_ref is None:
+                # Variable local to one arm: it goes out of scope at the
+                # join (reading it later raises "read of unassigned").
+                self._env.pop(var, None)
+                continue
+            width, signed = cdfg.var_types[var]
+            sel = self._new_node(OpKind.SELECT, width, signed, carrier=var,
+                                 control=ControlPort(cond_node, Polarity.HIGH),
+                                 line=stmt.line, in_items=False)
+            sel.region = parent_block.id
+            self._connect(sel.id, 0, then_ref)
+            self._connect(sel.id, 1, else_ref)
+            region.sel_nodes.append(sel.id)
+            self._env[var] = NodeRef(sel.id)
+
+    def _build_arm(self, region: IfRegion, which: str, cond_node: int, polarity: Polarity,
+                   body: tuple[ast.Stmt, ...]) -> tuple[dict[str, Ref], set[str]]:
+        cdfg = self._cdfg
+        block = BlockRegion(id=cdfg.new_region_id(), kind=RegionKind.BLOCK, parent=region.id)
+        cdfg.add_region(block)
+        if which == "then":
+            region.then_block = block.id
+        else:
+            region.else_block = block.id
+        env_before = dict(self._env)
+        self._block_stack.append(block)
+        self._control_stack.append((cond_node, polarity))
+        self._guard_stack.append((cond_node, polarity is Polarity.HIGH))
+        self._decl_scopes.append(set())
+        try:
+            self._build_body(body)
+        finally:
+            arm_decls = self._decl_scopes.pop()
+            self._guard_stack.pop()
+            self._control_stack.pop()
+            self._block_stack.pop()
+        assigned = {v for v, ref in self._env.items()
+                    if env_before.get(v) != ref and v not in arm_decls}
+        return dict(self._env), assigned
+
+    def _build_loop(self, test: ast.Expr, body: tuple[ast.Stmt, ...],
+                    update: ast.Assign | None, loop_kind: str, line: int) -> None:
+        cdfg = self._cdfg
+        parent_block = self._current_block()
+
+        region = LoopRegion(id=cdfg.new_region_id(), kind=RegionKind.LOOP,
+                            parent=parent_block.id, loop_kind=loop_kind)
+        cdfg.add_region(region)
+        parent_block.append_region(region.id)
+
+        full_body = body + ((update,) if update is not None else ())
+        assigned_in_loop = ast.assigned_names(full_body)
+
+        entry_env = dict(self._env)
+        scope = _LoopScope(region=region, entry_env=entry_env)
+        self._loop_scopes.append(scope)
+        scope_index = len(self._loop_scopes) - 1
+
+        # Reads of loop-assigned variables resolve to markers until the body
+        # producer is known.
+        for var in assigned_in_loop:
+            self._env[var] = VarMarker(scope_index, var)
+
+        test_block = BlockRegion(id=cdfg.new_region_id(), kind=RegionKind.BLOCK, parent=region.id)
+        cdfg.add_region(test_block)
+        region.test_block = test_block.id
+        self._block_stack.append(test_block)
+        try:
+            cond_node = self._materialize_condition(test, line)
+        finally:
+            self._block_stack.pop()
+        region.cond_node = cond_node
+
+        body_block = BlockRegion(id=cdfg.new_region_id(), kind=RegionKind.BLOCK, parent=region.id)
+        cdfg.add_region(body_block)
+        region.body_block = body_block.id
+        self._block_stack.append(body_block)
+        self._control_stack.append((cond_node, Polarity.HIGH))
+        self._decl_scopes.append(set())
+        try:
+            self._build_body(body)
+            if update is not None:
+                self._build_stmt(update)
+        finally:
+            body_decls = self._decl_scopes.pop()
+            self._control_stack.pop()
+            self._block_stack.pop()
+
+        self._finalize_loop(scope, assigned_in_loop, body_decls, line)
+        self._loop_scopes.pop()
+
+    def _finalize_loop(self, scope: _LoopScope, assigned_in_loop: set[str],
+                       body_decls: set[str], line: int) -> None:
+        cdfg = self._cdfg
+        region = scope.region
+        cond_node = region.cond_node
+
+        for var in sorted(assigned_in_loop):
+            producer_ref = self._env.get(var)
+            pending = scope.pending.get(var, [])
+            pending_inits = scope.pending_inits.get(var, [])
+            if var in body_decls:
+                # Body-local declaration: scoped to one iteration -- it is
+                # neither loop-carried nor visible after the loop.
+                if pending or pending_inits:
+                    raise CDFGError(
+                        f"line {line}: {var!r} is read before its declaration "
+                        f"inside the loop body")
+                entry = scope.entry_env.get(var)
+                if entry is not None:
+                    self._env[var] = entry
+                else:
+                    self._env.pop(var, None)
+                continue
+            if not isinstance(producer_ref, NodeRef):
+                if pending or pending_inits:
+                    raise CDFGError(
+                        f"line {line}: loop-carried variable {var!r} has no producer in "
+                        f"the loop body")
+                continue
+            producer = producer_ref.node
+            if pending or pending_inits:
+                entry = scope.entry_env.get(var)
+                if entry is None:
+                    raise CDFGError(
+                        f"line {line}: variable {var!r} read in loop before any assignment")
+                carried = CarriedVar(var=var, body_producer=producer,
+                                     init_const=0, init_src=None)
+                width = cdfg.node(producer).width
+                carried_edges: list[Edge] = []
+                for use in pending:
+                    edge = Edge(src=producer, dst=use.dst, dst_port=use.port,
+                                width=width, carried=True, init_const=0,
+                                init_src=None, loop=region.id)
+                    cdfg.add_edge(edge)
+                    carried_edges.append(edge)
+                self._assign_init(entry, [carried] + carried_edges)
+                region.carried.append(carried)
+                for inner in pending_inits:
+                    inner.init_const = None
+                    inner.init_src = producer
+                    if isinstance(inner, CarriedVar):
+                        inner.init_carried_from = region.id
+
+            width, signed = cdfg.var_types[var]
+            elp = self._new_node(OpKind.ENDLOOP, width, signed, carrier=var,
+                                 control=ControlPort(cond_node, Polarity.LOW),
+                                 line=line, in_items=False)
+            elp.region = region.parent if region.parent is not None else cdfg.root_region
+            region.elp_nodes.append(elp.id)
+            self._connect(elp.id, 0, producer_ref)
+            self._env[var] = NodeRef(elp.id)
+
+    def _assign_init(self, entry: Ref, targets: list) -> None:
+        """Set the first-iteration value on a CarriedVar and its edges.
+
+        ``targets`` mixes :class:`CarriedVar` and :class:`Edge` objects that
+        all share the same init.  When the entry value is itself a marker of
+        an *enclosing* loop, the init source is unknown until that loop
+        finalizes; the targets are queued on the enclosing scope and patched
+        there (init_carried_from flags the cross-loop carry for schedulers).
+        """
+        if isinstance(entry, ConstRef):
+            for target in targets:
+                target.init_const = entry.value
+                target.init_src = None
+        elif isinstance(entry, NodeRef):
+            for target in targets:
+                target.init_const = None
+                target.init_src = entry.node
+        elif isinstance(entry, VarMarker):
+            outer = self._loop_scopes[entry.loop_scope]
+            outer.pending_inits.setdefault(entry.var, []).extend(targets)
+        else:  # pragma: no cover - exhaustive
+            raise CDFGError(f"bad loop entry value {entry!r}")
+
+
+def _fold_const(op: str, left: int, right: int) -> int | None:
+    """Compile-time evaluation of constant expressions (None if not foldable)."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "<<":
+        return left << right if 0 <= right < 64 else None
+    if op == ">>":
+        return left >> right if 0 <= right < 64 else None
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<":
+        return int(left < right)
+    if op == ">":
+        return int(left > right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    return None
+
+
+def build_cdfg(process: ast.Process) -> CDFG:
+    """Compile a checked process AST into a validated CDFG."""
+    return _Builder(process).run()

@@ -1,0 +1,64 @@
+"""CDFG edge model.
+
+Per the paper (Section 2.1), edges carry only data values; whether an edge
+feeds a data port or a control port is a property of its destination.  Loop-
+carried edges are marked ``carried`` and remember the value the carrier has
+on the first iteration (a constant, or the node that produced it before the
+loop) — the ``i(0)`` / ``h(8)`` annotations of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Destination-port value denoting a node's control port.
+CONTROL_PORT = -1
+
+
+@dataclass
+class Edge:
+    """A directed data edge ``src -> dst`` entering ``dst_port``.
+
+    Attributes:
+        src: producing node id.
+        dst: consuming node id.
+        dst_port: 0-based data port index, or :data:`CONTROL_PORT`.
+        width: bit width of the value carried.
+        carried: True for loop-carried (back) edges; the consumer reads the
+            *previous* iteration's value, so the edge is not an
+            intra-iteration precedence constraint.
+        init_const: first-iteration value for carried edges, when constant.
+        init_src: node that produced the first-iteration value, when it is
+            computed before the loop (mutually exclusive with init_const).
+        loop: id of the loop region a carried edge belongs to (else None).
+    """
+
+    src: int
+    dst: int
+    dst_port: int
+    width: int
+    carried: bool = False
+    init_const: int | None = None
+    init_src: int | None = None
+    loop: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.carried:
+            if (self.init_const is None) == (self.init_src is None):
+                raise ValueError(
+                    f"carried edge {self.src}->{self.dst} needs exactly one of "
+                    f"init_const / init_src")
+        elif self.init_const is not None or self.init_src is not None:
+            raise ValueError(f"edge {self.src}->{self.dst}: init values only on carried edges")
+
+    @property
+    def is_control(self) -> bool:
+        return self.dst_port == CONTROL_PORT
+
+    def key(self) -> tuple[int, int, int]:
+        return (self.src, self.dst, self.dst_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = " ctrl" if self.is_control else f" p{self.dst_port}"
+        extra = " carried" if self.carried else ""
+        return f"<Edge {self.src}->{self.dst}{tag}{extra}>"

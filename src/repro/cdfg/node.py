@@ -1,0 +1,165 @@
+"""CDFG node model: operation kinds, control ports, polarities."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpKind(enum.Enum):
+    """Every node kind a CDFG can contain.
+
+    The *operation* kinds map to functional units from the module library;
+    the *structural* kinds (SELECT, ENDLOOP, COPY) realize control structure
+    and register transfers; the *boundary* kinds (INPUT, CONST, OUTPUT)
+    anchor the graph to the process interface.
+    """
+
+    # arithmetic
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    SHL = "<<"
+    SHR = ">>"
+    # comparison
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    # logical (1-bit) and bitwise
+    LAND = "&&"
+    LOR = "||"
+    LNOT = "!"
+    BAND = "&"
+    BOR = "|"
+    BXOR = "^"
+    # structural
+    SELECT = "Sel"
+    ENDLOOP = "Elp"
+    COPY = "mov"
+    # boundary
+    INPUT = "in"
+    CONST = "const"
+    OUTPUT = "out"
+
+
+ARITH_KINDS = frozenset({OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.SHL, OpKind.SHR})
+COMPARE_KINDS = frozenset({OpKind.LT, OpKind.GT, OpKind.LE, OpKind.GE, OpKind.EQ, OpKind.NE})
+LOGIC_KINDS = frozenset({OpKind.LAND, OpKind.LOR, OpKind.LNOT, OpKind.BAND, OpKind.BOR, OpKind.BXOR})
+
+#: Kinds that execute on a functional unit from the module library.
+FU_KINDS = ARITH_KINDS | COMPARE_KINDS | LOGIC_KINDS
+
+#: Kinds that occupy a state slot but use no functional unit.
+TRANSFER_KINDS = frozenset({OpKind.COPY})
+
+#: Kinds that are purely structural (never scheduled).
+STRUCTURAL_KINDS = frozenset({OpKind.SELECT, OpKind.ENDLOOP, OpKind.INPUT, OpKind.CONST, OpKind.OUTPUT})
+
+#: Kinds with two data input ports.
+BINARY_KINDS = FU_KINDS - {OpKind.LNOT}
+
+#: Commutative operations (used when merging mux sources across shared FUs).
+COMMUTATIVE_KINDS = frozenset({
+    OpKind.ADD, OpKind.MUL, OpKind.EQ, OpKind.NE,
+    OpKind.LAND, OpKind.LOR, OpKind.BAND, OpKind.BOR, OpKind.BXOR,
+})
+
+
+class Polarity(enum.Enum):
+    """Control-port polarity (Figure 2 of the paper)."""
+
+    HIGH = "+"   # node executes when the control value is true
+    LOW = "-"    # node executes when the control value is false
+    NONE = "0"   # control-independent
+
+
+@dataclass(frozen=True)
+class ControlPort:
+    """The single control port of a node.
+
+    ``source`` is the id of the condition-producing node whose value gates
+    execution, or ``None`` for control-independent nodes.
+    """
+
+    source: int | None = None
+    polarity: Polarity = Polarity.NONE
+
+    def __post_init__(self) -> None:
+        has_source = self.source is not None
+        has_polarity = self.polarity is not Polarity.NONE
+        if has_source != has_polarity:
+            raise ValueError("control port needs both a source and a polarity, or neither")
+
+
+@dataclass
+class Node:
+    """One CDFG node.
+
+    Attributes:
+        id: unique integer id within the graph.
+        kind: the operation / structural kind.
+        name: display name in the paper's style (``+1``, ``Sel2`` ...).
+        width: output bit width (1 for comparisons and logicals).
+        signed: whether the output is interpreted as two's complement.
+        control: the node's single control port.
+        guard: full conjunction of branch conditions controlling execution,
+            as a frozenset of ``(condition_node_id, required_bool)`` pairs.
+            The control port shows only the *innermost* condition (the paper
+            draws exactly one dashed edge per node); the guard keeps the
+            whole conjunction for mutual-exclusion analysis.
+        region: id of the region the node belongs to.
+        carrier: the variable name whose value this node produces (register
+            allocation unit), or ``None`` for pure temporaries.
+        value: constant value (CONST nodes only).
+        const_shift: True for shift nodes whose amount is a constant; such
+            shifts are wiring and need no functional unit.
+        line: source line for diagnostics.
+    """
+
+    id: int
+    kind: OpKind
+    name: str
+    width: int
+    signed: bool = True
+    control: ControlPort = field(default_factory=ControlPort)
+    guard: frozenset[tuple[int, bool]] = frozenset()
+    region: int = 0
+    carrier: str | None = None
+    value: int | None = None
+    const_shift: bool = False
+    line: int = 0
+
+    @property
+    def needs_fu(self) -> bool:
+        """True if this node must be bound to a functional unit."""
+        if self.kind in FU_KINDS:
+            return not (self.kind in (OpKind.SHL, OpKind.SHR) and self.const_shift)
+        return False
+
+    @property
+    def is_schedulable(self) -> bool:
+        """True if the node occupies a slot in some STG state."""
+        if self.kind in STRUCTURAL_KINDS:
+            return False
+        return True
+
+    @property
+    def num_data_inputs(self) -> int:
+        if self.kind in BINARY_KINDS:
+            return 2
+        if self.kind in (OpKind.LNOT, OpKind.COPY, OpKind.OUTPUT):
+            return 1
+        if self.kind is OpKind.SELECT:
+            return 2
+        if self.kind in (OpKind.INPUT, OpKind.CONST):
+            return 0
+        if self.kind is OpKind.ENDLOOP:
+            return -1  # variable arity
+        raise ValueError(f"unknown arity for {self.kind}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pol = self.control.polarity.value if self.control.source is not None else ""
+        return f"<Node {self.id} {self.name}{'(' + pol + ')' if pol else ''} w{self.width}>"

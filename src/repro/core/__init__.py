@@ -1,0 +1,16 @@
+"""IMPACT's core: binding, moves, the iterative-improvement search.
+
+This package is the paper's primary contribution — everything else in the
+library is substrate.  :mod:`repro.core.impact` wires the Figure 7 flow
+together; :mod:`repro.core.search` is the SCALP-style variable-depth search;
+:mod:`repro.core.moves` the move set; :mod:`repro.core.mux_restructure` the
+Huffman multiplexer-tree restructuring of Figure 12.
+"""
+
+from repro.core.binding import Binding, FUInstance, RegInstance
+
+__all__ = [
+    "Binding",
+    "FUInstance",
+    "RegInstance",
+]

@@ -1,0 +1,226 @@
+"""Resource binding: operation -> functional unit, variable -> register.
+
+The binding is the mutable half of an RT-level design point: the IMPACT
+moves (Section 3.2) edit it — sharing merges FU instances or registers,
+splitting separates them, module substitution swaps a unit's library
+module.  The initial binding is the paper's starting point: a fully
+parallel architecture with each operation on its own fastest-module unit
+and each variable in its own register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BindingError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.node import OpKind
+from repro.library.library import ModuleLibrary
+from repro.library.module import ModuleSpec, scale_delay
+
+
+@dataclass
+class FUInstance:
+    """One functional-unit instance in the datapath."""
+
+    id: int
+    module: ModuleSpec
+    ops: set[int] = field(default_factory=set)
+    width: int = 1
+
+    def kinds(self, cdfg: CDFG) -> frozenset[OpKind]:
+        return frozenset(cdfg.node(op).kind for op in self.ops)
+
+
+@dataclass
+class RegInstance:
+    """One register in the datapath, holding one or more variables."""
+
+    id: int
+    width: int
+    carriers: set[str] = field(default_factory=set)
+
+
+def op_width(cdfg: CDFG, node_id: int) -> int:
+    """Width a functional unit must have to execute a node: max of ports."""
+    node = cdfg.node(node_id)
+    width = node.width
+    for edge in cdfg.in_edges(node_id):
+        width = max(width, edge.width)
+    return width
+
+
+class Binding:
+    """Mutable op->FU and variable->register assignment."""
+
+    def __init__(self, cdfg: CDFG, library: ModuleLibrary):
+        self.cdfg = cdfg
+        self.library = library
+        self.fus: dict[int, FUInstance] = {}
+        self.op_to_fu: dict[int, int] = {}
+        self.regs: dict[int, RegInstance] = {}
+        self.carrier_to_reg: dict[str, int] = {}
+        self._next_fu = 0
+        self._next_reg = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def initial_parallel(cls, cdfg: CDFG, library: ModuleLibrary) -> "Binding":
+        """The paper's initial architecture: one fastest FU per op, one
+        register per variable."""
+        binding = cls(cdfg, library)
+        for node in cdfg.fu_nodes():
+            width = op_width(cdfg, node.id)
+            module = library.fastest({node.kind}, width)
+            binding._add_fu(module, {node.id})
+        for var, (width, _signed) in sorted(cdfg.var_types.items()):
+            binding._add_reg(width, {var})
+        return binding
+
+    def _add_fu(self, module: ModuleSpec, ops: set[int]) -> FUInstance:
+        fu = FUInstance(id=self._next_fu, module=module, ops=set(ops))
+        fu.width = max(op_width(self.cdfg, op) for op in ops)
+        self._next_fu += 1
+        self.fus[fu.id] = fu
+        for op in ops:
+            self.op_to_fu[op] = fu.id
+        return fu
+
+    def _add_reg(self, width: int, carriers: set[str]) -> RegInstance:
+        reg = RegInstance(id=self._next_reg, width=width, carriers=set(carriers))
+        self._next_reg += 1
+        self.regs[reg.id] = reg
+        for carrier in carriers:
+            self.carrier_to_reg[carrier] = reg.id
+        return reg
+
+    def clone(self) -> "Binding":
+        other = Binding(self.cdfg, self.library)
+        other._next_fu = self._next_fu
+        other._next_reg = self._next_reg
+        for fu in self.fus.values():
+            other.fus[fu.id] = FUInstance(fu.id, fu.module, set(fu.ops), fu.width)
+        other.op_to_fu = dict(self.op_to_fu)
+        for reg in self.regs.values():
+            other.regs[reg.id] = RegInstance(reg.id, reg.width, set(reg.carriers))
+        other.carrier_to_reg = dict(self.carrier_to_reg)
+        return other
+
+    # -- queries -----------------------------------------------------------------
+
+    def fu_of(self, node_id: int) -> FUInstance | None:
+        fu_id = self.op_to_fu.get(node_id)
+        return None if fu_id is None else self.fus[fu_id]
+
+    def reg_of(self, carrier: str) -> RegInstance:
+        try:
+            return self.regs[self.carrier_to_reg[carrier]]
+        except KeyError:
+            raise BindingError(f"no register holds carrier {carrier!r}") from None
+
+    def op_delay(self, node_id: int) -> float:
+        """Combinational delay (ns) of one node at 5 V under this binding."""
+        node = self.cdfg.node(node_id)
+        if not node.needs_fu:
+            return 0.0
+        fu = self.fu_of(node_id)
+        if fu is None:
+            raise BindingError(f"op {node.name} is not bound to any FU")
+        return scale_delay(fu.module, fu.width)
+
+    def delays(self) -> dict[int, float]:
+        """Delay of every schedulable node (zero for transfers)."""
+        return {n.id: self.op_delay(n.id) for n in self.cdfg.op_nodes()}
+
+    def validate(self) -> None:
+        """Every FU op must be bound to a module that implements it."""
+        for node in self.cdfg.fu_nodes():
+            fu = self.fu_of(node.id)
+            if fu is None:
+                raise BindingError(f"op {node.name} unbound")
+            if not fu.module.implements(node.kind):
+                raise BindingError(
+                    f"op {node.name} ({node.kind.value}) bound to {fu.module.name} "
+                    f"which does not implement it")
+            if op_width(self.cdfg, node.id) > fu.width:
+                raise BindingError(f"op {node.name} wider than its FU")
+        for fu in self.fus.values():
+            if not fu.ops:
+                raise BindingError(f"FU {fu.id} ({fu.module.name}) has no ops")
+            for op in fu.ops:
+                if self.op_to_fu.get(op) != fu.id:
+                    raise BindingError(f"op {op} back-reference mismatch on FU {fu.id}")
+        for var in self.cdfg.var_types:
+            if var not in self.carrier_to_reg:
+                raise BindingError(f"variable {var!r} has no register")
+
+    # -- moves (mechanics only; legality/cost handled by repro.core.moves) -------
+
+    def merge_fus(self, keep: int, absorb: int, module: ModuleSpec | None = None) -> None:
+        """Move every op of ``absorb`` onto ``keep`` (resource sharing)."""
+        if keep == absorb:
+            raise BindingError("cannot merge an FU with itself")
+        fu_keep = self.fus[keep]
+        fu_absorb = self.fus.pop(absorb)
+        fu_keep.ops |= fu_absorb.ops
+        for op in fu_absorb.ops:
+            self.op_to_fu[op] = keep
+        if module is not None:
+            fu_keep.module = module
+        fu_keep.width = max(op_width(self.cdfg, op) for op in fu_keep.ops)
+        kinds = fu_keep.kinds(self.cdfg)
+        if not fu_keep.module.implements_all(kinds):
+            raise BindingError(
+                f"module {fu_keep.module.name} cannot implement merged ops "
+                f"{sorted(k.value for k in kinds)}")
+
+    def split_fu(self, fu_id: int, ops_out: set[int]) -> FUInstance:
+        """Give ``ops_out`` their own new FU of the same module type."""
+        fu = self.fus[fu_id]
+        if not ops_out or ops_out == fu.ops:
+            raise BindingError("split must move a strict non-empty subset of ops")
+        if not ops_out <= fu.ops:
+            raise BindingError("split ops are not all on the source FU")
+        fu.ops -= ops_out
+        fu.width = max(op_width(self.cdfg, op) for op in fu.ops)
+        return self._add_fu(fu.module, ops_out)
+
+    def substitute_module(self, fu_id: int, module: ModuleSpec) -> None:
+        """Swap an FU's library module (module selection, Section 3.2.2)."""
+        fu = self.fus[fu_id]
+        kinds = fu.kinds(self.cdfg)
+        if not module.implements_all(kinds):
+            raise BindingError(
+                f"module {module.name} cannot implement {sorted(k.value for k in kinds)}")
+        fu.module = module
+
+    def merge_regs(self, keep: int, absorb: int) -> None:
+        """Store ``absorb``'s variables in ``keep`` (register sharing)."""
+        if keep == absorb:
+            raise BindingError("cannot merge a register with itself")
+        reg_keep = self.regs[keep]
+        reg_absorb = self.regs.pop(absorb)
+        reg_keep.carriers |= reg_absorb.carriers
+        reg_keep.width = max(reg_keep.width, reg_absorb.width)
+        for carrier in reg_absorb.carriers:
+            self.carrier_to_reg[carrier] = keep
+
+    def split_reg(self, reg_id: int, carriers_out: set[str]) -> RegInstance:
+        """Give ``carriers_out`` their own new register."""
+        reg = self.regs[reg_id]
+        if not carriers_out or carriers_out == reg.carriers:
+            raise BindingError("split must move a strict non-empty subset of carriers")
+        if not carriers_out <= reg.carriers:
+            raise BindingError("split carriers are not all in the source register")
+        reg.carriers -= carriers_out
+        reg.width = max(self.cdfg.var_types[c][0] for c in reg.carriers)
+        width = max(self.cdfg.var_types[c][0] for c in carriers_out)
+        return self._add_reg(width, carriers_out)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "fus": len(self.fus),
+            "registers": len(self.regs),
+            "bound_ops": len(self.op_to_fu),
+        }

@@ -1,0 +1,219 @@
+"""A design point: one (binding, schedule, architecture) triple.
+
+The iterative-improvement search explores a graph of design points; this
+class makes each point cheap to derive from its predecessor:
+
+* moves that change only the binding or the multiplexer shapes reuse the
+  STG *and* the replay (replay depends only on the schedule, not the
+  binding) and merely rebuild the architecture and re-merge unit traces;
+* moves that change the resource constraints re-schedule first.
+
+The evaluation bundle (ENC, legality, area, Vdd-scaled power) is computed
+once per point and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdfg.graph import CDFG
+from repro.core.binding import Binding
+from repro.core.mux_restructure import huffman_tree
+from repro.library.library import ModuleLibrary
+from repro.power.estimator import PowerEstimate, estimate_power
+from repro.power.trace_manip import UnitTraces, merge_unit_traces
+from repro.rtl.architecture import Architecture
+from repro.rtl.builder import build_architecture
+from repro.rtl.mux import MuxSource
+from repro.sched.engine import ScheduleOptions, schedule
+from repro.sched.replay import ReplayResult, replay
+from repro.sched.stg import STG
+from repro.sim.traces import TraceStore
+
+
+@dataclass
+class Evaluation:
+    """The numbers the search needs about one design point.
+
+    ``slack_ratio`` is the *in-cycle* headroom (cycle window over real
+    critical path); ``vdd``/``power_scaled`` use it alone.  The search and
+    the Figure 13 experiment additionally exploit *cycle* slack — a design
+    whose ENC is under the laxity budget may scale Vdd further at equal
+    throughput (see :func:`equal_throughput_vdd`).
+    """
+
+    enc: float
+    legal: bool
+    area: float
+    slack_ratio: float
+    vdd: float
+    power_5v: float
+    power_scaled: float
+    estimate: PowerEstimate
+
+    def cost(self, mode: str) -> float:
+        if mode == "power":
+            return self.power_scaled
+        if mode == "area":
+            return self.area
+        raise ValueError(f"unknown optimization mode {mode!r}")
+
+
+def equal_throughput_vdd(evaluation: Evaluation, enc_budget: float) -> float:
+    """Lowest Vdd at which the design still meets the real-time budget.
+
+    The comparison of Section 4 equalizes performance: every design gets
+    ``enc_budget`` cycles of real time per pass, so a design finishing in
+    fewer cycles may slow down by ``enc_budget / enc`` on top of its
+    in-cycle slack.
+    """
+    from repro.library.voltage import max_vdd_scaling
+
+    if evaluation.enc <= 0:
+        return 5.0
+    total = evaluation.slack_ratio * max(1.0, enc_budget / evaluation.enc)
+    return max_vdd_scaling(total)
+
+
+def energy_cost(design: "DesignPoint", enc_budget: float) -> float:
+    """Power-mode cost: energy per pass at the equal-throughput Vdd.
+
+    Proportional to the average power at fixed throughput (the denominator
+    ``enc_budget x Tclk`` is shared by every candidate), so minimizing it
+    minimizes the paper's I-Power.
+    """
+    evaluation = design.evaluate()
+    vdd = equal_throughput_vdd(evaluation, enc_budget)
+    return evaluation.power_5v * evaluation.enc * (vdd / 5.0) ** 2
+
+
+class DesignPoint:
+    """One point in the design space; immutable once evaluated."""
+
+    def __init__(self, cdfg: CDFG, library: ModuleLibrary, store: TraceStore,
+                 options: ScheduleOptions, binding: Binding, stg: STG,
+                 rep: ReplayResult, tree_policy: frozenset = frozenset()):
+        self.cdfg = cdfg
+        self.library = library
+        self.store = store
+        self.options = options
+        self.binding = binding
+        self.stg = stg
+        self.rep = rep
+        self.tree_policy = tree_policy  # port keys with Huffman-restructured trees
+        self.arch: Architecture = build_architecture(cdfg, binding, stg,
+                                                     clock_ns=options.clock_ns)
+        self.traces: UnitTraces = merge_unit_traces(self.arch, store, rep)
+        self._apply_tree_policy()
+        self.arch.normalize_durations()
+        self._evaluation: Evaluation | None = None
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def initial(cls, cdfg: CDFG, library: ModuleLibrary, store: TraceStore,
+                options: ScheduleOptions | None = None) -> "DesignPoint":
+        """The paper's starting point: fully parallel, fastest modules."""
+        options = options or ScheduleOptions()
+        binding = Binding.initial_parallel(cdfg, library)
+        stg = schedule(cdfg, binding, options)
+        rep = replay(stg, cdfg, store)
+        return cls(cdfg, library, store, options, binding, stg, rep)
+
+    def with_binding(self, binding: Binding, reschedule: bool) -> "DesignPoint":
+        """Derive a new point after a binding edit.
+
+        Re-scheduling invalidates earlier register-sharing legality proofs
+        (lifetimes are a property of the schedule), so the derived point is
+        re-checked and rejected if any shared register's carriers now
+        interfere.
+        """
+        if reschedule:
+            stg = schedule(self.cdfg, binding, self.options)
+            rep = replay(stg, self.cdfg, self.store)
+        else:
+            stg = self.stg
+            rep = self.rep
+        derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
+                              binding, stg, rep, self.tree_policy)
+        if reschedule:
+            derived.check_register_sharing()
+        return derived
+
+    def check_register_sharing(self) -> None:
+        """Raise if two carriers of one register are simultaneously alive."""
+        from itertools import combinations
+
+        from repro.errors import BindingError
+        from repro.core.liveness import carrier_liveness, carriers_interfere
+
+        shared = [r for r in self.binding.regs.values() if len(r.carriers) > 1]
+        if not shared:
+            return
+        liveness = carrier_liveness(self)
+        for reg in shared:
+            for a, b in combinations(sorted(reg.carriers), 2):
+                if carriers_interfere(liveness, a, b):
+                    raise BindingError(
+                        f"register {reg.id}: carriers {a!r} and {b!r} interfere "
+                        f"under the new schedule")
+
+    def with_tree_policy(self, port_key: tuple) -> "DesignPoint":
+        """Derive a new point with one more Huffman-restructured mux tree."""
+        policy = self.tree_policy | {port_key}
+        return DesignPoint(self.cdfg, self.library, self.store, self.options,
+                           self.binding, self.stg, self.rep, policy)
+
+    def _apply_tree_policy(self) -> None:
+        for key in self.tree_policy:
+            port = self.arch.datapath.ports.get(key)
+            if port is None or port.tree is None:
+                continue  # the port vanished under a later binding change
+            stats = {s: (a, p) for s, a, p in self.traces.port_stats.get(key, [])}
+            sources = [MuxSource(s, *stats.get(s, (0.0, 0.0))) for s in port.sources]
+            self.arch.set_tree(key, huffman_tree(sources))
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self) -> Evaluation:
+        if self._evaluation is None:
+            legal = not self.arch.check_timing()
+            slack = self.arch.worst_slack_ratio() if legal else 1.0
+            if slack == float("inf"):
+                slack = 5.0
+            vdd = self.arch.scaled_vdd() if legal else 5.0
+            est_5v = estimate_power(self.arch, self.traces, vdd=5.0)
+            scale = (vdd / 5.0) ** 2
+            self._evaluation = Evaluation(
+                enc=self.enc,
+                legal=legal,
+                area=self.arch.area(),
+                slack_ratio=slack,
+                vdd=vdd,
+                power_5v=est_5v.total,
+                power_scaled=est_5v.total * scale,
+                estimate=est_5v,
+            )
+        return self._evaluation
+
+    @property
+    def enc(self) -> float:
+        """Empirical ENC under the architecture's (normalized) durations."""
+        total = sum(visits * self.arch.state_duration(sid)
+                    for sid, visits in self.rep.state_visits.items())
+        return total / self.store.n_passes if self.store.n_passes else 0.0
+
+    def summary(self) -> dict[str, float]:
+        ev = self.evaluate()
+        return {
+            "enc": round(ev.enc, 2),
+            "area": round(ev.area, 1),
+            "vdd": round(ev.vdd, 2),
+            "power_5v_mw": round(ev.power_5v, 4),
+            "power_scaled_mw": round(ev.power_scaled, 4),
+            "legal": ev.legal,
+            "fus": len(self.binding.fus),
+            "registers": len(self.binding.regs),
+            "mux2": self.arch.datapath.total_mux_count(),
+            "states": self.stg.n_states,
+        }

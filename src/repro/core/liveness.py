@@ -1,0 +1,72 @@
+"""Register liveness over the STG.
+
+Register sharing (Section 3.2.3) may only merge variables whose lifetimes
+never overlap.  Lifetimes are computed by a standard backward dataflow
+fixpoint over the (cyclic) state transition graph at carrier granularity:
+
+* a state *uses* carrier v if any of its operations reads v's value
+  (conservatively including chained reads — safe, never unsound);
+* a state *defines* v if an operation writing v executes in it;
+* inputs are defined in the start state (loaded from pins).
+
+Two carriers interfere if some state has both alive (live-out or defined).
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.node import OpKind
+
+
+def carrier_liveness(design) -> dict[int, set[str]]:
+    """live-out-or-defined carrier sets per state of a design point."""
+    cdfg = design.cdfg
+    stg = design.stg
+
+    uses: dict[int, set[str]] = {s: set() for s in stg.states}
+    defs: dict[int, set[str]] = {s: set() for s in stg.states}
+    for state in stg.states.values():
+        for op in state.ops:
+            node = cdfg.node(op.node)
+            if node.carrier is not None:
+                defs[state.id].add(node.carrier)
+            for edge in cdfg.in_edges(op.node):
+                src = cdfg.node(edge.src)
+                if src.carrier is not None and src.kind is not OpKind.CONST:
+                    uses[state.id].add(src.carrier)
+    for node_id in cdfg.input_nodes:
+        defs[stg.start].add(cdfg.node(node_id).carrier)
+    # Output reads keep their carriers live through the done state.
+    for out_id in cdfg.output_nodes:
+        edge = cdfg.in_edge(out_id, 0)
+        src = cdfg.node(edge.src)
+        if src.carrier is not None:
+            uses[stg.done].add(src.carrier)
+
+    preds: dict[int, list[int]] = {s: [] for s in stg.states}
+    for transition in stg.transitions:
+        preds[transition.dst].append(transition.src)
+
+    live_in: dict[int, set[str]] = {s: set() for s in stg.states}
+    live_out: dict[int, set[str]] = {s: set() for s in stg.states}
+    changed = True
+    while changed:
+        changed = False
+        for state_id in stg.states:
+            out = set()
+            for transition in stg.out_transitions(state_id):
+                out |= live_in[transition.dst]
+            new_in = uses[state_id] | (out - defs[state_id])
+            if out != live_out[state_id] or new_in != live_in[state_id]:
+                live_out[state_id] = out
+                live_in[state_id] = new_in
+                changed = True
+
+    return {s: live_out[s] | defs[s] for s in stg.states}
+
+
+def carriers_interfere(liveness: dict[int, set[str]], a: str, b: str) -> bool:
+    """True if carriers ``a`` and ``b`` are ever alive in the same state."""
+    for alive in liveness.values():
+        if a in alive and b in alive:
+            return True
+    return False

@@ -1,0 +1,201 @@
+"""The IMPACT move set (Section 3.2).
+
+Every move is a small immutable object with a signature (for tabu lists), a
+``needs_reschedule`` property, and ``apply(design) -> DesignPoint``.  Moves
+never mutate their input design point; application clones the binding.
+
+========================= ============================ =============
+move                      paper section                re-schedule?
+========================= ============================ =============
+ShareFU                   3.2.3 resource sharing       yes
+SplitFU                   3.2.3 resource splitting     no
+SubstituteModule          3.2.2 module selection       only on a
+                                                       timing violation
+ShareRegisters            3.2.3 (registers)            no
+SplitRegister             3.2.3 (registers)            no
+RestructureMux            3.2.1 mux restructuring      no
+========================= ============================ =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BindingError, ReproError
+from repro.core.design import DesignPoint
+from repro.core.liveness import carrier_liveness, carriers_interfere
+from repro.library.module import scale_area, scale_delay
+
+
+class Move:
+    """Base class; subclasses define signature() and apply()."""
+
+    def signature(self) -> tuple:
+        raise NotImplementedError
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.signature()[1:]}>"
+
+
+@dataclass(frozen=True)
+class ShareFU(Move):
+    """Merge two functional units (operations share one unit)."""
+
+    keep: int
+    absorb: int
+    module_name: str
+
+    def signature(self) -> tuple:
+        return ("share_fu", self.keep, self.absorb, self.module_name)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        binding = design.binding.clone()
+        module = design.library.get(self.module_name)
+        binding.merge_fus(self.keep, self.absorb, module)
+        return design.with_binding(binding, reschedule=True)
+
+
+@dataclass(frozen=True)
+class SplitFU(Move):
+    """Give one operation of a shared unit its own new unit."""
+
+    fu: int
+    op: int
+
+    def signature(self) -> tuple:
+        return ("split_fu", self.fu, self.op)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        binding = design.binding.clone()
+        binding.split_fu(self.fu, {self.op})
+        # The schedule stays legal: the new unit performs the op in the
+        # same states the old one did (the assignment set is a superset).
+        return design.with_binding(binding, reschedule=False)
+
+
+@dataclass(frozen=True)
+class SubstituteModule(Move):
+    """Swap a unit's library module (e.g. array -> Wallace multiplier)."""
+
+    fu: int
+    module_name: str
+
+    def signature(self) -> tuple:
+        return ("substitute", self.fu, self.module_name)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        binding = design.binding.clone()
+        module = design.library.get(self.module_name)
+        old_delay = scale_delay(binding.fus[self.fu].module, binding.fus[self.fu].width)
+        binding.substitute_module(self.fu, module)
+        new_delay = scale_delay(module, binding.fus[self.fu].width)
+        candidate = design.with_binding(binding, reschedule=False)
+        if new_delay > old_delay and candidate.arch.check_timing():
+            # Slower module broke a state's cycle window: re-schedule
+            # (the paper re-schedules exactly on cycle-time violations).
+            candidate = design.with_binding(binding, reschedule=True)
+        return candidate
+
+
+@dataclass(frozen=True)
+class ShareRegisters(Move):
+    """Store two variables in one register (lifetimes must not overlap)."""
+
+    keep: int
+    absorb: int
+
+    def signature(self) -> tuple:
+        return ("share_reg", self.keep, self.absorb)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        liveness = carrier_liveness(design)
+        keep_carriers = design.binding.regs[self.keep].carriers
+        absorb_carriers = design.binding.regs[self.absorb].carriers
+        for a in keep_carriers:
+            for b in absorb_carriers:
+                if carriers_interfere(liveness, a, b):
+                    raise BindingError(
+                        f"registers {self.keep}/{self.absorb}: carriers {a!r} and "
+                        f"{b!r} are simultaneously alive")
+        binding = design.binding.clone()
+        binding.merge_regs(self.keep, self.absorb)
+        return design.with_binding(binding, reschedule=False)
+
+
+@dataclass(frozen=True)
+class SplitRegister(Move):
+    """Give one variable of a shared register its own register."""
+
+    reg: int
+    carrier: str
+
+    def signature(self) -> tuple:
+        return ("split_reg", self.reg, self.carrier)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        binding = design.binding.clone()
+        binding.split_reg(self.reg, {self.carrier})
+        return design.with_binding(binding, reschedule=False)
+
+
+@dataclass(frozen=True)
+class RestructureMux(Move):
+    """Huffman-restructure one multiplexer tree (Figure 12)."""
+
+    port_key: tuple
+
+    def signature(self) -> tuple:
+        return ("restructure_mux", self.port_key)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        if self.port_key in design.tree_policy:
+            raise ReproError(f"port {self.port_key!r} already restructured")
+        return design.with_tree_policy(self.port_key)
+
+
+def generate_moves(design: DesignPoint) -> list[Move]:
+    """All applicable moves at a design point (legality pre-filtered
+    cheaply; expensive checks happen at apply time)."""
+    moves: list[Move] = []
+    cdfg = design.cdfg
+    binding = design.binding
+    library = design.library
+
+    fu_ids = sorted(binding.fus)
+    for i, a in enumerate(fu_ids):
+        for b in fu_ids[i + 1:]:
+            kinds = binding.fus[a].kinds(cdfg) | binding.fus[b].kinds(cdfg)
+            width = max(binding.fus[a].width, binding.fus[b].width)
+            candidates = library.candidates(kinds)
+            if not candidates:
+                continue
+            keep_module = binding.fus[a].module
+            if not keep_module.implements_all(kinds):
+                keep_module = min(candidates, key=lambda m: scale_area(m, width))
+            moves.append(ShareFU(a, b, keep_module.name))
+
+    for fu_id, fu in binding.fus.items():
+        if len(fu.ops) >= 2:
+            for op in sorted(fu.ops):
+                moves.append(SplitFU(fu_id, op))
+        kinds = fu.kinds(cdfg)
+        for alt in library.alternatives(fu.module, kinds):
+            moves.append(SubstituteModule(fu_id, alt.name))
+
+    reg_ids = sorted(binding.regs)
+    for i, a in enumerate(reg_ids):
+        for b in reg_ids[i + 1:]:
+            moves.append(ShareRegisters(a, b))
+    for reg_id, reg in binding.regs.items():
+        if len(reg.carriers) >= 2:
+            for carrier in sorted(reg.carriers):
+                moves.append(SplitRegister(reg_id, carrier))
+
+    for port in design.arch.datapath.mux_ports():
+        if port.n_sources() >= 3 and port.key not in design.tree_policy:
+            moves.append(RestructureMux(port.key))
+
+    return moves

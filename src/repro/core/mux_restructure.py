@@ -1,0 +1,61 @@
+"""Huffman multiplexer-tree restructuring — Figure 12 of the paper.
+
+Ranking mux inputs by increasing activity-probability (ap) product and
+ignoring the normalizing denominators turns tree construction into source
+coding: give high-ap signals short paths to the output.  The Huffman
+construction is greedy (the normalizing terms make it approximate, as the
+paper notes) but fast and effective; the worked example drops the tree
+activity from 1.09 to 0.72 (-34 %).
+
+``ap_new`` of a merged subtree follows the paper's pseudo-code: the summed
+probability of the subtree times the total activity of the multiplexers
+inside it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import ArchitectureError
+from repro.rtl.mux import MuxSource, MuxTree, TreeShape
+
+
+def huffman_tree(sources: list[MuxSource]) -> MuxTree:
+    """RESTRUCTURE_MUX of Figure 12: Huffman construction over ap products."""
+    if not sources:
+        raise ArchitectureError("cannot restructure a mux with no sources")
+    if len(sources) == 1:
+        return MuxTree(sources[0])
+
+    counter = itertools.count()
+    # Heap entries: (ap, tiebreak, shape, sum_p, subtree_mux_activity)
+    heap: list[tuple[float, int, TreeShape, float, float]] = []
+    for source in sources:
+        ap = source.activity * source.prob
+        heapq.heappush(heap, (ap, next(counter), source, source.prob, 0.0))
+
+    while len(heap) > 1:
+        ap_a, _, shape_a, p_a, act_a = heapq.heappop(heap)
+        ap_b, _, shape_b, p_b, act_b = heapq.heappop(heap)
+        merged: TreeShape = (shape_a, shape_b)
+        p_sum = p_a + p_b
+        # Activity of the new 2:1 mux: weighted-ap of everything beneath it.
+        sub_ap = _subtree_ap(merged)
+        node_activity = sub_ap / p_sum if p_sum > 0.0 else 0.0
+        subtree_activity = act_a + act_b + node_activity
+        ap_new = p_sum * subtree_activity
+        heapq.heappush(heap, (ap_new, next(counter), merged, p_sum, subtree_activity))
+
+    return MuxTree(heap[0][2])
+
+
+def _subtree_ap(shape: TreeShape) -> float:
+    if isinstance(shape, MuxSource):
+        return shape.activity * shape.prob
+    return _subtree_ap(shape[0]) + _subtree_ap(shape[1])
+
+
+def restructure_mux(tree: MuxTree) -> MuxTree:
+    """Huffman-restructure an existing tree, keeping its source stats."""
+    return huffman_tree(tree.sources())

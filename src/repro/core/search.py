@@ -1,0 +1,144 @@
+"""Variable-depth iterative improvement (SCALP-style, Section 3.1).
+
+One iteration builds a *sequence* of moves: at each depth every sampled
+candidate move is evaluated and the best-gain move is taken — even when its
+gain is negative (that is how the search escapes local minima).  The
+longest prefix of the sequence with the best cumulative gain over a legal,
+constraint-satisfying design is then committed; the search stops when no
+iteration improves.
+
+Constraint handling follows the paper: intermediate points in a sequence
+may violate the cycle-time constraint or the ENC budget, but a prefix only
+qualifies for commitment if its endpoint is legal and within budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.core.design import DesignPoint, energy_cost
+from repro.core.moves import Move, generate_moves
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs bounding the search effort."""
+
+    max_depth: int = 6
+    max_candidates: int = 16
+    max_iterations: int = 10
+    seed: int = 0
+    min_gain: float = 1e-9
+
+
+@dataclass
+class SearchStep:
+    move_signature: tuple
+    cost: float
+    gain: float
+    legal: bool
+    within_budget: bool
+
+
+@dataclass
+class SearchHistory:
+    iterations: list[list[SearchStep]] = field(default_factory=list)
+    committed: list[int] = field(default_factory=list)  # prefix length per iteration
+    evaluations: int = 0
+
+    def total_moves(self) -> int:
+        return sum(self.committed)
+
+
+def design_cost(design: DesignPoint, mode: str, enc_budget: float) -> float:
+    """The search objective: area, or equal-throughput energy per pass."""
+    if mode == "area":
+        return design.evaluate().area
+    if mode == "power":
+        return energy_cost(design, enc_budget)
+    raise ReproError(f"unknown optimization mode {mode!r}")
+
+
+def iterative_improvement(
+    initial: DesignPoint,
+    mode: str,
+    enc_budget: float,
+    config: SearchConfig | None = None,
+    area_cap: float | None = None,
+) -> tuple[DesignPoint, SearchHistory]:
+    """Run the IMPACT search from an initial design point.
+
+    ``mode`` is "power" or "area"; ``enc_budget`` the laxity-scaled ENC
+    ceiling; ``area_cap`` an optional absolute area ceiling a committed
+    prefix must respect (the paper's designs stay within ~1.3x of the
+    area-optimized base).  Returns the best design and the history.
+    """
+    config = config or SearchConfig()
+    rng = random.Random(config.seed)
+    history = SearchHistory()
+
+    current = initial
+    current_eval = current.evaluate()
+    if not current_eval.legal:
+        raise ReproError("initial design point violates timing")
+    current_cost = design_cost(current, mode, enc_budget)
+
+    for _iteration in range(config.max_iterations):
+        steps: list[SearchStep] = []
+        work = current
+        work_cost = current_cost
+        tabu: set[tuple] = set()
+        snapshots: list[DesignPoint] = []
+        best_prefix_gain = 0.0
+        best_prefix_len = 0
+
+        for _depth in range(config.max_depth):
+            candidates = [m for m in generate_moves(work)
+                          if m.signature() not in tabu]
+            if len(candidates) > config.max_candidates:
+                candidates = rng.sample(candidates, config.max_candidates)
+            best_move: Move | None = None
+            best_design: DesignPoint | None = None
+            best_cost = float("inf")
+            for move in candidates:
+                try:
+                    candidate = move.apply(work)
+                except ReproError:
+                    continue
+                history.evaluations += 1
+                cost = design_cost(candidate, mode, enc_budget)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_move = move
+                    best_design = candidate
+            if best_move is None:
+                break
+
+            gain = work_cost - best_cost
+            work = best_design
+            work_cost = best_cost
+            tabu.add(best_move.signature())
+            evaluation = work.evaluate()
+            within = evaluation.enc <= enc_budget + 1e-9
+            if area_cap is not None:
+                within = within and evaluation.area <= area_cap + 1e-9
+            steps.append(SearchStep(best_move.signature(), best_cost, gain,
+                                    evaluation.legal, within))
+            snapshots.append(work)
+
+            cumulative = current_cost - work_cost
+            if evaluation.legal and within and cumulative > best_prefix_gain:
+                best_prefix_gain = cumulative
+                best_prefix_len = len(snapshots)
+
+        history.iterations.append(steps)
+        history.committed.append(best_prefix_len)
+        if best_prefix_gain > config.min_gain and best_prefix_len > 0:
+            current = snapshots[best_prefix_len - 1]
+            current_cost = design_cost(current, mode, enc_budget)
+        else:
+            break
+
+    return current, history

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the IMPACT reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Subsystems raise the most specific subclass available; error
+messages always include enough context (node/edge/state names) to debug a
+failing synthesis run without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class LanguageError(ReproError):
+    """Problem in behavioral source text (lexing, parsing, typing)."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}" + (f", col {column}" if column is not None else "") + f": {message}"
+        super().__init__(message)
+
+
+class LexError(LanguageError):
+    """Unrecognized character or malformed token."""
+
+
+class ParseError(LanguageError):
+    """Token stream does not match the grammar."""
+
+
+class TypeCheckError(LanguageError):
+    """Undefined variable, width conflict, or illegal operand."""
+
+
+class CDFGError(ReproError):
+    """Structurally invalid control-data flow graph."""
+
+
+class InterpreterError(ReproError):
+    """Behavioral execution failed (e.g. non-terminating loop guard)."""
+
+
+class ScheduleError(ReproError):
+    """Scheduler could not produce a legal state transition graph."""
+
+
+class BindingError(ReproError):
+    """Inconsistent operation->FU or variable->register assignment."""
+
+
+class ArchitectureError(ReproError):
+    """RTL architecture violates a structural invariant."""
+
+
+class PowerModelError(ReproError):
+    """Power estimation was asked for a unit it cannot model."""
+
+
+class LibraryError(ReproError):
+    """Module library lookup failed (no module implements an op)."""
+
+
+class ConstraintError(ReproError):
+    """A synthesis move or result violates the performance constraint."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misconfiguration."""

@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every figure/table of the paper.
+
+* :mod:`repro.experiments.laxity` — Figure 13(a)-(f): normalized A-Power /
+  I-Power / I-Area vs. laxity factor, plus the Section 4 headline ratios;
+* :mod:`repro.experiments.wavesched_enc` — the Section 2.2 ENC comparison
+  (Wavesched vs. the [9]/[17]-style baselines);
+* :mod:`repro.experiments.mux_example` — the Section 3.2.1 worked example
+  (balanced 1.09 vs. Huffman 0.72 tree activity, Figure 8-10);
+* :mod:`repro.experiments.trace_example` — the Section 2.3 trace-merging
+  example (the shared adder's trace under e8 = [T, T, F, T]);
+* :mod:`repro.experiments.report` — plain-text tables and series.
+"""
+
+from repro.experiments.laxity import LaxityPoint, LaxitySweep, run_laxity_sweep
+from repro.experiments.wavesched_enc import enc_comparison
+from repro.experiments.mux_example import mux_worked_example
+from repro.experiments.trace_example import trace_worked_example
+
+__all__ = [
+    "LaxityPoint",
+    "LaxitySweep",
+    "run_laxity_sweep",
+    "enc_comparison",
+    "mux_worked_example",
+    "trace_worked_example",
+]

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results (tables and ASCII series)."""
+
+from __future__ import annotations
+
+from repro.experiments.laxity import LaxitySweep
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return title
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_sweep(sweep: LaxitySweep) -> str:
+    """One Figure 13 subplot as a table plus the headline ratios."""
+    table = format_table([p.row() for p in sweep.points],
+                         title=f"Figure 13 ({sweep.benchmark}): normalized power "
+                               f"and area vs laxity factor")
+    footer = (
+        f"max power reduction vs 5V base : {sweep.max_power_reduction_vs_base():.2f}x\n"
+        f"max power reduction vs A-Power : {sweep.max_power_reduction_vs_a():.2f}x\n"
+        f"max area overhead              : {sweep.max_area_overhead():.1%}\n"
+        f"output mismatches              : {sweep.total_mismatches()}"
+    )
+    return table + "\n" + footer
+
+
+def ascii_series(xs: list[float], series: dict[str, list[float]], width: int = 60,
+                 height: int = 16) -> str:
+    """A crude ASCII plot of several y-series over shared x values."""
+    all_ys = [y for ys in series.values() for y in ys]
+    if not all_ys:
+        return "(empty)"
+    lo, hi = min(all_ys + [0.0]), max(all_ys + [1.0])
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#"
+    for (name, ys), marker in zip(series.items(), markers):
+        for i, y in enumerate(ys):
+            col = int(i * (width - 1) / max(len(ys) - 1, 1))
+            row = height - 1 - int((y - lo) / span * (height - 1))
+            grid[row][col] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "   ".join(f"{m}={n}" for (n, _), m in zip(series.items(), markers))
+    axis = f"y: [{lo:.2f}, {hi:.2f}]   x: [{xs[0]}, {xs[-1]}]   {legend}"
+    return "\n".join(lines) + "\n" + axis

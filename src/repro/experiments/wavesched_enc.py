@@ -1,0 +1,70 @@
+"""ENC comparison: Wavesched vs. CFG-era baselines (Section 2.2 claim).
+
+The paper cites up to 5x ENC improvement of Wavesched [18] over the
+schedulers of [9] and [17].  This harness schedules every benchmark with
+all three engines under the same fully-parallel binding and reports the
+empirical ENC (trace replay over the benchmark stimulus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarks import BENCHMARKS, get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.core.binding import Binding
+from repro.library.modules_data import default_library
+from repro.sched import loop_directed_schedule, path_based_schedule, replay, wavesched
+
+
+@dataclass
+class EncRow:
+    benchmark: str
+    wavesched_enc: float
+    loop_directed_enc: float
+    path_based_enc: float
+    wavesched_states: int
+    path_based_states: int
+
+    @property
+    def speedup_vs_path_based(self) -> float:
+        return self.path_based_enc / self.wavesched_enc
+
+    @property
+    def speedup_vs_loop_directed(self) -> float:
+        return self.loop_directed_enc / self.wavesched_enc
+
+    def row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "wavesched": round(self.wavesched_enc, 2),
+            "loop-directed [9]": round(self.loop_directed_enc, 2),
+            "path-based [17]": round(self.path_based_enc, 2),
+            "speedup vs [17]": round(self.speedup_vs_path_based, 2),
+            "speedup vs [9]": round(self.speedup_vs_loop_directed, 2),
+        }
+
+
+def enc_comparison(benchmarks: tuple[str, ...] | None = None, n_passes: int = 30,
+                   seed: int = 7) -> list[EncRow]:
+    """ENC of the three schedulers on each benchmark."""
+    names = benchmarks or tuple(BENCHMARKS)
+    library = default_library()
+    rows: list[EncRow] = []
+    for name in names:
+        bench = get_benchmark(name)
+        cdfg = bench.cdfg()
+        store = simulate(cdfg, bench.stimulus(n_passes, seed=seed))
+        binding = Binding.initial_parallel(cdfg, library)
+        stg_wave = wavesched(cdfg, binding)
+        stg_ld = loop_directed_schedule(cdfg, binding)
+        stg_pb = path_based_schedule(cdfg, binding)
+        rows.append(EncRow(
+            benchmark=name,
+            wavesched_enc=replay(stg_wave, cdfg, store).enc,
+            loop_directed_enc=replay(stg_ld, cdfg, store).enc,
+            path_based_enc=replay(stg_pb, cdfg, store).enc,
+            wavesched_states=stg_wave.n_states,
+            path_based_states=stg_pb.n_states,
+        ))
+    return rows

@@ -1,0 +1,16 @@
+"""Bit-level architecture simulation — the measurement proxy.
+
+The paper measures power with IRSIM-CAP on extracted layouts; offline we
+substitute a cycle-accurate, bit-level simulator of the synthesized
+architecture (DESIGN.md, Section 2).  It recomputes every value from the
+controller + datapath semantics (independently of the behavioral
+interpreter, so output equality is an end-to-end verification of the whole
+synthesis chain), counts weighted bit toggles per unit — including
+carry-chain and partial-product internal activity, per-node multiplexer
+propagation, controller state bits, clock load, and arrival-skew glitches —
+and reports power with a per-component breakdown.
+"""
+
+from repro.gatesim.simulator import GateSimResult, simulate_architecture
+
+__all__ = ["GateSimResult", "simulate_architecture"]

@@ -1,0 +1,384 @@
+"""Cycle-accurate bit-level simulation of a synthesized architecture.
+
+Execution model: registers hold values across states; within a state,
+operations execute in chaining order reading operands from registers,
+constants, or chained unit outputs exactly as the datapath routes them;
+register writes commit at the end of the state window; the controller then
+selects the next state from the just-computed condition bits.
+
+Energy accounting (all capacitances in pF, energies in pJ, power in mW):
+
+* functional units — port toggles plus an internal-activity model (carry
+  vector toggles for add/sub, operand population for multiply), scaled by
+  the module's characterized capacitance and an arrival-skew glitch factor;
+* registers — data toggles on writes plus clock load on every cycle;
+* multiplexer trees — per-2:1-node output toggles, propagating the selected
+  source's value along its root path (off-path nodes hold state);
+* controller — measured state-register bit toggles plus output decode load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ArchitectureError
+from repro.cdfg.interpreter import Interpreter, _wrap
+from repro.cdfg.node import OpKind
+from repro.library.module import scale_capacitance
+from repro.library.modules_data import (
+    MUX_CAP_PER_BIT,
+    REGISTER_CAP_PER_BIT,
+    REGISTER_CLOCK_CAP_PER_BIT,
+)
+from repro.library.voltage import NOMINAL_VDD
+from repro.power.glitch import skew_glitch_factor
+from repro.rtl.architecture import Architecture
+from repro.rtl.builder import edge_source
+from repro.rtl.controller import CAP_PER_OUTPUT, CAP_PER_STATE_BIT
+from repro.rtl.mux import MuxSource
+from repro.utils.bitwidth import to_unsigned
+
+#: Weight of port-level vs internal toggles in FU energy.
+FU_PORT_WEIGHT = 1.0
+FU_INTERNAL_WEIGHT = 0.8
+
+#: Safety cap on cycles per pass.
+MAX_CYCLES_PER_PASS = 1_000_000
+
+
+@dataclass
+class GateSimResult:
+    """Measured power and verification outcome."""
+
+    power_mw: float
+    breakdown: dict[str, float]
+    cycles: np.ndarray
+    total_cycles: int
+    output_mismatches: int
+    outputs: dict[str, np.ndarray]
+
+    @property
+    def enc(self) -> float:
+        return float(self.cycles.mean()) if self.cycles.size else 0.0
+
+
+class _TreeState:
+    """Mutable per-port mux tree state: last output value per 2:1 node."""
+
+    def __init__(self, port):
+        self.port = port
+        self.paths: dict[object, tuple[int, ...]] = {}
+        self.node_values: dict[int, int] = {}
+        if port.tree is not None:
+            self._index_paths(port.tree.shape, ())
+
+    def _index_paths(self, shape, path: tuple[int, ...]) -> None:
+        if isinstance(shape, MuxSource):
+            # All internal nodes along the path to the root.
+            self.paths[shape.key] = path
+            return
+        node_id = id(shape)
+        self._index_paths(shape[0], path + (node_id,))
+        self._index_paths(shape[1], path + (node_id,))
+
+    def sample(self, source: object, value: int, width: int) -> int:
+        """Propagate a selected value; returns toggled bit count."""
+        if self.port.tree is None:
+            return 0
+        toggles = 0
+        pattern = to_unsigned(value, width)
+        for node in self.paths[source]:
+            old = self.node_values.get(node, 0)
+            toggles += (old ^ pattern).bit_count()
+            self.node_values[node] = pattern
+        return toggles
+
+
+class _Accumulator:
+    def __init__(self) -> None:
+        self.fus = 0.0
+        self.registers = 0.0
+        self.muxes = 0.0
+        self.controller = 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        total = self.fus + self.registers + self.muxes + self.controller
+        return {
+            "fus": self.fus,
+            "registers": self.registers,
+            "muxes": self.muxes,
+            "controller": self.controller,
+            "total": total,
+        }
+
+
+def simulate_architecture(arch: Architecture, input_passes: list[dict[str, int]],
+                          expected_outputs: dict[str, np.ndarray] | None = None,
+                          vdd: float = NOMINAL_VDD) -> GateSimResult:
+    """Run the architecture over a stimulus; measure power; verify outputs."""
+    sim = _GateSim(arch, vdd)
+    return sim.run(input_passes, expected_outputs)
+
+
+class _GateSim:
+    def __init__(self, arch: Architecture, vdd: float):
+        self.arch = arch
+        self.v2 = vdd * vdd
+        self.regs: dict[int, int] = {r: 0 for r in arch.binding.regs}
+        self.tmps: dict[int, int] = {n: 0 for n in arch.datapath.tmp_regs}
+        self.fu_ports: dict[int, list[int]] = {
+            f: [0, 0, 0] for f in arch.binding.fus}
+        self.fu_carry: dict[int, int] = {f: 0 for f in arch.binding.fus}
+        self.trees: dict[tuple, _TreeState] = {
+            p.key: _TreeState(p) for p in arch.datapath.mux_ports()}
+        self.energy = _Accumulator()
+        self.prev_state_code = 0
+        self._ordered_ops = {
+            sid: sorted(state.ops, key=lambda op: (op.start, op.node))
+            for sid, state in arch.stg.states.items()
+        }
+        self._reg_widths = {r.id: r.width for r in arch.binding.regs.values()}
+        total_reg_bits = sum(self._reg_widths.values()) + \
+            sum(arch.datapath.tmp_regs.values())
+        self._clock_energy_per_cycle = (
+            total_reg_bits * REGISTER_CLOCK_CAP_PER_BIT * self.v2)
+
+    # -- value plumbing ------------------------------------------------------------
+
+    def _source_value(self, source: tuple, chain: dict[int, int],
+                      pins: dict[str, int]) -> int:
+        kind = source[0]
+        if kind == "const":
+            return source[1]
+        if kind == "reg":
+            return self.regs[source[1]]
+        if kind == "tmp":
+            return self.tmps[source[1]]
+        if kind == "fu":
+            fu_id = source[1]
+            if ("fu_chain", fu_id) not in chain:
+                raise ArchitectureError(f"chained read of idle FU {fu_id}")
+            return chain[("fu_chain", fu_id)]
+        if kind == "wire":
+            return chain[source[1]]
+        if kind == "pin":
+            return pins[source[1]]
+        raise ArchitectureError(f"unknown source {source!r}")
+
+    # -- per-state execution ----------------------------------------------------------
+
+    def _execute_state(self, state_id: int, chain_values: dict,
+                       pins: dict[str, int]) -> dict[str, int]:
+        arch = self.arch
+        cdfg = arch.cdfg
+        pending_reg: dict[int, tuple[int, int]] = {}
+        pending_tmp: dict[int, int] = {}
+
+        for sched_op in self._ordered_ops[state_id]:
+            node = cdfg.node(sched_op.node)
+            ins = []
+            sample_ports = []
+            for k, edge in enumerate(cdfg.in_edges(node.id)):
+                source = edge_source(arch, edge, state_id)
+                value = self._source_value(source, chain_values, pins)
+                ins.append(value)
+                if node.needs_fu:
+                    sample_ports.append((("fu_in", arch.binding.fu_of(node.id).id, k),
+                                         source, value, edge.width))
+            out = _wrap(Interpreter._compute(node, tuple(ins)), node.width, node.signed)
+            chain_values[node.id] = out
+            if node.needs_fu:
+                fu = arch.binding.fu_of(node.id)
+                chain_values[("fu_chain", fu.id)] = out
+                self._account_fu(fu, node, ins, out, sched_op)
+                for key, source, value, width in sample_ports:
+                    tree = self.trees.get(key)
+                    if tree is not None:
+                        toggles = tree.sample(source, value, width)
+                        self.energy.muxes += toggles * MUX_CAP_PER_BIT * self.v2
+
+            if node.carrier is not None:
+                reg = arch.binding.reg_of(node.carrier)
+                previous = pending_reg.get(reg.id)
+                if previous is not None and previous[0] != out:
+                    raise ArchitectureError(
+                        f"state {state_id}: register {reg.id} written twice "
+                        f"with conflicting values (nodes {previous[1]} and "
+                        f"{node.id}) — illegal register sharing")
+                pending_reg[reg.id] = (out, node.id)
+                key = ("reg_in", reg.id)
+                tree = self.trees.get(key)
+                if tree is not None:
+                    port = arch.datapath.port(key)
+                    source = port.drivers[(node.id, state_id)]
+                    toggles = tree.sample(source, out, reg.width)
+                    self.energy.muxes += toggles * MUX_CAP_PER_BIT * self.v2
+            elif node.id in arch.datapath.tmp_regs:
+                pending_tmp[node.id] = out
+
+        # Commit register writes at state end.
+        for reg_id, (value, _writer) in pending_reg.items():
+            old = self.regs[reg_id]
+            width = self._reg_widths[reg_id]
+            toggles = (to_unsigned(old, width) ^ to_unsigned(value, width)).bit_count()
+            self.energy.registers += toggles * REGISTER_CAP_PER_BIT * self.v2
+            self.regs[reg_id] = value
+        for node_id, value in pending_tmp.items():
+            width = self.arch.datapath.tmp_regs[node_id]
+            old = self.tmps[node_id]
+            toggles = (to_unsigned(old, width) ^ to_unsigned(value, width)).bit_count()
+            self.energy.registers += toggles * REGISTER_CAP_PER_BIT * self.v2
+            self.tmps[node_id] = value
+        return chain_values
+
+    def _account_fu(self, fu, node, ins: list[int], out: int, sched_op) -> None:
+        width = fu.width
+        ports = self.fu_ports[fu.id]
+        toggles_in = 0
+        for k in range(2):
+            value = ins[k] if k < len(ins) else ports[k]
+            toggles_in += (to_unsigned(ports[k], width)
+                           ^ to_unsigned(value, width)).bit_count()
+            ports[k] = value
+        toggles_out = (to_unsigned(ports[2], width)
+                       ^ to_unsigned(out, width)).bit_count()
+        ports[2] = out
+
+        internal = 0.0
+        if node.kind in (OpKind.ADD, OpKind.SUB):
+            a = ins[0] if len(ins) > 0 else 0
+            b = ins[1] if len(ins) > 1 else 0
+            carry = to_unsigned(a + b, width) ^ to_unsigned(a, width) ^ to_unsigned(b, width)
+            old_carry = self.fu_carry[fu.id]
+            internal = 0.5 * (old_carry ^ carry).bit_count() / width
+            self.fu_carry[fu.id] = carry
+        elif node.kind is OpKind.MUL:
+            a = to_unsigned(ins[0], width)
+            b = to_unsigned(ins[1], width)
+            internal = (a.bit_count() + b.bit_count()) / (2.0 * width)
+
+        port_activity = (toggles_in + 2.0 * toggles_out) / (4.0 * width)
+        activity = FU_PORT_WEIGHT * port_activity + FU_INTERNAL_WEIGHT * internal
+        glitch = skew_glitch_factor(max(0.0, sched_op.start))
+        cap = scale_capacitance(fu.module, width)
+        self.energy.fus += cap * self.v2 * activity * glitch
+
+    # -- controller -------------------------------------------------------------------
+
+    def _account_controller(self, state_id: int) -> None:
+        code = state_id  # binary encoding of state ids
+        toggles = (self.prev_state_code ^ code).bit_count()
+        self.prev_state_code = code
+        ctrl = self.arch.controller
+        self.energy.controller += (
+            toggles * CAP_PER_STATE_BIT
+            + 0.25 * ctrl.n_outputs * CAP_PER_OUTPUT) * self.v2
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, input_passes: list[dict[str, int]],
+            expected_outputs: dict[str, np.ndarray] | None) -> GateSimResult:
+        arch = self.arch
+        cdfg = arch.cdfg
+        stg = arch.stg
+        cycles_per_pass: list[int] = []
+        outputs: dict[str, list[int]] = {
+            cdfg.node(o).name.removeprefix("out:"): [] for o in cdfg.output_nodes}
+        mismatches = 0
+
+        for pass_idx, inputs in enumerate(input_passes):
+            pins: dict[str, int] = {}
+            for node_id in cdfg.input_nodes:
+                node = cdfg.node(node_id)
+                value = _wrap(inputs[node.carrier], node.width, node.signed)
+                pins[node.carrier] = value
+                reg = arch.binding.reg_of(node.carrier)
+                old = self.regs[reg.id]
+                toggles = (to_unsigned(old, reg.width)
+                           ^ to_unsigned(value, reg.width)).bit_count()
+                self.energy.registers += toggles * REGISTER_CAP_PER_BIT * self.v2
+                self.regs[reg.id] = value
+                tree = self.trees.get(("reg_in", reg.id))
+                if tree is not None:
+                    self.energy.muxes += tree.sample(("pin", node.carrier), value,
+                                                     reg.width) * MUX_CAP_PER_BIT * self.v2
+
+            state_id = stg.start
+            cycles = 0
+            while True:
+                duration = arch.state_duration(state_id)
+                cycles += duration
+                if cycles > MAX_CYCLES_PER_PASS:
+                    raise ArchitectureError(
+                        f"gatesim: pass {pass_idx} exceeded {MAX_CYCLES_PER_PASS} cycles")
+                chain_values: dict = {}
+                self._execute_state(state_id, chain_values, pins)
+                self._account_controller(state_id)
+                self.energy.controller += 0.0
+                self.energy.registers += self._clock_energy_per_cycle * duration
+
+                next_state = self._next_state(state_id, chain_values)
+                state_id = next_state
+                if state_id == stg.done:
+                    break
+            cycles_per_pass.append(cycles)
+
+            for out_node in cdfg.output_nodes:
+                node = cdfg.node(out_node)
+                edge = cdfg.in_edge(out_node, 0)
+                src = cdfg.node(edge.src)
+                if src.kind is OpKind.CONST:
+                    value = src.value
+                elif src.carrier is not None:
+                    value = self.regs[arch.binding.reg_of(src.carrier).id]
+                else:
+                    value = self.tmps[edge.src]
+                value = _wrap(value, node.width, node.signed)
+                name = node.name.removeprefix("out:")
+                outputs[name].append(value)
+                if expected_outputs is not None:
+                    if value != int(expected_outputs[name][pass_idx]):
+                        mismatches += 1
+
+        total_cycles = int(np.sum(cycles_per_pass))
+        time_ns = total_cycles * arch.clock_ns
+        breakdown = self.energy.breakdown()
+        power = breakdown["total"] / time_ns if time_ns > 0 else 0.0
+        return GateSimResult(
+            power_mw=power,
+            breakdown={k: v / time_ns for k, v in breakdown.items()},
+            cycles=np.array(cycles_per_pass, dtype=np.int64),
+            total_cycles=total_cycles,
+            output_mismatches=mismatches,
+            outputs={k: np.array(v, dtype=np.int64) for k, v in outputs.items()},
+        )
+
+    def _next_state(self, state_id: int, chain_values: dict) -> int:
+        stg = self.arch.stg
+        candidates = []
+        for transition in stg.out_transitions(state_id):
+            ok = True
+            for cond, want in transition.conds:
+                value = self._condition_value(cond, chain_values)
+                if bool(value) != want:
+                    ok = False
+                    break
+            if ok:
+                candidates.append(transition)
+        if len(candidates) != 1:
+            raise ArchitectureError(
+                f"gatesim: state {state_id} matched {len(candidates)} transitions")
+        return candidates[0].dst
+
+    def _condition_value(self, cond: int, chain_values: dict) -> int:
+        if cond in chain_values:
+            return chain_values[cond]
+        node = self.arch.cdfg.node(cond)
+        if node.carrier is not None:
+            return self.regs[self.arch.binding.reg_of(node.carrier).id]
+        if cond in self.tmps:
+            return self.tmps[cond]
+        raise ArchitectureError(
+            f"gatesim: condition {node.name} has no stored value")

@@ -1,0 +1,44 @@
+"""Behavioral-description language frontend.
+
+The paper's benchmarks are written in a small C-like behavioral language
+(Figure 1 and Figure 8 show fragments).  This package provides a faithful
+equivalent: a lexer, a recursive-descent parser producing a typed AST, a
+width-inference pass, and the entry points used by the rest of the system.
+
+Grammar (EBNF, ``//`` comments and whitespace are skipped)::
+
+    program   := process
+    process   := "process" IDENT "(" [param {"," param}] ")"
+                 ["->" "(" param {"," param} ")"] block
+    param     := IDENT ":" type
+    type      := "int" INT | "uint" INT | "bool"
+    block     := "{" {stmt} "}"
+    stmt      := "var" IDENT [":" type] ["=" expr] ";"
+               | IDENT "=" expr ";"
+               | IDENT "++" ";"  |  IDENT "--" ";"
+               | "if" "(" expr ")" block ["else" (block | if_stmt)]
+               | "for" "(" simple ";" expr ";" simple ")" block
+               | "while" "(" expr ")" block
+    simple    := IDENT "=" expr | IDENT "++" | IDENT "--"
+    expr      := or_e
+    or_e      := and_e {"||" and_e}
+    and_e     := eq_e {"&&" eq_e}
+    eq_e      := rel_e {("==" | "!=") rel_e}
+    rel_e     := bor_e {("<" | ">" | "<=" | ">=") bor_e}
+    bor_e     := bxor_e {"|" bxor_e}
+    bxor_e    := band_e {"^" band_e}
+    band_e    := shift_e {"&" shift_e}
+    shift_e   := add_e {("<<" | ">>") add_e}
+    add_e     := mul_e {("+" | "-") mul_e}
+    mul_e     := unary {"*" unary}
+    unary     := ("-" | "!") unary | primary
+    primary   := IDENT | INT | "(" expr ")" | "true" | "false"
+
+Division is deliberately absent (the paper's library has no divider).
+"""
+
+from repro.lang.frontend import parse, parse_process
+from repro.lang.tokens import Token, TokenKind, tokenize
+from repro.lang import ast_nodes as ast
+
+__all__ = ["parse", "parse_process", "tokenize", "Token", "TokenKind", "ast"]

@@ -1,0 +1,30 @@
+"""Entry points tying the language pipeline together."""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_source
+from repro.lang.typecheck import check_process
+
+
+def parse_process(source: str) -> ast.Process:
+    """Parse and semantically check behavioral source; returns the AST."""
+    process = parse_source(source)
+    check_process(process)
+    return process
+
+
+def parse(source: str):
+    """Parse behavioral source text and compile it to a CDFG.
+
+    This is the main user-facing entry point::
+
+        cdfg = repro.lang.parse(source_text)
+
+    Returns a :class:`repro.cdfg.graph.CDFG`.
+    """
+    # Imported here to avoid a circular import at package load time
+    # (repro.cdfg.builder needs the AST classes from this package).
+    from repro.cdfg.builder import build_cdfg
+
+    return build_cdfg(parse_process(source))

@@ -1,0 +1,264 @@
+"""Recursive-descent parser for the behavioral language."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.tokens import Token, TokenKind, tokenize
+
+# Binary operator precedence tiers, lowest first.  Each tier is left
+# associative; this table drives a single precedence-climbing routine.
+_PRECEDENCE: tuple[tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*",),
+)
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Process`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(text):
+            raise ParseError(f"expected keyword {text!r}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_process(self) -> ast.Process:
+        start = self._expect_keyword("process")
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        inputs = self._parse_param_list(")")
+        self._expect_punct(")")
+        outputs: tuple[ast.Param, ...] = ()
+        if self._peek().is_punct("->"):
+            self._advance()
+            self._expect_punct("(")
+            outputs = self._parse_param_list(")")
+            self._expect_punct(")")
+        body = self._parse_block()
+        eof = self._peek()
+        if eof.kind is not TokenKind.EOF:
+            raise ParseError(f"trailing input after process body: {eof.text!r}", eof.line, eof.column)
+        if not outputs:
+            raise ParseError("process must declare at least one output", start.line, start.column)
+        return ast.Process(name=name, inputs=inputs, outputs=outputs, body=body, line=start.line)
+
+    def _parse_param_list(self, closer: str) -> tuple[ast.Param, ...]:
+        params: list[ast.Param] = []
+        if self._peek().is_punct(closer):
+            return ()
+        while True:
+            name = self._expect_ident().text
+            self._expect_punct(":")
+            params.append(ast.Param(name, self._parse_type()))
+            if self._peek().is_punct(","):
+                self._advance()
+                continue
+            return tuple(params)
+
+    def _parse_type(self) -> ast.Type:
+        token = self._peek()
+        if token.is_keyword("bool"):
+            self._advance()
+            return ast.Type.bool_type()
+        signed: bool | None = None
+        width: int | None = None
+        if token.is_keyword("int") or token.is_keyword("uint"):
+            # "int 8" style: keyword followed by a width literal.
+            self._advance()
+            width_token = self._peek()
+            if width_token.kind is not TokenKind.INT:
+                raise ParseError("expected bit width after type keyword",
+                                 width_token.line, width_token.column)
+            self._advance()
+            signed = token.text == "int"
+            width = int(width_token.text)
+        elif token.kind is TokenKind.IDENT:
+            # "int8" / "uint16" style: a single identifier token.
+            for prefix, is_signed in (("uint", False), ("int", True)):
+                rest = token.text.removeprefix(prefix)
+                if rest != token.text and rest.isdigit():
+                    self._advance()
+                    signed = is_signed
+                    width = int(rest)
+                    break
+        if width is None or signed is None:
+            raise ParseError(f"expected a type, found {token.text!r}", token.line, token.column)
+        if not 1 <= width <= 32:
+            raise ParseError(f"bit width must be in [1, 32], got {width}", token.line, token.column)
+        return ast.Type(width, signed=signed)
+
+    def _parse_block(self) -> tuple[ast.Stmt, ...]:
+        self._expect_punct("{")
+        stmts: list[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            stmts.append(self._parse_stmt())
+        self._expect_punct("}")
+        return tuple(stmts)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_keyword("var"):
+            return self._parse_var_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.kind is TokenKind.IDENT:
+            stmt = self._parse_simple()
+            self._expect_punct(";")
+            return stmt
+        raise ParseError(f"expected a statement, found {token.text!r}", token.line, token.column)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._expect_keyword("var")
+        name = self._expect_ident().text
+        declared: ast.Type | None = None
+        init: ast.Expr | None = None
+        if self._peek().is_punct(":"):
+            self._advance()
+            declared = self._parse_type()
+        if self._peek().is_punct("="):
+            self._advance()
+            init = self._parse_expr()
+        self._expect_punct(";")
+        return ast.VarDecl(line=start.line, name=name, declared_type=declared, init=init)
+
+    def _parse_simple(self) -> ast.Assign:
+        """An assignment, ``x++`` or ``x--`` (used in statements and for-headers)."""
+        name_token = self._expect_ident()
+        name = name_token.text
+        token = self._peek()
+        if token.is_punct("++") or token.is_punct("--"):
+            self._advance()
+            op = "+" if token.text == "++" else "-"
+            one = ast.IntLit(line=name_token.line, value=1)
+            ref = ast.VarRef(line=name_token.line, name=name)
+            return ast.Assign(line=name_token.line, name=name,
+                              value=ast.BinaryOp(line=name_token.line, op=op, left=ref, right=one))
+        self._expect_punct("=")
+        return ast.Assign(line=name_token.line, name=name, value=self._parse_expr())
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then_body = self._parse_block()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self._peek().is_keyword("else"):
+            self._advance()
+            if self._peek().is_keyword("if"):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self._parse_block()
+        return ast.If(line=start.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        init = self._parse_simple()
+        self._expect_punct(";")
+        cond = self._parse_expr()
+        self._expect_punct(";")
+        update = self._parse_simple()
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.For(line=start.line, init=init, cond=cond, update=update, body=body)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.While(line=start.line, cond=cond, body=body)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        ops = _PRECEDENCE[tier]
+        while self._peek().kind is TokenKind.PUNCT and self._peek().text in ops:
+            op_token = self._advance()
+            right = self._parse_binary(tier + 1)
+            left = ast.BinaryOp(line=op_token.line, op=op_token.text, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("-") or token.is_punct("!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, op=token.text, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(line=token.line, value=int(token.text))
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BoolLit(line=token.line, value=True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLit(line=token.line, value=False)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.VarRef(line=token.line, name=token.text)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise ParseError(f"expected an expression, found {token.text!r}", token.line, token.column)
+
+
+def parse_source(source: str) -> ast.Process:
+    """Parse behavioral source text into a :class:`Process` AST."""
+    return Parser(tokenize(source)).parse_process()

@@ -1,0 +1,101 @@
+"""Lexer for the behavioral language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"
+    INT = "INT"
+    KEYWORD = "KEYWORD"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {"process", "var", "if", "else", "for", "while", "true", "false", "int", "uint", "bool"}
+)
+
+# Longest-match-first punctuation table.
+_PUNCTS = (
+    "->", "++", "--", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "(", ")", "{", "}", ",", ";", ":", "=", "<", ">", "+", "-", "*",
+    "&", "|", "^", "!",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize behavioral source text.
+
+    Skips whitespace and ``//`` line comments; raises :class:`LexError` on
+    any unrecognized character.  The returned list always ends with an EOF
+    token.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+        column = pos - line_start + 1
+        if ch.isdigit():
+            end = pos
+            while end < n and source[end].isdigit():
+                end += 1
+            tokens.append(Token(TokenKind.INT, source[pos:end], line, column))
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[pos:end]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, column))
+            pos = end
+            continue
+        for punct in _PUNCTS:
+            if source.startswith(punct, pos):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, column))
+                pos += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenKind.EOF, "", line, n - line_start + 1))
+    return tokens

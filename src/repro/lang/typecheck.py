@@ -1,0 +1,184 @@
+"""Semantic checks and width inference for the behavioral language.
+
+Widths follow hardware conventions: ``add``/``sub`` grow by one bit,
+``mul`` sums operand widths, comparisons and logical connectives are 1-bit,
+bitwise operators take the wider operand, shifts keep the left operand's
+width.  Everything is capped at 32 bits.  Assignment wraps the value to the
+target variable's declared (or first-inferred) width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TypeCheckError
+from repro.lang import ast_nodes as ast
+
+MAX_WIDTH = 32
+
+#: Width given to undeclared variables whose first assignment is a bare
+#: integer literal (e.g. loop iterators: ``for (i = 0; ...)``).  A literal's
+#: natural width (1 bit for ``0``) would make the iterator wrap immediately;
+#: 8 signed bits covers every benchmark loop bound.  Declare the variable
+#: explicitly to get a different width.
+DEFAULT_INFERRED_WIDTH = 8
+
+# Operators whose result is a single bit.
+BOOLEAN_OPS = frozenset({"==", "!=", "<", ">", "<=", ">=", "&&", "||"})
+
+
+def result_type(op: str, left: ast.Type, right: ast.Type) -> ast.Type:
+    """Hardware result type of ``left op right``."""
+    if op in BOOLEAN_OPS:
+        return ast.Type.bool_type()
+    signed = left.signed or right.signed
+    if op in ("+", "-"):
+        width = max(left.width, right.width) + 1
+    elif op == "*":
+        width = left.width + right.width
+    elif op in ("&", "|", "^"):
+        width = max(left.width, right.width)
+        signed = left.signed and right.signed
+    elif op in ("<<", ">>"):
+        width = left.width
+        signed = left.signed
+    else:
+        raise TypeCheckError(f"unknown binary operator {op!r}")
+    return ast.Type(min(width, MAX_WIDTH), signed)
+
+
+def unary_result_type(op: str, operand: ast.Type) -> ast.Type:
+    if op == "-":
+        return ast.Type(min(operand.width + 1, MAX_WIDTH), signed=True)
+    if op == "!":
+        return ast.Type.bool_type()
+    raise TypeCheckError(f"unknown unary operator {op!r}")
+
+
+def literal_type(value: int) -> ast.Type:
+    """Narrowest type holding an integer literal (signed iff negative)."""
+    if value < 0:
+        width = 1
+        while -(1 << (width - 1)) > value:
+            width += 1
+        return ast.Type(min(width, MAX_WIDTH), signed=True)
+    width = max(1, value.bit_length())
+    return ast.Type(min(width, MAX_WIDTH), signed=False)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of :func:`check_process`: per-variable types."""
+
+    var_types: dict[str, ast.Type] = field(default_factory=dict)
+
+
+class _Checker:
+    def __init__(self, process: ast.Process):
+        self._process = process
+        self._types: dict[str, ast.Type] = {}
+        self._defined: set[str] = set()
+        self._inputs = set(process.input_names())
+        self._outputs = set(process.output_names())
+
+    def run(self) -> CheckResult:
+        process = self._process
+        seen: set[str] = set()
+        for param in process.inputs + process.outputs:
+            if param.name in seen:
+                raise TypeCheckError(f"duplicate parameter name {param.name!r}", process.line)
+            seen.add(param.name)
+            self._types[param.name] = param.type
+        self._defined |= self._inputs
+        self._check_body(process.body)
+        missing = self._outputs - self._defined
+        if missing:
+            raise TypeCheckError(
+                f"output(s) never assigned: {', '.join(sorted(missing))}", process.line)
+        return CheckResult(var_types=dict(self._types))
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_body(self, body: tuple[ast.Stmt, ...]) -> None:
+        for stmt in body:
+            self._check_stmt(stmt)
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in self._inputs:
+                raise TypeCheckError(f"cannot redeclare input {stmt.name!r}", stmt.line)
+            init_type = self._check_expr(stmt.init) if stmt.init is not None else None
+            declared = stmt.declared_type
+            if declared is None:
+                if init_type is None:
+                    raise TypeCheckError(
+                        f"var {stmt.name!r} needs a type or an initializer", stmt.line)
+                declared = self._widen_inferred(stmt.init, init_type)
+            self._types[stmt.name] = declared
+            if stmt.init is not None:
+                self._defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            if stmt.name in self._inputs:
+                raise TypeCheckError(f"cannot assign to input {stmt.name!r}", stmt.line)
+            value_type = self._check_expr(stmt.value)
+            if stmt.name not in self._types:
+                self._types[stmt.name] = self._widen_inferred(stmt.value, value_type)
+            self._defined.add(stmt.name)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond)
+            # Definitions inside a branch only count as definite if both
+            # branches define them; we approximate conservatively by keeping
+            # the union (the CDFG builder routes undefined-else values from
+            # the pre-branch value, which must itself exist -- checked there).
+            before = set(self._defined)
+            self._check_body(stmt.then_body)
+            after_then = set(self._defined)
+            self._defined = set(before)
+            self._check_body(stmt.else_body)
+            self._defined |= after_then
+        elif isinstance(stmt, ast.For):
+            self._check_stmt(stmt.init)
+            self._check_expr(stmt.cond)
+            self._check_body(stmt.body)
+            self._check_stmt(stmt.update)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond)
+            self._check_body(stmt.body)
+        else:
+            raise TypeCheckError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    @staticmethod
+    def _widen_inferred(expr: ast.Expr | None, inferred: ast.Type) -> ast.Type:
+        """Widen constant-literal inferences to the default variable width."""
+        if isinstance(expr, ast.IntLit):
+            natural = inferred.width + (0 if inferred.signed else 1)
+            return ast.Type(min(max(natural, DEFAULT_INFERRED_WIDTH), MAX_WIDTH), signed=True)
+        return inferred
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr) -> ast.Type:
+        if isinstance(expr, ast.IntLit):
+            return literal_type(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return ast.Type.bool_type()
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in self._types:
+                raise TypeCheckError(f"use of undefined variable {expr.name!r}", expr.line)
+            return self._types[expr.name]
+        if isinstance(expr, ast.UnaryOp):
+            return unary_result_type(expr.op, self._check_expr(expr.operand))
+        if isinstance(expr, ast.BinaryOp):
+            left = self._check_expr(expr.left)
+            right = self._check_expr(expr.right)
+            return result_type(expr.op, left, right)
+        raise TypeCheckError(f"unknown expression {type(expr).__name__}", expr.line)
+
+
+def check_process(process: ast.Process) -> CheckResult:
+    """Validate a process AST; returns inferred variable types.
+
+    Raises :class:`TypeCheckError` on use-before-definition, assignment to
+    inputs, unassigned outputs, or malformed operators.
+    """
+    return _Checker(process).run()

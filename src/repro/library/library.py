@@ -1,0 +1,55 @@
+"""Library queries: which modules implement an op, fastest/smallest picks."""
+
+from __future__ import annotations
+
+from repro.errors import LibraryError
+from repro.cdfg.node import OpKind
+from repro.library.module import ModuleSpec, scale_area, scale_delay
+
+
+class ModuleLibrary:
+    """An immutable collection of :class:`ModuleSpec` with lookup helpers."""
+
+    def __init__(self, modules: tuple[ModuleSpec, ...] | list[ModuleSpec]):
+        if not modules:
+            raise LibraryError("module library is empty")
+        self._modules = tuple(modules)
+        self._by_name = {m.name: m for m in self._modules}
+        if len(self._by_name) != len(self._modules):
+            raise LibraryError("duplicate module names in library")
+
+    def __iter__(self):
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def get(self, name: str) -> ModuleSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LibraryError(f"no module named {name!r}") from None
+
+    def candidates(self, kinds: frozenset[OpKind] | set[OpKind]) -> list[ModuleSpec]:
+        """Modules implementing every op kind in ``kinds``."""
+        kinds = frozenset(kinds)
+        found = [m for m in self._modules if m.implements_all(kinds)]
+        return found
+
+    def fastest(self, kinds: frozenset[OpKind] | set[OpKind], width: int) -> ModuleSpec:
+        """The lowest-delay module implementing ``kinds`` at ``width``."""
+        found = self.candidates(kinds)
+        if not found:
+            raise LibraryError(f"no module implements {sorted(k.value for k in kinds)}")
+        return min(found, key=lambda m: (scale_delay(m, width), scale_area(m, width)))
+
+    def smallest(self, kinds: frozenset[OpKind] | set[OpKind], width: int) -> ModuleSpec:
+        """The lowest-area module implementing ``kinds`` at ``width``."""
+        found = self.candidates(kinds)
+        if not found:
+            raise LibraryError(f"no module implements {sorted(k.value for k in kinds)}")
+        return min(found, key=lambda m: (scale_area(m, width), scale_delay(m, width)))
+
+    def alternatives(self, spec: ModuleSpec, kinds: frozenset[OpKind] | set[OpKind]) -> list[ModuleSpec]:
+        """Other modules that could substitute for ``spec`` on ``kinds``."""
+        return [m for m in self.candidates(kinds) if m.name != spec.name]

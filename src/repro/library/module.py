@@ -1,0 +1,81 @@
+"""Module specifications and width-scaling laws.
+
+Every module is characterized at a reference width of 16 bits and 5 V; the
+``*_scaling`` fields say how each quantity grows with bit width:
+
+* ``"linear"`` — proportional to width (ripple carry chains, register files);
+* ``"log"``    — proportional to log2(width) (carry-lookahead, tree muxes);
+* ``"quad"``   — proportional to width^2 (array / tree multipliers);
+* ``"const"``  — width-independent (bitwise logic delay).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cdfg.node import OpKind
+
+REFERENCE_WIDTH = 16
+
+_SCALINGS = ("linear", "log", "quad", "const")
+
+
+def _scale_factor(scaling: str, width: int) -> float:
+    if scaling == "linear":
+        return width / REFERENCE_WIDTH
+    if scaling == "log":
+        return math.log2(max(width, 2)) / math.log2(REFERENCE_WIDTH)
+    if scaling == "quad":
+        return (width / REFERENCE_WIDTH) ** 2
+    if scaling == "const":
+        return 1.0
+    raise ValueError(f"unknown scaling law {scaling!r}")
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One library module: the ops it implements and its characterization.
+
+    ``delay_ns`` / ``area`` / ``cap_pf`` are the values at
+    :data:`REFERENCE_WIDTH` bits and 5 V.  ``cap_pf`` is the effective
+    switched capacitance per activation at full input activity — the power
+    models multiply it by measured activity factors and Vdd^2.
+    """
+
+    name: str
+    ops: frozenset[OpKind]
+    delay_ns: float
+    area: float
+    cap_pf: float
+    delay_scaling: str = "linear"
+    area_scaling: str = "linear"
+    cap_scaling: str = "linear"
+
+    def __post_init__(self) -> None:
+        for field_name in ("delay_scaling", "area_scaling", "cap_scaling"):
+            if getattr(self, field_name) not in _SCALINGS:
+                raise ValueError(f"{self.name}: bad {field_name}")
+        if self.delay_ns <= 0 or self.area <= 0 or self.cap_pf <= 0:
+            raise ValueError(f"{self.name}: characterization must be positive")
+
+    def implements(self, kind: OpKind) -> bool:
+        return kind in self.ops
+
+    def implements_all(self, kinds: frozenset[OpKind] | set[OpKind]) -> bool:
+        return kinds <= self.ops
+
+
+def scale_delay(spec: ModuleSpec, width: int) -> float:
+    """Module delay (ns) at a given bit width (floor 0.3 ns)."""
+    return max(0.3, spec.delay_ns * _scale_factor(spec.delay_scaling, width))
+
+
+def scale_area(spec: ModuleSpec, width: int) -> float:
+    """Module area (gate-equivalent units) at a given bit width."""
+    return spec.area * _scale_factor(spec.area_scaling, width)
+
+
+def scale_capacitance(spec: ModuleSpec, width: int) -> float:
+    """Effective switched capacitance (pF per activation) at a bit width."""
+    return spec.cap_pf * _scale_factor(spec.cap_scaling, width)

@@ -1,0 +1,48 @@
+"""First-order CMOS supply-voltage scaling.
+
+After synthesis, a design whose worst per-state combinational path is
+shorter than the clock period can run at a reduced Vdd until the slack is
+consumed — the A-Power / I-Power comparison of Section 4 relies on this.
+Standard long-channel model (Chandrakasan):
+
+    delay(V)  proportional to  V / (V - Vt)^2
+    power(V)  proportional to  V^2
+"""
+
+from __future__ import annotations
+
+from scipy.optimize import brentq
+
+NOMINAL_VDD = 5.0
+THRESHOLD_V = 0.8
+MIN_VDD = 1.1
+
+
+def delay_scale(vdd: float, nominal: float = NOMINAL_VDD) -> float:
+    """Combinational delay multiplier at ``vdd`` relative to ``nominal``."""
+    if vdd <= THRESHOLD_V:
+        raise ValueError(f"vdd {vdd} must exceed the threshold {THRESHOLD_V}")
+    def drive(v: float) -> float:
+        return v / (v - THRESHOLD_V) ** 2
+    return drive(vdd) / drive(nominal)
+
+
+def power_scale(vdd: float, nominal: float = NOMINAL_VDD) -> float:
+    """Dynamic power multiplier at ``vdd`` relative to ``nominal``."""
+    return (vdd / nominal) ** 2
+
+
+def max_vdd_scaling(slack_ratio: float) -> float:
+    """Lowest Vdd whose slowed-down critical path still fits the clock.
+
+    ``slack_ratio`` = clock period / worst per-state path delay at 5 V
+    (>= 1.0 when the design is legal).  Returns the Vdd in
+    ``[MIN_VDD, NOMINAL_VDD]`` such that ``delay_scale(vdd) == slack_ratio``,
+    clamped at both ends.
+    """
+    if slack_ratio <= 1.0:
+        return NOMINAL_VDD
+    if delay_scale(MIN_VDD) <= slack_ratio:
+        return MIN_VDD
+    return float(brentq(lambda v: delay_scale(v) - slack_ratio, MIN_VDD, NOMINAL_VDD,
+                        xtol=1e-6))

@@ -1,0 +1,19 @@
+"""Power estimation: trace manipulation and the RT-level estimator.
+
+One behavioral simulation records per-operation traces; for any candidate
+(STG, binding) design point, :mod:`repro.power.trace_manip` re-derives every
+RT unit's trace by merging operation streams in STG execution order —
+never re-simulating values (Section 2.3).  The estimator then turns unit
+traces into a power number ([19]-style signal statistics), which drives the
+IMPACT search.
+"""
+
+from repro.power.trace_manip import UnitTraces, merge_unit_traces
+from repro.power.estimator import PowerEstimate, estimate_power
+
+__all__ = [
+    "UnitTraces",
+    "merge_unit_traces",
+    "PowerEstimate",
+    "estimate_power",
+]

@@ -1,0 +1,32 @@
+"""Glitch model.
+
+Chained operators see skewed input arrival times: early-arriving inputs
+ripple spurious transitions through the unit until the late inputs settle.
+The estimator of [19] folds glitches in through signal statistics; we use a
+structural first-order model — the glitch multiplier grows with the
+fraction of executions that were chained (estimator) or with the actual
+arrival skew of each execution (gatesim).
+"""
+
+from __future__ import annotations
+
+#: Extra switched-capacitance fraction of a fully-chained execution.
+CHAIN_GLITCH = 0.35
+
+#: gatesim: glitch toggles per bit per ns of input arrival skew, relative
+#: to the unit's settled toggles.
+SKEW_GLITCH_PER_NS = 0.04
+
+
+def chain_glitch_factor(chained_fraction: float) -> float:
+    """Estimator multiplier: 1.0 (no chaining) .. 1+CHAIN_GLITCH (always)."""
+    if not 0.0 <= chained_fraction <= 1.0:
+        raise ValueError(f"chained fraction {chained_fraction} out of [0, 1]")
+    return 1.0 + CHAIN_GLITCH * chained_fraction
+
+
+def skew_glitch_factor(arrival_skew_ns: float) -> float:
+    """gatesim multiplier for one execution with a given input skew (ns)."""
+    if arrival_skew_ns < 0.0:
+        raise ValueError(f"negative skew {arrival_skew_ns}")
+    return 1.0 + SKEW_GLITCH_PER_NS * arrival_skew_ns

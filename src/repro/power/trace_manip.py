@@ -1,0 +1,249 @@
+"""Trace manipulation — Section 2.3 of the paper.
+
+A functional unit's trace under a candidate design is the merge of the
+traces of the operations mapped to it, ordered by STG execution; a
+register's trace is the merge of its writers' output streams; a
+multiplexer input's statistics come from the driver's signal stream and
+its selection frequency.  All merging is pure array manipulation over the
+one recorded behavioral simulation plus the (cheap) STG replay — exactly
+the paper's scheme for avoiding re-simulation at every synthesis step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PowerModelError
+from repro.cdfg.node import OpKind
+from repro.rtl.architecture import Architecture
+from repro.sched.replay import ReplayResult
+from repro.sim.statistics import activity_stats, ActivityStats
+from repro.sim.traces import TraceStore
+
+
+@dataclass
+class FUStream:
+    """Merged trace of one functional unit (the paper's TR(Du))."""
+
+    fu_id: int
+    width: int
+    ins: tuple[np.ndarray, ...]
+    out: np.ndarray
+    chained_fraction: float
+
+    @property
+    def executions(self) -> int:
+        return int(self.out.shape[0])
+
+
+@dataclass
+class RegStream:
+    """Merged write trace of one register."""
+
+    key: object              # ("reg", id) or ("tmp", node)
+    width: int
+    values: np.ndarray
+
+    @property
+    def writes(self) -> int:
+        return int(self.values.shape[0])
+
+
+@dataclass
+class UnitTraces:
+    """Every RT unit's merged trace plus derived statistics."""
+
+    total_cycles: int
+    fu_streams: dict[int, FUStream] = field(default_factory=dict)
+    reg_streams: dict[object, RegStream] = field(default_factory=dict)
+    port_stats: dict[tuple, list[tuple[object, float, float]]] = field(default_factory=dict)
+    port_samples: dict[tuple, int] = field(default_factory=dict)
+    _activity_cache: dict[object, float] = field(default_factory=dict)
+
+    def fu_activity(self, fu_id: int) -> tuple[float, ...]:
+        """Mean toggle activity of each port (inputs..., output)."""
+        stream = self.fu_streams[fu_id]
+        stats = [activity_stats(col, stream.width).mean for col in stream.ins]
+        stats.append(activity_stats(stream.out, stream.width).mean)
+        return tuple(stats)
+
+    def reg_activity(self, key: object) -> float:
+        stream = self.reg_streams.get(key)
+        if stream is None or stream.writes < 2:
+            return 0.0
+        return activity_stats(stream.values, stream.width).mean
+
+
+def merge_unit_traces(arch: Architecture, store: TraceStore,
+                      rep: ReplayResult) -> UnitTraces:
+    """Merge per-op traces into per-unit traces for one design point."""
+    merger = _Merger(arch, store, rep)
+    return merger.run()
+
+
+class _Merger:
+    def __init__(self, arch: Architecture, store: TraceStore, rep: ReplayResult):
+        self.arch = arch
+        self.store = store
+        self.rep = rep
+        self.traces = UnitTraces(total_cycles=rep.total_cycles)
+
+    def run(self) -> UnitTraces:
+        self._merge_fus()
+        self._merge_registers()
+        self._port_statistics()
+        return self.traces
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _occ_arrays(self, node_id: int):
+        occ = self.store.occurrences.get(node_id)
+        if occ is None:
+            return None
+        cycles = self.rep.op_cycle.get(node_id)
+        starts = self.rep.op_start.get(node_id)
+        if cycles is None or len(cycles) != len(occ):
+            raise PowerModelError(
+                f"node {node_id}: replay timing misaligned with trace store")
+        return occ, cycles, starts
+
+    @staticmethod
+    def _forward_fill(values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Hold-last-value for ports an operation does not drive."""
+        if valid.all():
+            return values
+        idx = np.where(valid, np.arange(values.size), -1)
+        idx = np.maximum.accumulate(idx)
+        filled = values[np.maximum(idx, 0)]
+        filled[idx < 0] = 0
+        return filled
+
+    def _merge_fus(self) -> None:
+        for fu in self.arch.binding.fus.values():
+            parts = []
+            for op in sorted(fu.ops):
+                got = self._occ_arrays(op)
+                if got is None:
+                    continue
+                occ, cycles, starts = got
+                parts.append((op, occ, cycles, starts))
+            if not parts:
+                self.traces.fu_streams[fu.id] = FUStream(
+                    fu.id, fu.width, (np.zeros(0, np.int64), np.zeros(0, np.int64)),
+                    np.zeros(0, np.int64), 0.0)
+                continue
+            cycles = np.concatenate([p[2] for p in parts])
+            starts = np.concatenate([p[3] for p in parts])
+            order = np.lexsort((starts, cycles))
+            out = np.concatenate([p[1].out for p in parts])[order]
+            max_arity = max(len(p[1].ins) for p in parts)
+            ins = []
+            for k in range(max_arity):
+                col_parts = []
+                valid_parts = []
+                for _op, occ, _c, _s in parts:
+                    if k < len(occ.ins):
+                        col_parts.append(occ.ins[k])
+                        valid_parts.append(np.ones(len(occ), dtype=bool))
+                    else:
+                        col_parts.append(np.zeros(len(occ), dtype=np.int64))
+                        valid_parts.append(np.zeros(len(occ), dtype=bool))
+                col = np.concatenate(col_parts)[order]
+                valid = np.concatenate(valid_parts)[order]
+                ins.append(self._forward_fill(col, valid))
+            chained = float((starts[order] > 0.0).mean()) if starts.size else 0.0
+            self.traces.fu_streams[fu.id] = FUStream(
+                fu.id, fu.width, tuple(ins), out, chained)
+
+    def _merge_registers(self) -> None:
+        cdfg = self.arch.cdfg
+        writers_by_reg: dict[int, list[int]] = {}
+        for node in cdfg.nodes.values():
+            if node.carrier is None:
+                continue
+            if not (node.is_schedulable or node.kind is OpKind.INPUT):
+                continue
+            reg = self.arch.binding.reg_of(node.carrier)
+            writers_by_reg.setdefault(reg.id, []).append(node.id)
+
+        for reg_id, writers in writers_by_reg.items():
+            reg = self.arch.binding.regs[reg_id]
+            parts = []
+            for writer in sorted(writers):
+                got = self._occ_arrays(writer)
+                if got is None:
+                    continue
+                occ, cycles, starts = got
+                parts.append((occ.out, cycles, starts))
+            if not parts:
+                continue
+            cycles = np.concatenate([p[1] for p in parts])
+            starts = np.concatenate([p[2] for p in parts])
+            order = np.lexsort((starts, cycles))
+            values = np.concatenate([p[0] for p in parts])[order]
+            self.traces.reg_streams[("reg", reg_id)] = RegStream(
+                ("reg", reg_id), reg.width, values)
+
+        for node_id, width in self.arch.datapath.tmp_regs.items():
+            got = self._occ_arrays(node_id)
+            if got is None:
+                continue
+            occ, _cycles, _starts = got
+            self.traces.reg_streams[("tmp", node_id)] = RegStream(
+                ("tmp", node_id), width, occ.out)
+
+    # -- signal activities & mux statistics ----------------------------------------
+
+    def signal_activity(self, source: tuple) -> float:
+        cache = self.traces._activity_cache
+        if source in cache:
+            return cache[source]
+        kind = source[0]
+        value = 0.0
+        if kind == "const":
+            value = 0.0
+        elif kind in ("reg", "tmp"):
+            value = self.traces.reg_activity(source)
+        elif kind == "fu":
+            stream = self.traces.fu_streams.get(source[1])
+            if stream is not None and stream.executions >= 2:
+                value = activity_stats(stream.out, stream.width).mean
+        elif kind in ("wire", "pin"):
+            node_id = self._node_of_signal(source)
+            occ = self.store.occurrences.get(node_id)
+            if occ is not None and len(occ) >= 2:
+                node = self.arch.cdfg.node(node_id)
+                value = activity_stats(occ.out, node.width).mean
+        else:
+            raise PowerModelError(f"unknown source kind {source!r}")
+        cache[source] = value
+        return value
+
+    def _node_of_signal(self, source: tuple) -> int:
+        if source[0] == "wire":
+            return source[1]
+        # ("pin", var): the INPUT node with that carrier
+        for node_id in self.arch.cdfg.input_nodes:
+            if self.arch.cdfg.node(node_id).carrier == source[1]:
+                return node_id
+        raise PowerModelError(f"no input pin {source[1]!r}")
+
+    def _port_statistics(self) -> None:
+        for port in self.arch.datapath.mux_ports():
+            counts: dict[object, int] = {s: 0 for s in port.sources}
+            total = 0
+            for (consumer, state_id), source in port.drivers.items():
+                states = self.rep.op_state.get(consumer)
+                if states is None:
+                    continue
+                n = int((states == state_id).sum())
+                counts[source] += n
+                total += n
+            stats: list[tuple[object, float, float]] = []
+            for source in port.sources:
+                prob = counts[source] / total if total else 0.0
+                stats.append((source, self.signal_activity(source), prob))
+            self.traces.port_stats[port.key] = stats
+            self.traces.port_samples[port.key] = total

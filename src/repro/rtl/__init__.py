@@ -1,0 +1,29 @@
+"""RT-level architecture: datapath, multiplexer trees, controller.
+
+An :class:`~repro.rtl.architecture.Architecture` bundles the structural
+result of synthesis — functional-unit instances, registers, the multiplexer
+network feeding every FU input port and register input, and the controller
+FSM derived from the STG.  It is rebuilt deterministically from
+``(CDFG, Binding, STG)`` by :mod:`repro.rtl.builder`; multiplexer tree
+*shapes* are the one overlay that moves edit in place (Section 3.2.1).
+"""
+
+from repro.rtl.mux import MuxSource, MuxTree, balanced_tree, tree_from_pairs
+from repro.rtl.datapath import Datapath, MuxPort, PortKey, SourceKey
+from repro.rtl.controller import ControllerModel
+from repro.rtl.architecture import Architecture
+from repro.rtl.builder import build_architecture
+
+__all__ = [
+    "MuxSource",
+    "MuxTree",
+    "balanced_tree",
+    "tree_from_pairs",
+    "Datapath",
+    "MuxPort",
+    "PortKey",
+    "SourceKey",
+    "ControllerModel",
+    "Architecture",
+    "build_architecture",
+]

@@ -1,0 +1,207 @@
+"""Architecture construction: (CDFG, Binding, STG) -> Architecture.
+
+Resolves, for every operation execution (op, state), where each input
+physically comes from — a chained unit output, a register, a constant — and
+accumulates the multiplexer network from the distinct sources per port.
+Temporary registers are materialized only for values that actually cross a
+state boundary (or steer the controller); everything else is wiring.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchitectureError
+from repro.cdfg.analysis import condition_nodes
+from repro.cdfg.edge import Edge
+from repro.cdfg.graph import CDFG
+from repro.cdfg.node import OpKind
+from repro.core.binding import Binding
+from repro.library.modules_data import DEFAULT_CLOCK_NS
+from repro.rtl.architecture import Architecture
+from repro.rtl.controller import ControllerModel
+from repro.rtl.datapath import Datapath, SourceKey
+from repro.sched.stg import STG
+
+
+def build_architecture(cdfg: CDFG, binding: Binding, stg: STG,
+                       clock_ns: float = DEFAULT_CLOCK_NS) -> Architecture:
+    """Build and structurally validate the RT-level architecture."""
+    builder = _ArchBuilder(cdfg, binding, stg, clock_ns)
+    return builder.run()
+
+
+def edge_source(arch: Architecture, edge: Edge, state_id: int) -> SourceKey:
+    """Physical signal driving ``edge`` for an execution in ``state_id``.
+
+    The same resolution the builder used; exposed for the bit-level
+    simulator, which must read its operand values from the same places the
+    hardware would.
+
+    Carried edges normally read the variable's register (the previous
+    iteration's value).  The one exception is a loop's own test inside a
+    kernel state: the next-iteration test reads *this* iteration's update,
+    so when the producer sits in the same state the value is chained.
+    """
+    cdfg = arch.cdfg
+    src = cdfg.node(edge.src)
+    if src.kind is OpKind.CONST:
+        return ("const", src.value)
+    if edge.carried:
+        if (edge.dst in _loop_test_nodes(arch, edge.loop)
+                and edge.src in set(arch.stg.states[state_id].node_ids())):
+            return producer_signal(arch, edge.src, state_id)
+        return ("reg", arch.binding.reg_of(src.carrier).id)
+    if src.kind in (OpKind.SELECT, OpKind.ENDLOOP, OpKind.INPUT):
+        return ("reg", arch.binding.reg_of(src.carrier).id)
+    if edge.src in set(arch.stg.states[state_id].node_ids()):
+        return producer_signal(arch, edge.src, state_id)
+    if src.carrier is not None:
+        return ("reg", arch.binding.reg_of(src.carrier).id)
+    if edge.src not in arch.datapath.tmp_regs:
+        raise ArchitectureError(
+            f"temporary {src.name} crosses states but has no register")
+    return ("tmp", edge.src)
+
+
+def _loop_test_nodes(arch: Architecture, loop_id: int) -> set[int]:
+    cache = getattr(arch, "_test_node_cache", None)
+    if cache is None:
+        cache = {}
+        arch._test_node_cache = cache
+    nodes = cache.get(loop_id)
+    if nodes is None:
+        from repro.cdfg.analysis import region_nodes
+
+        loop = arch.cdfg.region(loop_id)
+        nodes = set(region_nodes(arch.cdfg, loop.test_block, recursive=True))
+        cache[loop_id] = nodes
+    return nodes
+
+
+def producer_signal(arch: Architecture, node_id: int, state_id: int) -> SourceKey:
+    """The signal a producer presents inside a state (chained view)."""
+    node = arch.cdfg.node(node_id)
+    if node.needs_fu:
+        return ("fu", arch.binding.fu_of(node_id).id)
+    if node.kind is OpKind.COPY:
+        return edge_source(arch, arch.cdfg.in_edge(node_id, 0), state_id)
+    return ("wire", node_id)
+
+
+class _ArchBuilder:
+    def __init__(self, cdfg: CDFG, binding: Binding, stg: STG, clock_ns: float):
+        self.cdfg = cdfg
+        self.binding = binding
+        self.stg = stg
+        self.clock_ns = clock_ns
+        self.datapath = Datapath()
+        self._state_nodes: dict[int, set[int]] = {
+            sid: set(state.node_ids()) for sid, state in stg.states.items()
+        }
+        self._cond_nodes = set(condition_nodes(cdfg))
+
+    def run(self) -> Architecture:
+        self.arch = Architecture(
+            cdfg=self.cdfg,
+            binding=self.binding,
+            stg=self.stg,
+            datapath=self.datapath,
+            controller=ControllerModel(1, 0, 0, 0),  # placeholder until wired
+            clock_ns=self.clock_ns,
+        )
+        self._materialize_tmp_regs()
+        self._wire_fu_inputs()
+        self._wire_register_inputs()
+        self.datapath.finalize_trees()
+        self.arch.controller = self._controller_model()
+        # Timing closure: real mux depths may differ from the scheduler's
+        # estimates; cycle counts come from the real critical paths.
+        self.arch.normalize_durations()
+        return self.arch
+
+    # -- temporaries ------------------------------------------------------------
+
+    def _materialize_tmp_regs(self) -> None:
+        """A temporary needs a register iff some consumer reads it in a
+        different state than it was produced, or the controller samples it."""
+        cdfg = self.cdfg
+        for node in cdfg.op_nodes():
+            if node.carrier is not None:
+                continue
+            needed = node.id in self._cond_nodes
+            if not needed:
+                producer_states = set(self.stg.states_of_node(node.id))
+                for edge in cdfg.out_edges(node.id):
+                    if edge.is_control:
+                        continue
+                    consumer = cdfg.node(edge.dst)
+                    if not consumer.is_schedulable:
+                        needed = True  # read by an OUTPUT boundary
+                        break
+                    consumer_states = set(self.stg.states_of_node(edge.dst))
+                    if not consumer_states <= producer_states:
+                        needed = True
+                        break
+            if needed:
+                self.datapath.tmp_regs[node.id] = node.width
+
+    # -- source resolution ---------------------------------------------------------
+
+    def _resolve_edge(self, edge: Edge, state_id: int) -> SourceKey:
+        """The physical signal driving ``edge`` for an execution in a state."""
+        return edge_source(self.arch, edge, state_id)
+
+    def _producer_signal(self, node_id: int, state_id: int) -> SourceKey:
+        """The signal a chained producer presents inside a state."""
+        return producer_signal(self.arch, node_id, state_id)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _wire_fu_inputs(self) -> None:
+        for state in self.stg.states.values():
+            for op in state.ops:
+                node = self.cdfg.node(op.node)
+                if not node.needs_fu:
+                    continue
+                fu = self.binding.fu_of(op.node)
+                for k, edge in enumerate(self.cdfg.in_edges(op.node)):
+                    source = self._resolve_edge(edge, state.id)
+                    self.datapath.add_driver(("fu_in", fu.id, k), edge.width,
+                                             op.node, state.id, source)
+
+    def _wire_register_inputs(self) -> None:
+        cdfg = self.cdfg
+        for state in self.stg.states.values():
+            for op in state.ops:
+                node = cdfg.node(op.node)
+                if node.carrier is not None:
+                    reg = self.binding.reg_of(node.carrier)
+                    source = self._producer_signal(op.node, state.id)
+                    self.datapath.add_driver(("reg_in", reg.id), reg.width,
+                                             op.node, state.id, source)
+                elif op.node in self.datapath.tmp_regs:
+                    source = self._producer_signal(op.node, state.id)
+                    self.datapath.add_driver(("tmp_in", op.node), node.width,
+                                             op.node, state.id, source)
+        # Primary inputs load their variable registers at pass start.
+        for node_id in cdfg.input_nodes:
+            node = cdfg.node(node_id)
+            reg = self.binding.reg_of(node.carrier)
+            self.datapath.add_driver(("reg_in", reg.id), reg.width,
+                                     node_id, self.stg.start, ("pin", node.carrier))
+
+    # -- controller -------------------------------------------------------------------
+
+    def _controller_model(self) -> ControllerModel:
+        select_lines = 0
+        for port in self.datapath.ports.values():
+            if port.needs_mux():
+                select_lines += max(1, (len(port.sources) - 1).bit_length())
+        write_enables = len(self.binding.regs) + len(self.datapath.tmp_regs)
+        fu_enables = len(self.binding.fus)
+        cond_inputs = len({c for t in self.stg.transitions for c, _ in t.conds})
+        return ControllerModel(
+            n_states=self.stg.n_states,
+            n_transitions=len(self.stg.transitions),
+            n_condition_inputs=cond_inputs,
+            n_outputs=select_lines + write_enables + fu_enables,
+        )

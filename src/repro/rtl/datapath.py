@@ -1,0 +1,104 @@
+"""Datapath structure: ports, sources, and the multiplexer network.
+
+Source keys identify physical signals feeding a multiplexer input:
+
+* ``("reg", reg_id)``    — a variable register's output;
+* ``("tmp", node_id)``   — a temporary register holding one node's value;
+* ``("fu", fu_id)``      — a functional unit's combinational output
+  (operator chaining within a state);
+* ``("wire", node_id)``  — free wiring: a chained COPY or constant shift;
+* ``("const", value)``   — a constant tie-off;
+* ``("pin", var)``       — a primary input pin (loads the input register).
+
+Port keys identify where a multiplexer (tree) sits:
+
+* ``("fu_in", fu_id, port_index)`` — a functional unit's data input;
+* ``("reg_in", reg_id)``           — a variable register's data input;
+* ``("tmp_in", node_id)``          — a temporary register's data input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+from repro.rtl.mux import MuxSource, MuxTree, balanced_tree
+
+SourceKey = tuple
+PortKey = tuple
+
+
+@dataclass
+class MuxPort:
+    """One multiplexed input point in the datapath.
+
+    ``drivers`` maps (consumer node, state id) -> the source selected when
+    that consumer executes in that state; ``tree`` is None when a single
+    source needs no multiplexer.
+    """
+
+    key: PortKey
+    width: int
+    sources: list[SourceKey] = field(default_factory=list)
+    drivers: dict[tuple[int, int], SourceKey] = field(default_factory=dict)
+    tree: MuxTree | None = None
+
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    def needs_mux(self) -> bool:
+        return len(self.sources) > 1
+
+    def build_default_tree(self) -> None:
+        """(Re)build the balanced tree over the port's sources."""
+        if self.needs_mux():
+            self.tree = balanced_tree([MuxSource(k) for k in self.sources])
+        else:
+            self.tree = None
+
+    def depth_of(self, source: SourceKey) -> int:
+        if self.tree is None:
+            return 0
+        return self.tree.depth_of(source)
+
+    def max_depth(self) -> int:
+        return 0 if self.tree is None else self.tree.max_depth()
+
+    def n_muxes(self) -> int:
+        return 0 if self.tree is None else self.tree.n_muxes()
+
+
+@dataclass
+class Datapath:
+    """All structural elements of the synthesized datapath."""
+
+    ports: dict[PortKey, MuxPort] = field(default_factory=dict)
+    tmp_regs: dict[int, int] = field(default_factory=dict)  # node id -> width
+
+    def port(self, key: PortKey) -> MuxPort:
+        try:
+            return self.ports[key]
+        except KeyError:
+            raise ArchitectureError(f"no datapath port {key!r}") from None
+
+    def add_driver(self, key: PortKey, width: int, consumer: int, state: int,
+                   source: SourceKey) -> None:
+        port = self.ports.get(key)
+        if port is None:
+            port = MuxPort(key=key, width=width)
+            self.ports[key] = port
+        port.width = max(port.width, width)
+        if source not in port.sources:
+            port.sources.append(source)
+        port.drivers[(consumer, state)] = source
+
+    def finalize_trees(self) -> None:
+        for port in self.ports.values():
+            if port.tree is None:
+                port.build_default_tree()
+
+    def total_mux_count(self) -> int:
+        return sum(p.n_muxes() for p in self.ports.values())
+
+    def mux_ports(self) -> list[MuxPort]:
+        return [p for p in self.ports.values() if p.needs_mux()]

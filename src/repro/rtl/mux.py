@@ -1,0 +1,145 @@
+"""Multiplexer trees and their switching activity — Section 3.2.1.
+
+An n-to-1 multiplexer is a binary tree of 2-to-1 multiplexers (Figure 11).
+Each input signal ``i`` has a transition activity ``a_i`` and a propagation
+probability ``p_i`` (the probability its value appears at the output; the
+``p_i`` of a tree sum to 1).  The switching activity of one leaf mux is
+
+    A_k = (a_i p_i + a_j p_j) / (p_i + p_j)                        (2)
+
+and an internal mux behaves as if its grand-inputs fed it directly
+(Equation 6), so the whole tree's activity is the recursive sum of
+Equation (7).  The paper's worked example — activities (.6,.1,.2,.1) and
+probabilities (.7,.2,.05,.05) — gives 1.09 for the balanced tree of
+Figure 9 and 0.72 after Huffman restructuring (Figure 10); both values are
+regression-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class MuxSource:
+    """One tree input: an opaque key plus its (activity, probability)."""
+
+    key: object
+    activity: float = 0.0
+    prob: float = 0.0
+
+
+#: A tree is either a MuxSource (leaf) or a tuple (left, right).
+TreeShape = MuxSource | tuple
+
+
+class MuxTree:
+    """An immutable 2:1-mux tree over a set of sources."""
+
+    def __init__(self, shape: TreeShape):
+        self._shape = shape
+        self._depths: dict[object, int] = {}
+        self._collect_depths(shape, 0)
+        if not self._depths:
+            raise ArchitectureError("mux tree has no sources")
+
+    def _collect_depths(self, shape: TreeShape, depth: int) -> None:
+        if isinstance(shape, MuxSource):
+            if shape.key in self._depths:
+                raise ArchitectureError(f"duplicate mux source {shape.key!r}")
+            self._depths[shape.key] = depth
+            return
+        left, right = shape
+        self._collect_depths(left, depth + 1)
+        self._collect_depths(right, depth + 1)
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def shape(self) -> TreeShape:
+        return self._shape
+
+    def sources(self) -> list[MuxSource]:
+        out: list[MuxSource] = []
+
+        def walk(shape: TreeShape) -> None:
+            if isinstance(shape, MuxSource):
+                out.append(shape)
+            else:
+                walk(shape[0])
+                walk(shape[1])
+
+        walk(self._shape)
+        return out
+
+    def n_sources(self) -> int:
+        return len(self._depths)
+
+    def n_muxes(self) -> int:
+        """Number of 2:1 multiplexers (n-1 for n sources)."""
+        return len(self._depths) - 1
+
+    def depth_of(self, key: object) -> int:
+        """Number of 2:1 mux stages between a source and the output."""
+        try:
+            return self._depths[key]
+        except KeyError:
+            raise ArchitectureError(f"mux tree has no source {key!r}") from None
+
+    def max_depth(self) -> int:
+        return max(self._depths.values())
+
+    def with_stats(self, stats: dict[object, tuple[float, float]]) -> "MuxTree":
+        """Same shape, new (activity, probability) annotations per key."""
+
+        def rebuild(shape: TreeShape) -> TreeShape:
+            if isinstance(shape, MuxSource):
+                activity, prob = stats.get(shape.key, (0.0, 0.0))
+                return MuxSource(shape.key, activity, prob)
+            return (rebuild(shape[0]), rebuild(shape[1]))
+
+        return MuxTree(rebuild(self._shape))
+
+    # -- activity (Equations (1)-(7)) -----------------------------------------------
+
+    def tree_activity(self) -> float:
+        """Total switching activity of the tree, Equation (7).
+
+        Returns 0 for a single-source "tree" (no multiplexers).
+        """
+        total, _ap, _p = self._activity(self._shape)
+        return total
+
+    def _activity(self, shape: TreeShape) -> tuple[float, float, float]:
+        """Returns (sum of A_k in subtree, sum a_i*p_i, sum p_i)."""
+        if isinstance(shape, MuxSource):
+            return 0.0, shape.activity * shape.prob, shape.prob
+        left_sum, left_ap, left_p = self._activity(shape[0])
+        right_sum, right_ap, right_p = self._activity(shape[1])
+        ap = left_ap + right_ap
+        p = left_p + right_p
+        node_activity = ap / p if p > 0.0 else 0.0
+        return left_sum + right_sum + node_activity, ap, p
+
+
+def balanced_tree(sources: list[MuxSource]) -> MuxTree:
+    """Build the default balanced tree (pairing adjacent sources level by
+    level, as a naive RTL generator would)."""
+    if not sources:
+        raise ArchitectureError("cannot build a mux tree with no sources")
+    level: list[TreeShape] = list(sources)
+    while len(level) > 1:
+        nxt: list[TreeShape] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append((level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return MuxTree(level[0])
+
+
+def tree_from_pairs(shape) -> MuxTree:
+    """Build a tree from nested ``(left, right)`` tuples of MuxSource."""
+    return MuxTree(shape)

@@ -1,0 +1,34 @@
+"""Scheduling: CDFG -> state transition graph (STG).
+
+Three schedulers share one engine (:mod:`repro.sched.engine`) differing only
+in feature flags:
+
+* :func:`repro.sched.wavesched.wavesched` — the paper's scheduler [18]:
+  branch-parallel packing, concurrent-loop fusion, and implicit loop
+  unrolling (next-iteration loop-control ops hoisted into the body kernel);
+* :func:`repro.sched.loop_directed.loop_directed_schedule` — a
+  Bhattacharya-style baseline [9]: loop-control hoisting only;
+* :func:`repro.sched.path_based.path_based_schedule` — a Camposano-style
+  CFG baseline [17]: basic-block-at-a-time, no overlap.
+"""
+
+from repro.sched.stg import STG, State, Transition, ScheduledOp
+from repro.sched.engine import ScheduleOptions, schedule
+from repro.sched.wavesched import wavesched
+from repro.sched.path_based import path_based_schedule
+from repro.sched.loop_directed import loop_directed_schedule
+from repro.sched.replay import replay, ReplayResult
+
+__all__ = [
+    "STG",
+    "State",
+    "Transition",
+    "ScheduledOp",
+    "ScheduleOptions",
+    "schedule",
+    "wavesched",
+    "path_based_schedule",
+    "loop_directed_schedule",
+    "replay",
+    "ReplayResult",
+]

@@ -1,0 +1,22 @@
+"""Loop-directed baseline scheduler (Bhattacharya [9] style).
+
+Adds loop-directed optimization — the next iteration's exit test evaluates
+inside the body states, removing the per-iteration test state — but keeps
+conditionals sequential and loops unfused.  This models the strongest
+pre-Wavesched CFI scheduler the paper compares against.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import CDFG
+from repro.core.binding import Binding
+from repro.sched.engine import ScheduleOptions, schedule
+from repro.sched.stg import STG
+
+
+def loop_directed_schedule(cdfg: CDFG, binding: Binding, clock_ns: float | None = None) -> STG:
+    """Schedule with loop-control hoisting only."""
+    kwargs = {} if clock_ns is None else {"clock_ns": clock_ns}
+    options = ScheduleOptions(branch_parallel=False, fuse_loops=False,
+                              hoist_loop_control=True, **kwargs)
+    return schedule(cdfg, binding, options)

@@ -1,0 +1,23 @@
+"""Path-based / CFG baseline scheduler (Camposano [17] style).
+
+Basic-block-at-a-time: operations never overlap conditionals or loop
+control, loops keep separate test states, and independent loops run
+sequentially.  Within a basic block, dataflow packing and chaining are
+identical to Wavesched, so the comparison isolates the paper's
+control-flow optimizations.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import CDFG
+from repro.core.binding import Binding
+from repro.sched.engine import ScheduleOptions, schedule
+from repro.sched.stg import STG
+
+
+def path_based_schedule(cdfg: CDFG, binding: Binding, clock_ns: float | None = None) -> STG:
+    """Schedule with every Wavesched capability disabled."""
+    kwargs = {} if clock_ns is None else {"clock_ns": clock_ns}
+    options = ScheduleOptions(branch_parallel=False, fuse_loops=False,
+                              hoist_loop_control=False, **kwargs)
+    return schedule(cdfg, binding, options)

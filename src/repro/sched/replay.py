@@ -1,0 +1,157 @@
+"""STG replay against recorded behavioral traces.
+
+Replay walks the STG once per stimulus pass, consuming each node's
+occurrence stream in order and steering transitions with the recorded
+condition values.  It produces:
+
+* the exact cycle count of every pass (the empirical ENC numerator);
+* a global timestamp (cycle, in-state start time) for every operation
+  occurrence — the ordering information trace manipulation (Section 2.3)
+  needs to merge per-unit traces without re-simulation.
+
+Replay also *verifies* the schedule: with ``check=True`` (default) it
+asserts that every occurrence stream is consumed exactly — i.e. the STG
+executes every operation exactly as often as the behavior did, on every
+profiled path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.node import OpKind
+from repro.sched.stg import STG
+from repro.sim.traces import TraceStore
+
+#: Safety cap on cycles per pass during replay.
+MAX_CYCLES_PER_PASS = 1_000_000
+
+
+@dataclass
+class ReplayResult:
+    """Timing of every operation occurrence under one STG."""
+
+    cycles: np.ndarray                       # per-pass cycle counts
+    op_cycle: dict[int, np.ndarray]          # node -> global cycle per occurrence
+    op_start: dict[int, np.ndarray]          # node -> in-state start (ns)
+    op_state: dict[int, np.ndarray]          # node -> executing state id
+    total_cycles: int
+    state_visits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def enc(self) -> float:
+        """Empirical expected number of cycles per pass."""
+        return float(self.cycles.mean()) if self.cycles.size else 0.0
+
+    @property
+    def max_cycles(self) -> int:
+        return int(self.cycles.max()) if self.cycles.size else 0
+
+    @property
+    def min_cycles(self) -> int:
+        return int(self.cycles.min()) if self.cycles.size else 0
+
+
+def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
+    """Execute the STG over every profiled pass (see module docstring)."""
+    pointers: dict[int, int] = {n: 0 for n in store.occurrences}
+    last_val: dict[int, int] = {}
+    for node in cdfg.nodes.values():
+        if node.kind is OpKind.CONST:
+            last_val[node.id] = node.value
+
+    op_cycle: dict[int, list[int]] = {n: [] for n in store.occurrences}
+    op_start: dict[int, list[float]] = {n: [] for n in store.occurrences}
+    op_state: dict[int, list[int]] = {n: [] for n in store.occurrences}
+    state_visits: dict[int, int] = {}
+    cycles_per_pass: list[int] = []
+    global_cycle = 0
+
+    # Pre-sort state op lists by chaining order once.
+    ordered_ops = {
+        sid: sorted(state.ops, key=lambda op: (op.start, op.node))
+        for sid, state in stg.states.items()
+    }
+
+    for pass_idx in range(store.n_passes):
+        for node_id in cdfg.input_nodes:
+            occ = store.occurrences.get(node_id)
+            if occ is None:
+                continue
+            ptr = pointers[node_id]
+            if ptr >= len(occ) or occ.pass_idx[ptr] != pass_idx:
+                raise ScheduleError(
+                    f"input {cdfg.node(node_id).name}: occurrence stream out of sync "
+                    f"at pass {pass_idx}")
+            last_val[node_id] = int(occ.out[ptr])
+            pointers[node_id] = ptr + 1
+            op_cycle[node_id].append(global_cycle)
+            op_start[node_id].append(0.0)
+            op_state[node_id].append(stg.start)
+
+        state_id = stg.start
+        cycles = 0
+        while True:
+            cycles += stg.states[state_id].duration
+            if cycles > MAX_CYCLES_PER_PASS:
+                raise ScheduleError(f"replay exceeded {MAX_CYCLES_PER_PASS} cycles "
+                                    f"(pass {pass_idx}) — STG does not terminate")
+            state_visits[state_id] = state_visits.get(state_id, 0) + 1
+            for sched_op in ordered_ops[state_id]:
+                node_id = sched_op.node
+                occ = store.occurrences.get(node_id)
+                ptr = pointers.get(node_id, 0)
+                if occ is None or ptr >= len(occ) or occ.pass_idx[ptr] != pass_idx:
+                    raise ScheduleError(
+                        f"node {cdfg.node(node_id).name}: STG executes it more often "
+                        f"than the behavior did (pass {pass_idx}, state {state_id})")
+                last_val[node_id] = int(occ.out[ptr])
+                pointers[node_id] = ptr + 1
+                op_cycle[node_id].append(global_cycle)
+                op_start[node_id].append(sched_op.start)
+                op_state[node_id].append(state_id)
+            global_cycle += stg.states[state_id].duration
+
+            transitions = stg.out_transitions(state_id)
+            matching = [t for t in transitions if _matches(t, last_val)]
+            if len(matching) != 1:
+                raise ScheduleError(
+                    f"state {state_id}: {len(matching)} transitions match at "
+                    f"pass {pass_idx} (conditions {[sorted(t.conds) for t in transitions]})")
+            state_id = matching[0].dst
+            if state_id == stg.done:
+                break
+        cycles_per_pass.append(cycles)
+
+    if check:
+        for node_id, ptr in pointers.items():
+            node = cdfg.node(node_id)
+            if not node.is_schedulable:
+                continue
+            expected = store.count(node_id)
+            if ptr != expected:
+                raise ScheduleError(
+                    f"node {node.name}: STG executed it {ptr} times but the "
+                    f"behavior executed it {expected} times")
+
+    return ReplayResult(
+        cycles=np.array(cycles_per_pass, dtype=np.int64),
+        op_cycle={n: np.array(v, dtype=np.int64) for n, v in op_cycle.items()},
+        op_start={n: np.array(v, dtype=np.float64) for n, v in op_start.items()},
+        op_state={n: np.array(v, dtype=np.int32) for n, v in op_state.items()},
+        total_cycles=global_cycle,
+        state_visits=state_visits,
+    )
+
+
+def _matches(transition, last_val: dict[int, int]) -> bool:
+    for cond, want in transition.conds:
+        if cond not in last_val:
+            raise ScheduleError(f"transition uses condition node {cond} with no value yet")
+        if bool(last_val[cond]) != want:
+            return False
+    return True

@@ -1,0 +1,20 @@
+"""Wavesched [18]: the paper's scheduler.
+
+All three Wavesched capabilities are enabled: branch-parallel packing,
+concurrent-loop fusion, and implicit loop unrolling (loop-control
+hoisting).  See :mod:`repro.sched.engine` for the mechanics and DESIGN.md
+for the one documented simplification (non-speculative unrolling).
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import CDFG
+from repro.core.binding import Binding
+from repro.sched.engine import ScheduleOptions, schedule
+from repro.sched.stg import STG
+
+
+def wavesched(cdfg: CDFG, binding: Binding, clock_ns: float | None = None) -> STG:
+    """Schedule with full Wavesched capabilities."""
+    options = ScheduleOptions() if clock_ns is None else ScheduleOptions(clock_ns=clock_ns)
+    return schedule(cdfg, binding, options)

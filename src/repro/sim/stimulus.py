@@ -1,0 +1,45 @@
+"""Seeded stimulus generation.
+
+Benchmarks declare typed inputs; this module draws reproducible random
+input passes for them.  Generators accept per-variable ranges so benchmark
+modules can shape distributions (e.g. small loop bounds, realistic packet
+lengths) — the "typical input sequences" the paper simulates with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdfg.graph import CDFG
+from repro.utils.bitwidth import max_signed, min_signed
+
+
+def random_stimulus(
+    cdfg: CDFG,
+    n_passes: int,
+    seed: int = 0,
+    ranges: dict[str, tuple[int, int]] | None = None,
+) -> list[dict[str, int]]:
+    """Draw ``n_passes`` random input assignments for a CDFG.
+
+    ``ranges`` overrides the sampled interval per input variable; defaults
+    to the full signed/unsigned range of the declared width (capped to a
+    sane magnitude so multiplications stay representative).
+    """
+    rng = np.random.default_rng(seed)
+    ranges = ranges or {}
+    passes: list[dict[str, int]] = []
+    specs: list[tuple[str, int, int]] = []
+    for node_id in cdfg.input_nodes:
+        node = cdfg.node(node_id)
+        name = node.carrier
+        if name in ranges:
+            lo, hi = ranges[name]
+        elif node.signed:
+            lo, hi = min_signed(node.width), max_signed(node.width)
+        else:
+            lo, hi = 0, (1 << node.width) - 1
+        specs.append((name, lo, hi))
+    for _ in range(n_passes):
+        passes.append({name: int(rng.integers(lo, hi + 1)) for name, lo, hi in specs})
+    return passes

@@ -1,0 +1,29 @@
+"""Shared low-level helpers: bit-width arithmetic and toggle counting."""
+
+from repro.utils.bitwidth import (
+    mask_for_width,
+    min_signed,
+    max_signed,
+    wrap_to_width,
+    to_unsigned,
+    width_for_range,
+)
+from repro.utils.hamming import (
+    popcount,
+    toggle_count,
+    toggle_series,
+    mean_toggle_activity,
+)
+
+__all__ = [
+    "mask_for_width",
+    "min_signed",
+    "max_signed",
+    "wrap_to_width",
+    "to_unsigned",
+    "width_for_range",
+    "popcount",
+    "toggle_count",
+    "toggle_series",
+    "mean_toggle_activity",
+]

@@ -1,0 +1,89 @@
+"""Shared fixtures: small behavioral programs used across test modules."""
+
+import pytest
+
+GCD_SOURCE = """
+process gcd(a: int8, b: int8) -> (g: int8) {
+  var x: int8 = a;
+  var y: int8 = b;
+  while (x != y) {
+    if (x > y) {
+      x = x - y;
+    } else {
+      y = y - x;
+    }
+  }
+  g = x;
+}
+"""
+
+LOOPS_SOURCE = """
+process loops(a: int8, b: int8, d: int8) -> (z: int16) {
+  var z: int16 = 0;
+  var c: bool = a && b;
+  var e: int16 = 0;
+  for (i = 0; i < 10; i++) {
+    e = d * i;
+    z = z + e;
+  }
+  if (c == 1) {
+    z = 0;
+  } else {
+    var h: int8 = 8;
+    var m: int16 = 0;
+    for (i2 = 0; i2 < 10; i2++) {
+      var g: int8 = i2 - h;
+      h = g + 5;
+    }
+    for (j = 0; j < 8; j++) {
+      var k: int16 = d * j;
+      m = m + k;
+    }
+    z = h - m;
+  }
+}
+"""
+
+SIMPLE_SOURCE = """
+process simple(a: int8, b: int8) -> (z: int16) {
+  z = a + b;
+}
+"""
+
+BRANCH_SOURCE = """
+process branch(a: int8, b: int8, c: bool) -> (z: int16) {
+  if (c == 1) {
+    z = a + b;
+  } else {
+    z = a - b;
+  }
+}
+"""
+
+
+@pytest.fixture
+def gcd_cdfg():
+    from repro.lang import parse
+
+    return parse(GCD_SOURCE)
+
+
+@pytest.fixture
+def loops_cdfg():
+    from repro.lang import parse
+
+    return parse(LOOPS_SOURCE)
+
+
+@pytest.fixture
+def branch_cdfg():
+    from repro.lang import parse
+
+    return parse(BRANCH_SOURCE)
+
+
+@pytest.fixture
+def simple_cdfg():
+    from repro.lang import parse
+
+    return parse(SIMPLE_SOURCE)

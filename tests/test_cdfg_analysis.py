@@ -1,0 +1,138 @@
+"""CDFG analysis tests: regions, heights, live-in producers, fusability."""
+
+import pytest
+
+from repro.lang import parse
+from repro.cdfg.analysis import (
+    condition_nodes,
+    loops_of,
+    node_heights,
+    producers_outside,
+    region_nodes,
+    region_subtree,
+)
+from repro.cdfg.node import OpKind
+from repro.cdfg.regions import LoopRegion
+
+
+class TestRegionQueries:
+    def test_region_subtree_contains_nested(self, gcd_cdfg):
+        loop = loops_of(gcd_cdfg)[0]
+        subtree = region_subtree(gcd_cdfg, loop.id)
+        assert loop.test_block in subtree
+        assert loop.body_block in subtree
+        # The if inside the loop body is in the subtree too.
+        assert len(subtree) >= 5
+
+    def test_region_nodes_recursive_covers_all_loop_ops(self, gcd_cdfg):
+        loop = loops_of(gcd_cdfg)[0]
+        names = {gcd_cdfg.node(n).name
+                 for n in region_nodes(gcd_cdfg, loop.id, recursive=True)}
+        assert {"!=1", ">1", "-1", "-2"} <= names
+
+    def test_region_nodes_nonrecursive_stays_shallow(self, gcd_cdfg):
+        loop = loops_of(gcd_cdfg)[0]
+        body_direct = region_nodes(gcd_cdfg, loop.body_block, recursive=False)
+        # Directly in the body block: only the branch condition (the arm
+        # subtracts live in the nested if's arm blocks).
+        names = {gcd_cdfg.node(n).name for n in body_direct}
+        assert names == {">1"}
+
+
+class TestProducersOutside:
+    def test_loop_live_in_includes_inits(self, gcd_cdfg):
+        loop = loops_of(gcd_cdfg)[0]
+        outside = producers_outside(gcd_cdfg, loop.id)
+        names = {gcd_cdfg.node(n).name for n in outside}
+        # x and y enter the loop from the initialization copies.
+        assert {"mov1", "mov2"} <= names
+
+    def test_if_live_in_includes_condition(self, branch_cdfg):
+        from repro.cdfg.regions import IfRegion
+
+        region = next(r for r in branch_cdfg.regions.values()
+                      if isinstance(r, IfRegion))
+        outside = producers_outside(branch_cdfg, region.id)
+        assert region.cond_node in outside
+
+
+class TestHeights:
+    def test_heights_decrease_along_edges(self, simple_cdfg):
+        delays = {n.id: 1.0 for n in simple_cdfg.op_nodes()}
+        heights = node_heights(simple_cdfg, delays)
+        for edge in simple_cdfg.edges:
+            if not edge.carried and not edge.is_control:
+                assert heights[edge.src] >= heights[edge.dst]
+
+    def test_sink_height_equals_own_delay(self, simple_cdfg):
+        add = next(n for n in simple_cdfg.nodes.values() if n.kind is OpKind.ADD)
+        heights = node_heights(simple_cdfg, {add.id: 7.5})
+        assert heights[add.id] == pytest.approx(7.5)
+
+
+class TestConditionNodes:
+    def test_gcd_has_two_conditions(self, gcd_cdfg):
+        conds = condition_nodes(gcd_cdfg)
+        kinds = {gcd_cdfg.node(c).kind for c in conds}
+        assert kinds == {OpKind.NE, OpKind.GT}
+
+    def test_loops_has_four_conditions(self, loops_cdfg):
+        assert len(condition_nodes(loops_cdfg)) == 4
+
+
+class TestLoopFusability:
+    def test_independent_loops_fusable(self):
+        from repro.core.binding import Binding
+        from repro.library import default_library
+        from repro.sched.engine import ScheduleOptions, _Engine
+
+        cdfg = parse("""
+        process p(d: int8) -> (z: int16) {
+          var s1: int16 = 0;
+          var s2: int16 = 0;
+          for (i = 0; i < 4; i++) { s1 = s1 + d; }
+          for (j = 0; j < 3; j++) { s2 = s2 + 2; }
+          z = s1 + s2;
+        }
+        """)
+        binding = Binding.initial_parallel(cdfg, default_library())
+        engine = _Engine(cdfg, binding, ScheduleOptions())
+        loops = loops_of(cdfg)
+        assert engine._fusable(loops[0], loops[1])
+
+    def test_dependent_loops_not_fusable(self):
+        from repro.core.binding import Binding
+        from repro.library import default_library
+        from repro.sched.engine import ScheduleOptions, _Engine
+
+        cdfg = parse("""
+        process p(d: int8) -> (z: int16) {
+          var s: int16 = 0;
+          var t: int16 = 0;
+          for (i = 0; i < 4; i++) { s = s + d; }
+          for (j = 0; j < 3; j++) { t = t + s; }
+          z = t;
+        }
+        """)
+        binding = Binding.initial_parallel(cdfg, default_library())
+        engine = _Engine(cdfg, binding, ScheduleOptions())
+        loops = loops_of(cdfg)
+        assert not engine._fusable(loops[0], loops[1])
+
+    def test_waw_loops_not_fusable(self):
+        from repro.core.binding import Binding
+        from repro.library import default_library
+        from repro.sched.engine import ScheduleOptions, _Engine
+
+        cdfg = parse("""
+        process p(d: int8) -> (z: int16) {
+          var s: int16 = 0;
+          for (i = 0; i < 4; i++) { s = s + d; }
+          for (j = 0; j < 3; j++) { s = s + 2; }
+          z = s;
+        }
+        """)
+        binding = Binding.initial_parallel(cdfg, default_library())
+        engine = _Engine(cdfg, binding, ScheduleOptions())
+        loops = loops_of(cdfg)
+        assert not engine._fusable(loops[0], loops[1])

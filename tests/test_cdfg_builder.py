@@ -1,0 +1,166 @@
+"""CDFG construction tests: structure, control ports, carried edges."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.lang import parse
+from repro.cdfg.node import OpKind, Polarity
+from repro.cdfg.regions import IfRegion, LoopRegion
+from repro.cdfg.analysis import condition_nodes, mutually_exclusive, loops_of
+
+
+class TestSimpleDataflow:
+    def test_single_adder(self, simple_cdfg):
+        adds = [n for n in simple_cdfg.nodes.values() if n.kind is OpKind.ADD]
+        assert len(adds) == 1
+        add = adds[0]
+        assert add.carrier == "z"
+        assert add.width == 16  # wrapped to the declared output width
+        sources = {simple_cdfg.node(e.src).kind for e in simple_cdfg.in_edges(add.id)}
+        assert sources == {OpKind.INPUT}
+
+    def test_validates(self, simple_cdfg):
+        simple_cdfg.validate()
+
+    def test_io_nodes(self, simple_cdfg):
+        assert len(simple_cdfg.input_nodes) == 2
+        assert len(simple_cdfg.output_nodes) == 1
+
+
+class TestConditional:
+    def test_if_region_created(self, branch_cdfg):
+        ifs = [r for r in branch_cdfg.regions.values() if isinstance(r, IfRegion)]
+        assert len(ifs) == 1
+
+    def test_sel_node_merges_z(self, branch_cdfg):
+        sels = [n for n in branch_cdfg.nodes.values() if n.kind is OpKind.SELECT]
+        assert len(sels) == 1
+        sel = sels[0]
+        assert sel.carrier == "z"
+        ins = branch_cdfg.in_edges(sel.id)
+        assert {branch_cdfg.node(e.src).kind for e in ins} == {OpKind.ADD, OpKind.SUB}
+
+    def test_arm_polarities(self, branch_cdfg):
+        add = next(n for n in branch_cdfg.nodes.values() if n.kind is OpKind.ADD)
+        sub = next(n for n in branch_cdfg.nodes.values() if n.kind is OpKind.SUB)
+        assert add.control.polarity is Polarity.HIGH
+        assert sub.control.polarity is Polarity.LOW
+        assert add.control.source == sub.control.source
+
+    def test_arms_mutually_exclusive(self, branch_cdfg):
+        add = next(n for n in branch_cdfg.nodes.values() if n.kind is OpKind.ADD)
+        sub = next(n for n in branch_cdfg.nodes.values() if n.kind is OpKind.SUB)
+        assert mutually_exclusive(branch_cdfg, add.id, sub.id)
+        eq = next(n for n in branch_cdfg.nodes.values() if n.kind is OpKind.EQ)
+        assert not mutually_exclusive(branch_cdfg, add.id, eq.id)
+
+    def test_condition_nodes(self, branch_cdfg):
+        conds = condition_nodes(branch_cdfg)
+        assert len(conds) == 1
+        assert branch_cdfg.node(conds[0]).kind is OpKind.EQ
+
+
+class TestLoops:
+    def test_gcd_loop_structure(self, gcd_cdfg):
+        loops = loops_of(gcd_cdfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert gcd_cdfg.node(loop.cond_node).kind is OpKind.NE
+        carried_vars = {cv.var for cv in loop.carried}
+        assert carried_vars == {"x", "y"}
+
+    def test_carried_edges_have_init_sources(self, gcd_cdfg):
+        carried = [e for e in gcd_cdfg.edges if e.carried]
+        assert carried, "expected loop-carried edges"
+        for edge in carried:
+            assert (edge.init_const is None) != (edge.init_src is None)
+
+    def test_elp_nodes_active_low(self, gcd_cdfg):
+        elps = [n for n in gcd_cdfg.nodes.values() if n.kind is OpKind.ENDLOOP]
+        assert elps
+        for elp in elps:
+            assert elp.control.polarity is Polarity.LOW
+
+    def test_loops_benchmark_has_three_loops(self, loops_cdfg):
+        assert len(loops_of(loops_cdfg)) == 3
+
+    def test_for_iterator_init_constant(self, loops_cdfg):
+        # Each for-loop iterator is carried with a constant entry (via the
+        # init copy node) or an init_src pointing at the init copy.
+        for loop in loops_of(loops_cdfg):
+            it_names = {cv.var for cv in loop.carried}
+            assert it_names  # at least the iterator is carried
+
+    def test_acyclic_skeleton(self, loops_cdfg):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for edge in loops_cdfg.edges:
+            if not edge.carried:
+                graph.add_edge(edge.src, edge.dst)
+        assert nx.is_directed_acyclic_graph(graph)
+
+
+class TestWriteEvents:
+    def test_const_assign_becomes_copy(self):
+        cdfg = parse("process p(a: int8) -> (z: int8) { z = 5; z = z + a; }")
+        copies = [n for n in cdfg.nodes.values() if n.kind is OpKind.COPY]
+        assert len(copies) == 1
+        assert copies[0].carrier == "z"
+
+    def test_var_to_var_assign_becomes_copy(self):
+        cdfg = parse("process p(a: int8) -> (z: int8) { var t: int8 = a; z = t; }")
+        copies = [n for n in cdfg.nodes.values() if n.kind is OpKind.COPY]
+        assert len(copies) == 2  # t = a and z = t
+
+    def test_expression_assign_sets_carrier_directly(self):
+        cdfg = parse("process p(a: int8) -> (z: int8) { z = a + 1; }")
+        copies = [n for n in cdfg.nodes.values() if n.kind is OpKind.COPY]
+        assert not copies
+
+    def test_const_nodes_deduplicated(self):
+        cdfg = parse("process p(a: int8) -> (z: int16) { z = a + 5; z = z - 5; }")
+        consts = [n for n in cdfg.nodes.values()
+                  if n.kind is OpKind.CONST and n.value == 5]
+        assert len(consts) == 1
+
+
+class TestShifts:
+    def test_const_shift_needs_no_fu(self):
+        cdfg = parse("process p(a: int8) -> (z: int16) { z = a << 2; }")
+        shl = next(n for n in cdfg.nodes.values() if n.kind is OpKind.SHL)
+        assert shl.const_shift
+        assert not shl.needs_fu
+
+    def test_variable_shift_needs_fu(self):
+        cdfg = parse("process p(a: int8, s: uint3) -> (z: int16) { z = a << s; }")
+        shl = next(n for n in cdfg.nodes.values() if n.kind is OpKind.SHL)
+        assert not shl.const_shift
+        assert shl.needs_fu
+
+
+class TestErrors:
+    def test_read_of_branch_local_after_join(self):
+        with pytest.raises(CDFGError):
+            parse("""
+            process p(a: int8) -> (z: int8) {
+              if (a > 0) { var t: int8 = 1; z = t; } else { z = 0; }
+              z = t;
+            }
+            """)
+
+
+class TestUnary:
+    def test_negation_becomes_zero_minus(self):
+        cdfg = parse("process p(a: int8) -> (z: int8) { z = -a; }")
+        sub = next(n for n in cdfg.nodes.values() if n.kind is OpKind.SUB)
+        lhs = cdfg.in_edge(sub.id, 0)
+        assert cdfg.node(lhs.src).kind is OpKind.CONST
+        assert cdfg.node(lhs.src).value == 0
+
+    def test_constant_folding(self):
+        cdfg = parse("process p(a: int8) -> (z: int16) { z = a + 2 * 3; }")
+        consts = {n.value for n in cdfg.nodes.values() if n.kind is OpKind.CONST}
+        assert 6 in consts
+        muls = [n for n in cdfg.nodes.values() if n.kind is OpKind.MUL]
+        assert not muls

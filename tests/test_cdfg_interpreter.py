@@ -1,0 +1,169 @@
+"""Behavioral interpreter tests: value semantics and trace recording."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpreterError
+from repro.lang import parse
+from repro.cdfg.interpreter import Interpreter, simulate
+from repro.cdfg.analysis import condition_nodes
+
+
+class TestArithmetic:
+    def test_add(self, simple_cdfg):
+        store = simulate(simple_cdfg, [{"a": 3, "b": 4}, {"a": -5, "b": 2}])
+        assert list(store.outputs["z"]) == [7, -3]
+
+    def test_wrap_to_declared_width(self):
+        cdfg = parse("process p(a: int8, b: int8) -> (z: int8) { z = a + b; }")
+        store = simulate(cdfg, [{"a": 127, "b": 1}])
+        assert list(store.outputs["z"]) == [-128]
+
+    def test_mul_and_shift(self):
+        cdfg = parse("process p(a: int8) -> (z: int16) { z = (a * 3) << 1; }")
+        store = simulate(cdfg, [{"a": 5}])
+        assert list(store.outputs["z"]) == [30]
+
+    def test_logical_ops(self):
+        cdfg = parse("process p(a: int8, b: int8) -> (z: bool) { z = (a > 0) && !(b > 0); }")
+        store = simulate(cdfg, [{"a": 1, "b": 0}, {"a": 1, "b": 1}, {"a": 0, "b": 0}])
+        assert list(store.outputs["z"]) == [1, 0, 0]
+
+    def test_bitwise_ops(self):
+        cdfg = parse("process p(a: uint8, b: uint8) -> (z: uint8) { z = (a & b) | (a ^ b); }")
+        store = simulate(cdfg, [{"a": 0b1100, "b": 0b1010}])
+        assert list(store.outputs["z"]) == [0b1110]
+
+
+class TestControlFlow:
+    def test_branch_both_paths(self, branch_cdfg):
+        store = simulate(branch_cdfg, [{"a": 10, "b": 3, "c": 1}, {"a": 10, "b": 3, "c": 0}])
+        assert list(store.outputs["z"]) == [13, 7]
+
+    def test_gcd(self, gcd_cdfg):
+        cases = [(12, 18), (35, 14), (7, 13), (100, 75), (1, 1)]
+        store = simulate(gcd_cdfg, [{"a": a, "b": b} for a, b in cases])
+        assert list(store.outputs["g"]) == [math.gcd(a, b) for a, b in cases]
+
+    def test_zero_trip_loop(self):
+        cdfg = parse("""
+        process p(n: int8) -> (z: int8) {
+          z = 0;
+          for (i = 0; i < n; i++) { z = z + 2; }
+        }
+        """)
+        store = simulate(cdfg, [{"n": 0}, {"n": 3}])
+        assert list(store.outputs["z"]) == [0, 6]
+        assert list(store.loop_trips[next(iter(store.loop_trips))]) == [0, 3]
+
+    def test_nested_loops(self):
+        cdfg = parse("""
+        process p(d: int8) -> (s: int16) {
+          var s: int16 = 0;
+          for (i = 0; i < 4; i++) {
+            for (j = 0; j < 3; j++) { s = s + d; }
+          }
+        }
+        """)
+        store = simulate(cdfg, [{"d": 5}, {"d": -2}])
+        assert list(store.outputs["s"]) == [60, -24]
+
+    def test_branch_inside_loop(self, gcd_cdfg):
+        # Occurrences of the two subtractors must sum to the loop trips.
+        from repro.cdfg.node import OpKind
+
+        store = simulate(gcd_cdfg, [{"a": 12, "b": 18}])
+        subs = [n.id for n in gcd_cdfg.nodes.values() if n.kind is OpKind.SUB]
+        total = sum(store.count(s) for s in subs)
+        trips = int(store.loop_trips[next(iter(store.loop_trips))][0])
+        assert total == trips
+
+    def test_infinite_loop_guarded(self):
+        cdfg = parse("""
+        process p(a: int8) -> (z: int8) {
+          z = 0;
+          while (z == 0) { var q: int8 = a; }
+        }
+        """)
+        interp = Interpreter(cdfg, max_loop_iterations=50)
+        with pytest.raises(InterpreterError):
+            interp.run([{"a": 1}])
+
+
+class TestTraceRecording:
+    def test_occurrence_counts_match_trips(self, loops_cdfg):
+        store = simulate(loops_cdfg, [{"a": 0, "b": 1, "d": 2}])
+        from repro.cdfg.node import OpKind
+
+        muls = [n for n in loops_cdfg.nodes.values() if n.kind is OpKind.MUL]
+        for mul in muls:
+            assert store.count(mul.id) in (8, 10)
+
+    def test_input_occurrences_once_per_pass(self, gcd_cdfg):
+        store = simulate(gcd_cdfg, [{"a": 4, "b": 6}] * 5)
+        for node_id in gcd_cdfg.input_nodes:
+            assert store.count(node_id) == 5
+
+    def test_branch_probability(self, branch_cdfg):
+        passes = [{"a": 1, "b": 1, "c": 1}] * 3 + [{"a": 1, "b": 1, "c": 0}] * 7
+        store = simulate(branch_cdfg, passes)
+        (cond,) = condition_nodes(branch_cdfg)
+        assert store.branch_probability(cond) == pytest.approx(0.3)
+
+    def test_steps_increase_within_pass(self, gcd_cdfg):
+        store = simulate(gcd_cdfg, [{"a": 9, "b": 6}])
+        for occ in store.occurrences.values():
+            steps = occ.step[occ.pass_idx == 0]
+            assert all(np.diff(steps) > 0) or steps.size <= 1
+
+    def test_pass_slice(self, gcd_cdfg):
+        store = simulate(gcd_cdfg, [{"a": 12, "b": 18}, {"a": 9, "b": 6}])
+        loop_cond = next(n.id for n in gcd_cdfg.nodes.values() if n.name == "!=1")
+        occ = store.occ(loop_cond)
+        sl0 = occ.pass_slice(0)
+        sl1 = occ.pass_slice(1)
+        assert sl0.stop == sl1.start
+        assert (occ.pass_idx[sl0] == 0).all()
+        assert (occ.pass_idx[sl1] == 1).all()
+
+
+class TestDifferentialAgainstPython:
+    """Property test: the interpreter agrees with plain Python semantics."""
+
+    @given(st.integers(-100, 100), st.integers(-100, 100), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_branch_program(self, a, b, c):
+        cdfg = parse("""
+        process p(a: int8, b: int8, c: bool) -> (z: int16) {
+          if (c == 1) { z = a + b; } else { z = a - b; }
+        }
+        """)
+        store = simulate(cdfg, [{"a": a, "b": b, "c": c}])
+        a8 = _wrap8(a)
+        b8 = _wrap8(b)
+        expected = a8 + b8 if c == 1 else a8 - b8
+        assert list(store.outputs["z"]) == [expected]
+
+    @given(st.integers(1, 30), st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_gcd_program(self, a, b):
+        cdfg = parse("""
+        process gcd(a: int8, b: int8) -> (g: int8) {
+          var x: int8 = a;
+          var y: int8 = b;
+          while (x != y) {
+            if (x > y) { x = x - y; } else { y = y - x; }
+          }
+          g = x;
+        }
+        """)
+        store = simulate(cdfg, [{"a": a, "b": b}])
+        assert list(store.outputs["g"]) == [math.gcd(a, b)]
+
+
+def _wrap8(value: int) -> int:
+    value &= 0xFF
+    return value - 256 if value >= 128 else value

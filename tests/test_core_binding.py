@@ -1,0 +1,150 @@
+"""Binding tests: initial architecture, moves mechanics, validation."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.cdfg.node import OpKind
+from repro.core.binding import Binding, op_width
+from repro.library import default_library
+
+
+@pytest.fixture
+def gcd_binding(gcd_cdfg):
+    return Binding.initial_parallel(gcd_cdfg, default_library())
+
+
+class TestInitialParallel:
+    def test_one_fu_per_op(self, gcd_cdfg, gcd_binding):
+        assert len(gcd_binding.fus) == len(gcd_cdfg.fu_nodes())
+        for fu in gcd_binding.fus.values():
+            assert len(fu.ops) == 1
+
+    def test_one_register_per_variable(self, gcd_cdfg, gcd_binding):
+        assert len(gcd_binding.regs) == len(gcd_cdfg.var_types)
+        for reg in gcd_binding.regs.values():
+            assert len(reg.carriers) == 1
+
+    def test_fastest_modules_chosen(self, gcd_cdfg, gcd_binding):
+        lib = default_library()
+        for fu in gcd_binding.fus.values():
+            (op,) = fu.ops
+            node = gcd_cdfg.node(op)
+            fastest = lib.fastest({node.kind}, op_width(gcd_cdfg, op))
+            assert fu.module.name == fastest.name
+
+    def test_validates(self, gcd_binding):
+        gcd_binding.validate()
+
+    def test_register_width_matches_variable(self, gcd_cdfg, gcd_binding):
+        for var, (width, _signed) in gcd_cdfg.var_types.items():
+            assert gcd_binding.reg_of(var).width == width
+
+
+class TestClone:
+    def test_clone_is_independent(self, gcd_binding):
+        other = gcd_binding.clone()
+        fu_id = next(iter(other.fus))
+        other.fus[fu_id].ops.add(9999)
+        assert 9999 not in gcd_binding.fus[fu_id].ops
+
+    def test_clone_preserves_structure(self, gcd_binding):
+        other = gcd_binding.clone()
+        assert other.op_to_fu == gcd_binding.op_to_fu
+        assert other.carrier_to_reg == gcd_binding.carrier_to_reg
+
+
+class TestFUMoves:
+    def test_merge_compatible_fus(self, gcd_cdfg, gcd_binding):
+        subs = [f.id for f in gcd_binding.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        assert len(subs) == 2
+        gcd_binding.merge_fus(subs[0], subs[1])
+        assert subs[1] not in gcd_binding.fus
+        assert len(gcd_binding.fus[subs[0]].ops) == 2
+        gcd_binding.validate()
+
+    def test_merge_incompatible_without_module_fails(self, gcd_cdfg, gcd_binding):
+        lib = default_library()
+        sub = next(f.id for f in gcd_binding.fus.values()
+                   if f.kinds(gcd_cdfg) == {OpKind.SUB})
+        gt = next(f.id for f in gcd_binding.fus.values()
+                  if f.kinds(gcd_cdfg) == {OpKind.GT})
+        with pytest.raises(BindingError):
+            gcd_binding.merge_fus(sub, gt)  # sub module can't compare
+
+    def test_merge_with_alu_module(self, gcd_cdfg, gcd_binding):
+        lib = default_library()
+        sub = next(f.id for f in gcd_binding.fus.values()
+                   if f.kinds(gcd_cdfg) == {OpKind.SUB})
+        gt = next(f.id for f in gcd_binding.fus.values()
+                  if f.kinds(gcd_cdfg) == {OpKind.GT})
+        gcd_binding.merge_fus(sub, gt, lib.get("alu"))
+        gcd_binding.validate()
+
+    def test_split_restores_parallelism(self, gcd_cdfg, gcd_binding):
+        subs = [f.id for f in gcd_binding.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        gcd_binding.merge_fus(subs[0], subs[1])
+        ops = sorted(gcd_binding.fus[subs[0]].ops)
+        new_fu = gcd_binding.split_fu(subs[0], {ops[0]})
+        assert gcd_binding.op_to_fu[ops[0]] == new_fu.id
+        gcd_binding.validate()
+
+    def test_split_whole_set_rejected(self, gcd_cdfg, gcd_binding):
+        fu_id = next(iter(gcd_binding.fus))
+        ops = set(gcd_binding.fus[fu_id].ops)
+        with pytest.raises(BindingError):
+            gcd_binding.split_fu(fu_id, ops)
+
+    def test_substitute_module(self, gcd_cdfg, gcd_binding):
+        lib = default_library()
+        sub = next(f for f in gcd_binding.fus.values()
+                   if f.kinds(gcd_cdfg) == {OpKind.SUB})
+        gcd_binding.substitute_module(sub.id, lib.get("sub_ripple"))
+        assert gcd_binding.fus[sub.id].module.name == "sub_ripple"
+        gcd_binding.validate()
+
+    def test_substitute_incompatible_rejected(self, gcd_cdfg, gcd_binding):
+        lib = default_library()
+        sub = next(f for f in gcd_binding.fus.values()
+                   if f.kinds(gcd_cdfg) == {OpKind.SUB})
+        with pytest.raises(BindingError):
+            gcd_binding.substitute_module(sub.id, lib.get("mul_array"))
+
+
+class TestRegisterMoves:
+    def test_merge_and_split(self, gcd_cdfg, gcd_binding):
+        regs = sorted(gcd_binding.regs)
+        keep, absorb = regs[0], regs[1]
+        absorbed_carriers = set(gcd_binding.regs[absorb].carriers)
+        gcd_binding.merge_regs(keep, absorb)
+        assert absorb not in gcd_binding.regs
+        for carrier in absorbed_carriers:
+            assert gcd_binding.carrier_to_reg[carrier] == keep
+        carrier = next(iter(absorbed_carriers))
+        new_reg = gcd_binding.split_reg(keep, {carrier})
+        assert gcd_binding.carrier_to_reg[carrier] == new_reg.id
+        gcd_binding.validate()
+
+    def test_merged_register_width_is_max(self, gcd_cdfg, gcd_binding):
+        regs = sorted(gcd_binding.regs)
+        w = max(gcd_binding.regs[regs[0]].width, gcd_binding.regs[regs[1]].width)
+        gcd_binding.merge_regs(regs[0], regs[1])
+        assert gcd_binding.regs[regs[0]].width == w
+
+    def test_self_merge_rejected(self, gcd_binding):
+        reg = next(iter(gcd_binding.regs))
+        with pytest.raises(BindingError):
+            gcd_binding.merge_regs(reg, reg)
+
+
+class TestDelays:
+    def test_copy_has_zero_delay(self, gcd_cdfg, gcd_binding):
+        copies = [n for n in gcd_cdfg.op_nodes() if n.kind is OpKind.COPY]
+        assert copies
+        for node in copies:
+            assert gcd_binding.op_delay(node.id) == 0.0
+
+    def test_fu_op_has_positive_delay(self, gcd_cdfg, gcd_binding):
+        for node in gcd_cdfg.fu_nodes():
+            assert gcd_binding.op_delay(node.id) > 0.0

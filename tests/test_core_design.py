@@ -1,0 +1,61 @@
+"""DesignPoint tests: derivation, caching, tree policy, ENC accounting."""
+
+import pytest
+
+from repro.cdfg.interpreter import simulate
+from repro.cdfg.node import OpKind
+from repro.core.design import DesignPoint
+from repro.library import default_library
+from repro.sched.engine import ScheduleOptions
+
+
+@pytest.fixture
+def gcd_design(gcd_cdfg):
+    store = simulate(gcd_cdfg, [{"a": 12, "b": 18}, {"a": 9, "b": 6}])
+    return DesignPoint.initial(gcd_cdfg, default_library(), store,
+                               ScheduleOptions(clock_ns=6.0))
+
+
+class TestDerivation:
+    def test_with_binding_no_reschedule_shares_stg_and_replay(self, gcd_design):
+        binding = gcd_design.binding.clone()
+        derived = gcd_design.with_binding(binding, reschedule=False)
+        assert derived.stg is gcd_design.stg
+        assert derived.rep is gcd_design.rep
+        assert derived.arch is not gcd_design.arch
+
+    def test_with_binding_reschedule_builds_new_stg(self, gcd_cdfg, gcd_design):
+        binding = gcd_design.binding.clone()
+        subs = [f.id for f in binding.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        binding.merge_fus(subs[0], subs[1])
+        derived = gcd_design.with_binding(binding, reschedule=True)
+        assert derived.stg is not gcd_design.stg
+
+    def test_tree_policy_accumulates(self, gcd_design):
+        ports = [p.key for p in gcd_design.arch.datapath.mux_ports()]
+        if not ports:
+            pytest.skip("no mux ports")
+        derived = gcd_design.with_tree_policy(ports[0])
+        assert ports[0] in derived.tree_policy
+        assert ports[0] not in gcd_design.tree_policy
+
+    def test_evaluation_cached(self, gcd_design):
+        assert gcd_design.evaluate() is gcd_design.evaluate()
+
+
+class TestEncAccounting:
+    def test_enc_matches_gatesim_cycles(self, gcd_design):
+        from repro.gatesim import simulate_architecture
+
+        stim = [{"a": 12, "b": 18}, {"a": 9, "b": 6}]
+        result = simulate_architecture(gcd_design.arch, stim,
+                                       expected_outputs=gcd_design.store.outputs)
+        assert gcd_design.enc == pytest.approx(result.enc)
+
+    def test_summary_fields(self, gcd_design):
+        summary = gcd_design.summary()
+        for key in ("enc", "area", "vdd", "power_5v_mw", "legal", "fus",
+                    "registers", "mux2", "states"):
+            assert key in summary
+        assert summary["legal"]

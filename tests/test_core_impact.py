@@ -1,0 +1,149 @@
+"""IMPACT search and top-level flow tests."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.cdfg.interpreter import simulate
+from repro.core.design import DesignPoint, energy_cost, equal_throughput_vdd
+from repro.core.impact import synthesize
+from repro.core.search import SearchConfig, design_cost, iterative_improvement
+from repro.gatesim import simulate_architecture
+from repro.library import default_library
+from repro.sched.engine import ScheduleOptions
+
+FAST = SearchConfig(max_depth=4, max_candidates=8, max_iterations=4, seed=0)
+
+
+@pytest.fixture
+def gcd_setup(gcd_cdfg):
+    stim = [{"a": 12, "b": 18}, {"a": 35, "b": 14}, {"a": 9, "b": 6},
+            {"a": 48, "b": 20}]
+    return gcd_cdfg, stim
+
+
+class TestSynthesize:
+    def test_area_mode_shrinks_area(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        options = ScheduleOptions(clock_ns=6.0)
+        result = synthesize(cdfg, stim, mode="area", laxity=2.0,
+                            options=options, search=FAST)
+        assert result.design.evaluate().area <= result.initial.evaluate().area
+
+    def test_power_mode_beats_initial_energy(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        options = ScheduleOptions(clock_ns=6.0)
+        result = synthesize(cdfg, stim, mode="power", laxity=2.0,
+                            options=options, search=FAST)
+        assert energy_cost(result.design, result.enc_budget) <= \
+            energy_cost(result.initial, result.enc_budget) + 1e-12
+
+    def test_enc_budget_respected(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        options = ScheduleOptions(clock_ns=6.0)
+        for mode in ("area", "power"):
+            result = synthesize(cdfg, stim, mode=mode, laxity=1.5,
+                                options=options, search=FAST)
+            assert result.enc <= result.enc_budget + 1e-9
+
+    def test_synthesized_designs_verify(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        options = ScheduleOptions(clock_ns=6.0)
+        for mode in ("area", "power"):
+            result = synthesize(cdfg, stim, mode=mode, laxity=2.0,
+                                options=options, search=FAST)
+            evaluation = result.design.evaluate()
+            measured = simulate_architecture(result.design.arch, stim,
+                                             expected_outputs=result.store.outputs,
+                                             vdd=evaluation.vdd)
+            assert measured.output_mismatches == 0
+
+    def test_bad_laxity_rejected(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        with pytest.raises(ConstraintError):
+            synthesize(cdfg, stim, laxity=0.5)
+
+    def test_area_cap_enforced(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        options = ScheduleOptions(clock_ns=6.0)
+        area_res = synthesize(cdfg, stim, mode="area", laxity=2.0,
+                              options=options, search=FAST)
+        cap = 1.3 * area_res.design.evaluate().area
+        power_res = synthesize(cdfg, stim, mode="power", laxity=2.0,
+                               options=options, search=FAST,
+                               store=area_res.store, initial=area_res.initial,
+                               starts=[area_res.design], area_cap=cap)
+        assert power_res.design.evaluate().area <= cap + 1e-6
+
+    def test_store_and_initial_reused(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        options = ScheduleOptions(clock_ns=6.0)
+        first = synthesize(cdfg, stim, mode="area", laxity=1.0,
+                           options=options, search=FAST)
+        second = synthesize(cdfg, stim, mode="power", laxity=2.0,
+                            options=options, search=FAST,
+                            store=first.store, initial=first.initial)
+        assert second.store is first.store
+        assert second.initial is first.initial
+
+
+class TestSearchMechanics:
+    def test_zero_iterations_returns_initial(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        store = simulate(cdfg, stim)
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions(clock_ns=6.0))
+        config = SearchConfig(max_iterations=0)
+        final, history = iterative_improvement(design, "area", design.enc * 2,
+                                               config)
+        assert final is design
+        assert history.evaluations == 0
+
+    def test_history_records_steps(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        store = simulate(cdfg, stim)
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions(clock_ns=6.0))
+        final, history = iterative_improvement(design, "area", design.enc * 2,
+                                               FAST)
+        assert history.evaluations > 0
+        assert len(history.iterations) == len(history.committed)
+
+    def test_committed_prefixes_only_when_legal(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        store = simulate(cdfg, stim)
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions(clock_ns=6.0))
+        final, _ = iterative_improvement(design, "area", design.enc * 1.5, FAST)
+        evaluation = final.evaluate()
+        assert evaluation.legal
+        assert evaluation.enc <= design.enc * 1.5 + 1e-9
+
+    def test_unknown_mode_rejected(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        store = simulate(cdfg, stim)
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions(clock_ns=6.0))
+        from repro.errors import ReproError
+
+        with pytest.raises((ReproError, ValueError)):
+            design_cost(design, "speed", 100.0)
+
+
+class TestEqualThroughput:
+    def test_more_budget_means_lower_vdd(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        store = simulate(cdfg, stim)
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions(clock_ns=6.0))
+        ev = design.evaluate()
+        v1 = equal_throughput_vdd(ev, ev.enc * 1.0)
+        v2 = equal_throughput_vdd(ev, ev.enc * 2.0)
+        v3 = equal_throughput_vdd(ev, ev.enc * 3.0)
+        assert v1 >= v2 >= v3
+
+    def test_energy_cost_decreases_with_budget(self, gcd_setup):
+        cdfg, stim = gcd_setup
+        store = simulate(cdfg, stim)
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions(clock_ns=6.0))
+        assert energy_cost(design, design.enc * 3) <= energy_cost(design, design.enc)

@@ -1,0 +1,95 @@
+"""Experiment harness tests (small configurations; benches run the real ones)."""
+
+import pytest
+
+from repro.core.search import SearchConfig
+from repro.experiments import (
+    enc_comparison,
+    mux_worked_example,
+    run_laxity_sweep,
+    trace_worked_example,
+)
+from repro.experiments.laxity import COARSE_LAXITY_GRID, FULL_LAXITY_GRID
+from repro.experiments.report import ascii_series, format_sweep, format_table
+
+TINY_SEARCH = SearchConfig(max_depth=3, max_candidates=6, max_iterations=3, seed=0)
+
+
+class TestWorkedExamples:
+    def test_mux_numbers_exact(self):
+        result = mux_worked_example()
+        assert result.balanced_activity == pytest.approx(1.0939, abs=5e-4)
+        assert result.huffman_activity == pytest.approx(0.7217, abs=5e-4)
+        assert result.reduction == pytest.approx(0.34, abs=0.01)
+
+    def test_mux_hot_signal_next_to_output(self):
+        result = mux_worked_example()
+        assert result.huffman_depths["e1"] == 1
+
+    def test_trace_example_interleaving(self):
+        result = trace_worked_example()
+        base_ops = result.op_sequence[0::2]
+        branch_ops = result.op_sequence[1::2]
+        assert base_ops == ["+1"] * 4
+        assert branch_ops.count("+3") == 1  # the single false pass
+        assert branch_ops.count("+2") == 3
+
+
+class TestEncComparison:
+    def test_wavesched_never_loses(self):
+        rows = enc_comparison(("gcd", "loops"), n_passes=10)
+        for row in rows:
+            assert row.wavesched_enc <= row.loop_directed_enc + 1e-9
+            assert row.wavesched_enc <= row.path_based_enc + 1e-9
+
+    def test_loops_shows_concurrency_win(self):
+        (row,) = enc_comparison(("loops",), n_passes=10)
+        assert row.speedup_vs_path_based > 1.3
+
+
+class TestLaxitySweep:
+    def test_grids(self):
+        assert FULL_LAXITY_GRID[0] == 1.0 and FULL_LAXITY_GRID[-1] == 3.0
+        assert len(FULL_LAXITY_GRID) == 11
+        assert COARSE_LAXITY_GRID[0] == 1.0
+
+    def test_gcd_sweep_properties(self):
+        sweep = run_laxity_sweep("gcd", laxities=(1.0, 2.0), n_passes=10,
+                                 search=TINY_SEARCH)
+        assert sweep.total_mismatches() == 0
+        assert len(sweep.points) == 2
+        for point in sweep.points:
+            # I-Power never loses to A-Power (the area design is a
+            # candidate start for the power search).
+            assert point.i_power <= point.a_power + 0.05
+            assert point.i_area <= 1.3 + 1e-6
+            assert point.a_enc <= point.enc_budget + 1e-9
+            assert point.i_enc <= point.enc_budget + 1e-9
+
+    def test_more_laxity_never_hurts_i_power(self):
+        sweep = run_laxity_sweep("gcd", laxities=(1.0, 2.0, 3.0), n_passes=10,
+                                 search=TINY_SEARCH)
+        i_powers = [p.i_power for p in sweep.points]
+        assert i_powers[-1] <= i_powers[0] + 0.05
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_sweep_has_headlines(self):
+        sweep = run_laxity_sweep("gcd", laxities=(1.0,), n_passes=8,
+                                 search=TINY_SEARCH)
+        text = format_sweep(sweep)
+        assert "max power reduction" in text
+        assert "Figure 13 (gcd)" in text
+
+    def test_ascii_series_renders(self):
+        text = ascii_series([1.0, 2.0, 3.0],
+                            {"A": [1.0, 0.8, 0.6], "B": [0.9, 0.5, 0.3]})
+        assert "*=A" in text and "o=B" in text

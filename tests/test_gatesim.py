@@ -1,0 +1,124 @@
+"""Bit-level simulator tests: verification, power accounting, voltages."""
+
+import pytest
+
+from repro.lang import parse
+from repro.cdfg.interpreter import simulate
+from repro.cdfg.node import OpKind
+from repro.core.binding import Binding
+from repro.gatesim import simulate_architecture
+from repro.library import default_library
+from repro.rtl import build_architecture
+from repro.sched import path_based_schedule, replay, wavesched
+from repro.sim.stimulus import random_stimulus
+
+
+def _arch_for(cdfg, binding=None, scheduler=wavesched):
+    binding = binding or Binding.initial_parallel(cdfg, default_library())
+    stg = scheduler(cdfg, binding)
+    return build_architecture(cdfg, binding, stg)
+
+
+class TestVerification:
+    """gatesim recomputes every value from architecture semantics; output
+    equality against the behavioral interpreter verifies the whole chain."""
+
+    @pytest.mark.parametrize("bench_name",
+                             ["gcd", "loops", "dealer", "cordic", "x25_send", "paulin"])
+    def test_all_benchmarks_bit_exact(self, bench_name):
+        from repro.benchmarks import get_benchmark
+
+        bench = get_benchmark(bench_name)
+        cdfg = bench.cdfg()
+        stim = bench.stimulus(12, seed=9)
+        store = simulate(cdfg, stim)
+        arch = _arch_for(cdfg)
+        result = simulate_architecture(arch, stim, expected_outputs=store.outputs)
+        assert result.output_mismatches == 0
+
+    def test_cycle_counts_match_replay(self, gcd_cdfg):
+        stim = [{"a": 12, "b": 18}, {"a": 5, "b": 35}]
+        store = simulate(gcd_cdfg, stim)
+        binding = Binding.initial_parallel(gcd_cdfg, default_library())
+        stg = wavesched(gcd_cdfg, binding)
+        arch = build_architecture(gcd_cdfg, binding, stg)
+        rep = replay(stg, gcd_cdfg, store)
+        result = simulate_architecture(arch, stim, expected_outputs=store.outputs)
+        # Durations are normalized on the architecture; compare against the
+        # design-point ENC convention (visits x durations).
+        expected_total = sum(visits * arch.state_duration(sid)
+                             for sid, visits in rep.state_visits.items())
+        assert result.total_cycles == expected_total
+
+    def test_shared_binding_still_bit_exact(self, gcd_cdfg):
+        lib = default_library()
+        binding = Binding.initial_parallel(gcd_cdfg, lib)
+        subs = [f.id for f in binding.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        binding.merge_fus(subs[0], subs[1])
+        stim = random_stimulus(gcd_cdfg, 15, seed=3,
+                               ranges={"a": (1, 60), "b": (1, 60)})
+        store = simulate(gcd_cdfg, stim)
+        arch = _arch_for(gcd_cdfg, binding)
+        result = simulate_architecture(arch, stim, expected_outputs=store.outputs)
+        assert result.output_mismatches == 0
+
+
+class TestPowerAccounting:
+    def test_breakdown_sums_to_total(self, gcd_cdfg):
+        stim = [{"a": 12, "b": 18}] * 4
+        store = simulate(gcd_cdfg, stim)
+        arch = _arch_for(gcd_cdfg)
+        result = simulate_architecture(arch, stim, expected_outputs=store.outputs)
+        parts = (result.breakdown["fus"] + result.breakdown["registers"]
+                 + result.breakdown["muxes"] + result.breakdown["controller"])
+        assert result.power_mw == pytest.approx(parts)
+        assert result.power_mw == pytest.approx(result.breakdown["total"])
+
+    def test_vdd_scaling_quadratic(self, gcd_cdfg):
+        stim = [{"a": 12, "b": 18}] * 4
+        store = simulate(gcd_cdfg, stim)
+        arch = _arch_for(gcd_cdfg)
+        p5 = simulate_architecture(arch, stim, vdd=5.0).power_mw
+        p25 = simulate_architecture(arch, stim, vdd=2.5).power_mw
+        assert p25 == pytest.approx(p5 / 4.0, rel=1e-9)
+
+    def test_constant_stimulus_costs_less(self, simple_cdfg):
+        quiet = [{"a": 3, "b": 7}] * 16
+        noisy = [{"a": (37 * i) % 200 - 100, "b": (53 * i) % 200 - 100}
+                 for i in range(16)]
+        store_q = simulate(simple_cdfg, quiet)
+        store_n = simulate(simple_cdfg, noisy)
+        arch = _arch_for(simple_cdfg)
+        p_quiet = simulate_architecture(arch, quiet,
+                                        expected_outputs=store_q.outputs).power_mw
+        arch2 = _arch_for(simple_cdfg)
+        p_noisy = simulate_architecture(arch2, noisy,
+                                        expected_outputs=store_n.outputs).power_mw
+        assert p_quiet < p_noisy
+
+    def test_mux_power_counted_when_sharing(self, gcd_cdfg):
+        lib = default_library()
+        parallel = Binding.initial_parallel(gcd_cdfg, lib)
+        shared = parallel.clone()
+        subs = [f.id for f in shared.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        shared.merge_fus(subs[0], subs[1])
+        stim = random_stimulus(gcd_cdfg, 10, seed=5,
+                               ranges={"a": (1, 60), "b": (1, 60)})
+        store = simulate(gcd_cdfg, stim)
+        arch_p = _arch_for(gcd_cdfg, parallel)
+        arch_s = _arch_for(gcd_cdfg, shared)
+        mux_p = simulate_architecture(arch_p, stim).breakdown["muxes"]
+        mux_s = simulate_architecture(arch_s, stim).breakdown["muxes"]
+        assert mux_s > mux_p
+
+    def test_schedulers_yield_same_outputs_different_power(self, loops_cdfg):
+        stim = random_stimulus(loops_cdfg, 8, seed=6,
+                               ranges={"a": (0, 3), "b": (0, 3), "d": (0, 15)})
+        store = simulate(loops_cdfg, stim)
+        for scheduler in (wavesched, path_based_schedule):
+            arch = _arch_for(loops_cdfg, scheduler=scheduler)
+            result = simulate_architecture(arch, stim,
+                                           expected_outputs=store.outputs)
+            assert result.output_mismatches == 0

@@ -1,0 +1,141 @@
+"""Parser tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_source
+
+
+def _parse_body(body: str) -> ast.Process:
+    return parse_source(
+        "process p(a: int8, b: int8) -> (z: int16) { " + body + " }")
+
+
+class TestProcessHeader:
+    def test_inputs_and_outputs(self):
+        process = parse_source("process p(a: int8, b: uint4) -> (z: int16) { z = a; }")
+        assert process.name == "p"
+        assert [p.name for p in process.inputs] == ["a", "b"]
+        assert process.inputs[0].type == ast.Type(8, signed=True)
+        assert process.inputs[1].type == ast.Type(4, signed=False)
+        assert process.outputs[0].type == ast.Type(16, signed=True)
+
+    def test_bool_type(self):
+        process = parse_source("process p(c: bool) -> (z: int8) { z = 1; }")
+        assert process.inputs[0].type == ast.Type(1, signed=False)
+
+    def test_spaced_type_form(self):
+        process = parse_source("process p(a: int 12) -> (z: int16) { z = a; }")
+        assert process.inputs[0].type.width == 12
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("process p(a: int8) { }")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("process p(a: int99) -> (z: int8) { z = a; }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("process p(a: int8) -> (z: int8) { z = a; } extra")
+
+
+class TestStatements:
+    def test_var_decl_with_type_and_init(self):
+        process = _parse_body("var t: int4 = 3; z = t;")
+        decl = process.body[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.declared_type.width == 4
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_increment_desugars_to_add(self):
+        process = _parse_body("z = 0; z++;")
+        stmt = process.body[1]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.value, ast.BinaryOp)
+        assert stmt.value.op == "+"
+        assert isinstance(stmt.value.right, ast.IntLit)
+
+    def test_if_else_chain(self):
+        process = _parse_body(
+            "if (a > 1) { z = 1; } else if (a > 0) { z = 2; } else { z = 3; }")
+        outer = process.body[0]
+        assert isinstance(outer, ast.If)
+        inner = outer.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert len(inner.else_body) == 1
+
+    def test_for_loop_header(self):
+        process = _parse_body("z = 0; for (i = 0; i < 10; i++) { z = z + i; }")
+        loop = process.body[1]
+        assert isinstance(loop, ast.For)
+        assert loop.init.name == "i"
+        assert isinstance(loop.cond, ast.BinaryOp)
+        assert loop.update.name == "i"
+
+    def test_while_loop(self):
+        process = _parse_body("z = a; while (z > 0) { z = z - b; }")
+        loop = process.body[1]
+        assert isinstance(loop, ast.While)
+
+    def test_missing_semicolon_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_source("process p(a: int8) -> (z: int8) {\n z = a\n}")
+        assert "line 3" in str(exc.value)
+
+
+class TestExpressions:
+    def _expr(self, text: str) -> ast.Expr:
+        process = _parse_body(f"z = {text};")
+        return process.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("a + b * 2")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_relational_over_logical(self):
+        expr = self._expr("a < b && b < 3")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+        assert expr.right.op == "<"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(a + b) * 2")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = self._expr("a - b - 1")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_unary_minus_and_not(self):
+        neg = self._expr("-a")
+        assert isinstance(neg, ast.UnaryOp) and neg.op == "-"
+        lnot = self._expr("!a")
+        assert isinstance(lnot, ast.UnaryOp) and lnot.op == "!"
+
+    def test_shift_and_bitwise(self):
+        expr = self._expr("a << 2 | b & 3")
+        assert expr.op == "|"
+        assert expr.left.op == "<<"
+        assert expr.right.op == "&"
+
+    def test_bool_literals(self):
+        expr = self._expr("true")
+        assert isinstance(expr, ast.BoolLit) and expr.value is True
+
+
+class TestAstHelpers:
+    def test_assigned_names_recurses(self):
+        process = _parse_body(
+            "z = 0; if (a > 0) { z = 1; } else { for (i = 0; i < 3; i++) { z = z + 1; } }")
+        names = ast.assigned_names(process.body)
+        assert names == {"z", "i"}
+
+    def test_used_names(self):
+        process = _parse_body("z = a + b * a;")
+        assert ast.used_names(process.body[0].value) == {"a", "b"}

@@ -1,0 +1,58 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.tokens import TokenKind, tokenize
+
+
+class TestTokenize:
+    def test_simple_assignment(self):
+        tokens = tokenize("x = a + 5;")
+        kinds = [t.kind for t in tokens]
+        texts = [t.text for t in tokens]
+        assert texts == ["x", "=", "a", "+", "5", ";", ""]
+        assert kinds[0] is TokenKind.IDENT
+        assert kinds[4] is TokenKind.INT
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("process if else for while var true false")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_two_char_punct_longest_match(self):
+        tokens = tokenize("a <= b << c < d <<= e")
+        texts = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+        # "<<=" lexes as "<<" then "="
+        assert texts == ["<=", "<<", "<", "<<", "="]
+
+    def test_increment_and_arrow(self):
+        texts = [t.text for t in tokenize("i++ -> j--") if t.kind is TokenKind.PUNCT]
+        assert texts == ["++", "->", "--"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a = 1; // trailing comment\nb = 2;")
+        texts = [t.text for t in tokens if t.kind is not TokenKind.EOF]
+        assert texts == ["a", "=", "1", ";", "b", "=", "2", ";"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  bb\n    c")
+        a, bb, c = tokens[0], tokens[1], tokens[2]
+        assert (a.line, a.column) == (1, 1)
+        assert (bb.line, bb.column) == (2, 3)
+        assert (c.line, c.column) == (3, 5)
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a = $;")
+        assert "line 1" in str(exc.value)
+
+    def test_identifier_with_digits_and_underscores(self):
+        tokens = tokenize("loop_2x = v_1;")
+        assert tokens[0].text == "loop_2x"
+        assert tokens[0].kind is TokenKind.IDENT
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF

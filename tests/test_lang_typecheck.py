@@ -1,0 +1,104 @@
+"""Semantic-check and width-inference tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_source
+from repro.lang.typecheck import (
+    DEFAULT_INFERRED_WIDTH,
+    check_process,
+    literal_type,
+    result_type,
+    unary_result_type,
+)
+
+
+def _check(body: str, header: str = "process p(a: int8, b: int8) -> (z: int16)"):
+    return check_process(parse_source(header + " { " + body + " }"))
+
+
+class TestResultTypes:
+    def test_add_grows_one_bit(self):
+        out = result_type("+", ast.Type(8), ast.Type(8))
+        assert out.width == 9 and out.signed
+
+    def test_mul_sums_widths(self):
+        out = result_type("*", ast.Type(8), ast.Type(6))
+        assert out.width == 14
+
+    def test_compare_is_one_bit(self):
+        for op in ("<", ">", "<=", ">=", "==", "!="):
+            assert result_type(op, ast.Type(8), ast.Type(8)).width == 1
+
+    def test_width_capped_at_32(self):
+        out = result_type("*", ast.Type(32), ast.Type(32))
+        assert out.width == 32
+
+    def test_bitwise_takes_wider(self):
+        assert result_type("&", ast.Type(4), ast.Type(12)).width == 12
+
+    def test_shift_keeps_left_width(self):
+        assert result_type("<<", ast.Type(9), ast.Type(3)).width == 9
+
+    def test_unary(self):
+        assert unary_result_type("-", ast.Type(8)).width == 9
+        assert unary_result_type("!", ast.Type(8)).width == 1
+
+
+class TestLiteralType:
+    def test_zero_is_one_bit(self):
+        assert literal_type(0).width == 1
+
+    def test_positive(self):
+        assert literal_type(255).width == 8
+        assert not literal_type(255).signed
+
+    def test_negative_is_signed(self):
+        t = literal_type(-128)
+        assert t.width == 8 and t.signed
+
+
+class TestChecker:
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(TypeCheckError):
+            _check("z = q + 1;")
+
+    def test_assign_to_input_rejected(self):
+        with pytest.raises(TypeCheckError):
+            _check("a = 1; z = a;")
+
+    def test_unassigned_output_rejected(self):
+        with pytest.raises(TypeCheckError):
+            _check("var t: int8 = 1;")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_process(parse_source(
+                "process p(a: int8, a: int8) -> (z: int8) { z = a; }"))
+
+    def test_iterator_gets_default_width(self):
+        result = _check("z = 0; for (i = 0; i < 10; i++) { z = z + i; }")
+        assert result.var_types["i"].width == DEFAULT_INFERRED_WIDTH
+        assert result.var_types["i"].signed
+
+    def test_var_decl_literal_widened(self):
+        result = _check("var t = 3; z = t;")
+        assert result.var_types["t"].width == DEFAULT_INFERRED_WIDTH
+
+    def test_expression_inference_keeps_natural_width(self):
+        result = _check("var t = a * b; z = t;")
+        assert result.var_types["t"].width == 16
+
+    def test_declared_width_respected(self):
+        result = _check("var t: int4 = 1; z = t;")
+        assert result.var_types["t"].width == 4
+
+    def test_branch_definitions_visible_after_if(self):
+        result = _check("if (a > b) { z = 1; } else { z = 2; }")
+        assert "z" in result.var_types
+
+    def test_large_literal_keeps_room(self):
+        result = _check("var t = 1000; z = t;")
+        # 1000 needs 10 unsigned bits -> 11 signed bits.
+        assert result.var_types["t"].width >= 11

@@ -1,0 +1,113 @@
+"""Regression tests for register-sharing hazards.
+
+Found on Paulin at laxity 2.0: ShareRegisters validated lifetimes against
+the schedule of the moment, then a later ShareFU *re-scheduled*, and the
+new schedule committed two carriers of one register in the same state —
+silently corrupting a value.  Three defenses now exist; each is tested:
+
+1. the packer refuses two same-state writes to one register;
+2. a rescheduled design point re-validates every shared register;
+3. gatesim raises on conflicting same-state register writes.
+"""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.benchmarks import get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.cdfg.node import OpKind
+from repro.core.design import DesignPoint
+from repro.core.impact import synthesize
+from repro.core.liveness import carrier_liveness, carriers_interfere
+from repro.core.moves import ShareFU, ShareRegisters, generate_moves
+from repro.core.search import SearchConfig
+from repro.library import default_library
+from repro.sched.engine import ScheduleOptions
+
+
+@pytest.fixture(scope="module")
+def paulin_design():
+    bench = get_benchmark("paulin")
+    cdfg = bench.cdfg()
+    stim = bench.stimulus(10, seed=7)
+    store = simulate(cdfg, stim)
+    return DesignPoint.initial(cdfg, default_library(), store,
+                               ScheduleOptions(clock_ns=bench.clock_ns))
+
+
+class TestReValidation:
+    def test_reschedule_revalidates_shared_registers(self, paulin_design):
+        """Walk share-register moves then force a reschedule: either the
+        reschedule keeps the sharing legal, or the move is rejected —
+        never a silent corruption."""
+        design = paulin_design
+        # Find one legal register share.
+        share = None
+        for move in generate_moves(design):
+            if isinstance(move, ShareRegisters):
+                try:
+                    candidate = move.apply(design)
+                except BindingError:
+                    continue
+                share = candidate
+                break
+        if share is None:
+            pytest.skip("no legal register share on this design")
+
+        # Now apply every FU share (forces rescheduling); each either
+        # succeeds with consistent registers or raises BindingError.
+        for move in generate_moves(share):
+            if not isinstance(move, ShareFU):
+                continue
+            try:
+                candidate = move.apply(share)
+            except BindingError:
+                continue
+            candidate.check_register_sharing()  # must not raise
+            liveness = carrier_liveness(candidate)
+            for reg in candidate.binding.regs.values():
+                carriers = sorted(reg.carriers)
+                for i, a in enumerate(carriers):
+                    for b in carriers[i + 1:]:
+                        assert not carriers_interfere(liveness, a, b)
+
+    def test_paulin_laxity_sweep_point_verifies(self):
+        """The original failing configuration end to end."""
+        from repro.experiments.laxity import run_laxity_sweep
+
+        sweep = run_laxity_sweep(
+            "paulin", laxities=(1.0, 2.0), n_passes=10,
+            search=SearchConfig(max_depth=4, max_candidates=10,
+                                max_iterations=4, seed=0))
+        assert sweep.total_mismatches() == 0
+
+
+class TestSchedulerRegisterConflicts:
+    def test_packer_separates_same_register_writes(self):
+        """With two carriers forced into one register, their writers must
+        land in different states."""
+        from repro.lang import parse
+        from repro.sched import wavesched
+
+        cdfg = parse("""
+        process p(a: int8, b: int8) -> (z: int16) {
+          var t: int16 = a + b;
+          var u: int16 = a - b;
+          z = t + u;
+        }
+        """)
+        lib = default_library()
+        store = simulate(cdfg, [{"a": 3, "b": 4}])
+        design = DesignPoint.initial(cdfg, lib, store, ScheduleOptions())
+        binding = design.binding.clone()
+        rt = binding.reg_of("t").id
+        ru = binding.reg_of("u").id
+        binding.merge_regs(rt, ru)
+        stg = wavesched(cdfg, binding)
+        t_writer = next(n.id for n in cdfg.nodes.values()
+                        if n.carrier == "t" and n.is_schedulable)
+        u_writer = next(n.id for n in cdfg.nodes.values()
+                        if n.carrier == "u" and n.is_schedulable)
+        t_states = set(stg.states_of_node(t_writer))
+        u_states = set(stg.states_of_node(u_writer))
+        assert not (t_states & u_states)

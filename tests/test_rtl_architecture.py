@@ -1,0 +1,142 @@
+"""Architecture construction tests: ports, tmp registers, timing, area."""
+
+import pytest
+
+from repro.lang import parse
+from repro.cdfg.interpreter import simulate
+from repro.cdfg.node import OpKind
+from repro.core.binding import Binding
+from repro.library import default_library
+from repro.rtl import build_architecture
+from repro.sched import wavesched
+
+
+def _arch(cdfg, binding=None, clock=15.0):
+    binding = binding or Binding.initial_parallel(cdfg, default_library())
+    stg = wavesched(cdfg, binding, clock_ns=clock)
+    return build_architecture(cdfg, binding, stg, clock_ns=clock)
+
+
+class TestPorts:
+    def test_parallel_design_has_no_fu_input_muxes(self, simple_cdfg):
+        arch = _arch(simple_cdfg)
+        fu_ports = [p for p in arch.datapath.mux_ports() if p.key[0] == "fu_in"]
+        assert not fu_ports
+
+    def test_multi_writer_variable_gets_register_mux(self, gcd_cdfg):
+        arch = _arch(gcd_cdfg)
+        binding = arch.binding
+        x_reg = binding.reg_of("x").id
+        port = arch.datapath.port(("reg_in", x_reg))
+        # x is written by the input copy and the then-arm subtract.
+        assert port.needs_mux()
+        assert len(port.sources) >= 2
+
+    def test_shared_fu_gets_input_mux(self, gcd_cdfg):
+        lib = default_library()
+        binding = Binding.initial_parallel(gcd_cdfg, lib)
+        subs = [f.id for f in binding.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        binding.merge_fus(subs[0], subs[1])
+        arch = _arch(gcd_cdfg, binding)
+        ports = [p for p in arch.datapath.mux_ports()
+                 if p.key[:2] == ("fu_in", subs[0])]
+        assert ports, "shared subtractor should need input multiplexers"
+
+    def test_every_driver_resolves_to_known_source(self, loops_cdfg):
+        arch = _arch(loops_cdfg)
+        valid_kinds = {"reg", "tmp", "fu", "wire", "const", "pin"}
+        for port in arch.datapath.ports.values():
+            for source in port.sources:
+                assert source[0] in valid_kinds
+
+
+class TestTmpRegisters:
+    def test_condition_nodes_get_registers(self, gcd_cdfg):
+        arch = _arch(gcd_cdfg)
+        from repro.cdfg.analysis import condition_nodes
+
+        for cond in condition_nodes(gcd_cdfg):
+            node = gcd_cdfg.node(cond)
+            if node.carrier is None:
+                assert cond in arch.datapath.tmp_regs
+
+    def test_chained_temporaries_need_no_register(self):
+        cdfg = parse("process p(a: int8, b: int8) -> (z: int16) { z = (a + b) * 2; }")
+        arch = _arch(cdfg)
+        adds = [n.id for n in cdfg.nodes.values() if n.kind is OpKind.ADD]
+        # The add chains into the multiply within one state (if packed so);
+        # if it crosses states it must have a register instead.
+        for add in adds:
+            states_add = set(arch.stg.states_of_node(add))
+            consumers = [e.dst for e in cdfg.out_edges(add)]
+            same_state = all(
+                set(arch.stg.states_of_node(c)) <= states_add for c in consumers)
+            assert (add in arch.datapath.tmp_regs) != same_state
+
+
+class TestTiming:
+    def test_initial_designs_meet_timing(self, gcd_cdfg, loops_cdfg, branch_cdfg):
+        for cdfg in (gcd_cdfg, loops_cdfg, branch_cdfg):
+            arch = _arch(cdfg)
+            assert arch.check_timing() == []
+
+    def test_slack_ratio_at_least_one_when_legal(self, gcd_cdfg):
+        arch = _arch(gcd_cdfg)
+        assert arch.worst_slack_ratio() >= 1.0
+
+    def test_scaled_vdd_in_range(self, gcd_cdfg):
+        from repro.library.voltage import MIN_VDD, NOMINAL_VDD
+
+        arch = _arch(gcd_cdfg)
+        assert MIN_VDD <= arch.scaled_vdd() <= NOMINAL_VDD
+
+    def test_tight_clock_multicycles_instead_of_violating(self, loops_cdfg):
+        arch = _arch(loops_cdfg, clock=10.0)
+        assert arch.check_timing() == []
+        assert any(s.duration > 1 for s in arch.stg.states.values())
+
+
+class TestArea:
+    def test_breakdown_sums_to_total(self, gcd_cdfg):
+        arch = _arch(gcd_cdfg)
+        breakdown = arch.area_breakdown()
+        from repro.rtl.architecture import WIRING_OVERHEAD
+
+        parts = (breakdown["fus"] + breakdown["registers"] + breakdown["muxes"]
+                 + breakdown["controller"])
+        assert breakdown["total"] == pytest.approx(parts * WIRING_OVERHEAD)
+
+    def test_sharing_reduces_fu_area(self, gcd_cdfg):
+        lib = default_library()
+        parallel = Binding.initial_parallel(gcd_cdfg, lib)
+        shared = parallel.clone()
+        subs = [f.id for f in shared.fus.values()
+                if f.kinds(gcd_cdfg) == {OpKind.SUB}]
+        shared.merge_fus(subs[0], subs[1])
+        a_parallel = _arch(gcd_cdfg, parallel).area_breakdown()["fus"]
+        a_shared = _arch(gcd_cdfg, shared).area_breakdown()["fus"]
+        assert a_shared < a_parallel
+
+
+class TestTreeInstallation:
+    def test_set_tree_requires_matching_sources(self, gcd_cdfg):
+        from repro.errors import ArchitectureError
+        from repro.rtl.mux import MuxSource, MuxTree
+
+        arch = _arch(gcd_cdfg)
+        port = arch.datapath.mux_ports()[0]
+        bogus = MuxTree((MuxSource("a"), MuxSource("b")))
+        with pytest.raises(ArchitectureError):
+            arch.set_tree(port.key, bogus)
+
+    def test_huffman_installation_keeps_timing_checked(self, gcd_cdfg):
+        from repro.core.mux_restructure import huffman_tree
+        from repro.rtl.mux import MuxSource
+
+        arch = _arch(gcd_cdfg)
+        port = arch.datapath.mux_ports()[0]
+        sources = [MuxSource(k, 0.5, 1.0 / len(port.sources))
+                   for k in port.sources]
+        arch.set_tree(port.key, huffman_tree(sources))
+        arch.check_timing()  # must not raise

@@ -1,0 +1,67 @@
+"""Signal statistics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.statistics import (
+    ActivityStats,
+    activity_stats,
+    spatial_correlation,
+    stream_activity,
+)
+
+
+class TestStreamActivity:
+    def test_constant_stream(self):
+        values = np.full(20, 42, dtype=np.int64)
+        assert stream_activity(values, 8) == 0.0
+
+    def test_alternating_all_bits(self):
+        values = np.array([0, -1] * 10, dtype=np.int64)
+        assert stream_activity(values, 8) == 1.0
+
+    def test_single_value_stream(self):
+        assert stream_activity(np.array([5], dtype=np.int64), 8) == 0.0
+
+    @given(st.lists(st.integers(-128, 127), min_size=2, max_size=50))
+    def test_bounded(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        assert 0.0 <= stream_activity(values, 8) <= 1.0
+
+
+class TestActivityStats:
+    def test_full_stats(self):
+        values = np.array([0, 3, 0, 3, 0, 3], dtype=np.int64)
+        stats = activity_stats(values, 8)
+        assert stats.mean == pytest.approx(2 / 8)
+        assert stats.std == pytest.approx(0.0)
+        assert stats.transitions == 5
+        assert stats.toggles_per_transition == pytest.approx(2.0)
+
+    def test_periodic_signal_has_positive_lag1(self):
+        # Period-2 toggle magnitudes: high, low, high, low...
+        values = np.array([0, 255, 254, 1, 0, 255, 254, 1, 0], dtype=np.int64)
+        stats = activity_stats(values, 8)
+        assert -1.0 <= stats.lag1 <= 1.0
+
+    def test_short_stream(self):
+        stats = activity_stats(np.array([1], dtype=np.int64), 8)
+        assert stats == ActivityStats(0.0, 0.0, 0.0, 0, 8)
+
+
+class TestSpatialCorrelation:
+    def test_identical_streams_fully_correlated(self):
+        values = np.array([0, 5, 1, 7, 2, 6], dtype=np.int64)
+        assert spatial_correlation(values, values, 8) == pytest.approx(1.0)
+
+    def test_constant_stream_gives_zero(self):
+        a = np.array([0, 5, 1, 7], dtype=np.int64)
+        b = np.full(4, 3, dtype=np.int64)
+        assert spatial_correlation(a, b, 8) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        a = np.zeros(4, dtype=np.int64)
+        b = np.zeros(5, dtype=np.int64)
+        with pytest.raises(ValueError):
+            spatial_correlation(a, b, 8)

@@ -4,34 +4,93 @@ The paper reports: up to 6.7x power reduction over the 5 V area-optimized
 base, up to 2.6x over the Vdd-scaled area-optimized designs, and <= 30 %
 area overhead.  This bench aggregates the maxima over all six Figure 13
 sweeps (coarser grid than the per-benchmark benches, so it stands alone).
+
+Each sweep runs through one :class:`~repro.core.engine.SynthesisEngine`,
+so the bench also tracks the performance trajectory of the synthesis hot
+path itself: wall time, candidate evaluations, and the pipeline-cache
+hit rates (how many full schedule / replay / trace-merge computations the
+content-addressed memo tables avoided).  Headline metrics are emitted
+both as a table and as one machine-readable JSON line (persisted to
+``results/headline.json``) so successive PRs can compare.
+
+Set ``HEADLINE_SMOKE=1`` to restrict the run to a single benchmark — the
+CI smoke mode.
 """
 
-from conftest import publish, run_once
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, publish, run_once
 from repro.core.search import SearchConfig
 from repro.experiments.laxity import run_laxity_sweep
 from repro.experiments.report import format_table
 
 SEARCH = SearchConfig(max_depth=4, max_candidates=10, max_iterations=5, seed=0)
 NAMES = ("loops", "gcd", "dealer", "x25_send", "cordic", "paulin")
+if os.environ.get("HEADLINE_SMOKE"):
+    NAMES = ("gcd",)
 
 
 def bench_headline(benchmark):
     def run():
         rows = []
+        totals = {"hits": 0, "misses": 0, "sched_hits": 0, "sched_misses": 0,
+                  "replay_hits": 0, "replay_misses": 0, "evaluations": 0}
+        t0 = time.perf_counter()
         for name in NAMES:
             sweep = run_laxity_sweep(name, laxities=(1.0, 2.0, 3.0),
                                      n_passes=15, search=SEARCH)
             assert sweep.total_mismatches() == 0
+            stats = sweep.cache_stats
+            totals["hits"] += stats["total"]["hits"]
+            totals["misses"] += stats["total"]["misses"]
+            totals["sched_hits"] += stats["schedule"]["hits"]
+            totals["sched_misses"] += stats["schedule"]["misses"]
+            totals["replay_hits"] += stats["replay"]["hits"]
+            totals["replay_misses"] += stats["replay"]["misses"]
+            totals["evaluations"] += sweep.evaluations
             rows.append({
                 "benchmark": name,
                 "vs 5V base": f"{sweep.max_power_reduction_vs_base():.2f}x",
                 "vs A-Power": f"{sweep.max_power_reduction_vs_a():.2f}x",
                 "area overhead": f"{sweep.max_area_overhead():.1%}",
+                "cache hit rate": f"{stats['total']['hit_rate']:.1%}",
             })
-        return rows
+        totals["wall_time_s"] = round(time.perf_counter() - t0, 3)
+        return rows, totals
 
-    rows = run_once(benchmark, run)
+    rows, totals = run_once(benchmark, run)
+    calls = totals["hits"] + totals["misses"]
+    sched_replay_calls = (totals["sched_hits"] + totals["sched_misses"]
+                          + totals["replay_hits"] + totals["replay_misses"])
+    sched_replay_computes = totals["sched_misses"] + totals["replay_misses"]
+    metrics = {
+        "bench": "headline",
+        "benchmarks": list(NAMES),
+        "wall_time_s": totals["wall_time_s"],
+        "evaluations": totals["evaluations"],
+        "cache_hit_rate": round(totals["hits"] / calls, 4) if calls else 0.0,
+        "schedule_replay_calls": sched_replay_calls,
+        "schedule_replay_computes": sched_replay_computes,
+        "compute_reduction": round(sched_replay_calls / sched_replay_computes, 2)
+        if sched_replay_computes else 1.0,
+    }
+    benchmark.extra_info.update(metrics)
+
     text = format_table(rows, title=(
         "Section 4 headlines (paper: up to 6.7x vs base, up to 2.6x vs "
         "A-Power, <= 30% area overhead)"))
+    text += (
+        f"\n\npipeline: {totals['wall_time_s']:.2f}s wall, "
+        f"{totals['evaluations']} evaluations, "
+        f"{metrics['cache_hit_rate']:.1%} cache hit rate, "
+        f"{metrics['compute_reduction']:.2f}x fewer schedule/replay "
+        f"computations ({sched_replay_computes}/{sched_replay_calls})")
     publish("headline", text)
+
+    # One machine-readable line per run, for the perf trajectory.
+    json_line = json.dumps(metrics, sort_keys=True)
+    print(json_line)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "headline.json").write_text(json_line + "\n", encoding="utf-8")

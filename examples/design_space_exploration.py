@@ -29,6 +29,11 @@ def main() -> None:
         name, laxities=laxities, n_passes=20,
         search=SearchConfig(max_depth=5, max_candidates=12, max_iterations=6))
 
+    total = sweep.cache_stats.get("total", {})
+    print(f"\n{sweep.evaluations} candidate evaluations; pipeline cache "
+          f"{total.get('hits', 0)} hits / {total.get('misses', 0)} misses "
+          f"({total.get('hit_rate', 0.0):.0%})")
+
     print()
     print(format_sweep(sweep))
     print()

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.cdfg.interpreter import simulate
 from repro.core.binding import Binding
-from repro.core.impact import synthesize
+from repro.core.engine import SynthesisEngine
 from repro.core.search import SearchConfig
 from repro.gatesim import simulate_architecture
 from repro.lang import parse
@@ -79,8 +79,8 @@ def main() -> None:
         rep = replay(stg, cdfg, store)
         print(f"  {name:14s}: ENC {rep.enc:7.2f}  states {stg.n_states:3d}")
 
-    result = synthesize(cdfg, stimulus, mode="power", laxity=1.5,
-                        options=options,
+    engine = SynthesisEngine(cdfg, stimulus, options=options, store=store)
+    result = engine.run(mode="power", laxity=1.5,
                         search=SearchConfig(max_depth=5, max_candidates=12,
                                             max_iterations=6))
     evaluation = result.design.evaluate()

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.benchmarks import get_benchmark
-from repro.core.impact import synthesize
+from repro.core.engine import SynthesisEngine
 from repro.core.search import SearchConfig
 from repro.gatesim import simulate_architecture
 from repro.sched.engine import ScheduleOptions
@@ -27,10 +27,11 @@ def main() -> None:
     stimulus = bench.stimulus(40, seed=1)
     options = ScheduleOptions(clock_ns=bench.clock_ns)
 
-    result = synthesize(
-        cdfg, stimulus,
+    # The engine owns the trace store, the initial design point and the
+    # pipeline memo tables; re-running at another laxity reuses them all.
+    engine = SynthesisEngine(cdfg, stimulus, options=options)
+    result = engine.run(
         mode="power", laxity=2.0,
-        options=options,
         search=SearchConfig(max_depth=5, max_candidates=12, max_iterations=6),
     )
 
@@ -42,6 +43,11 @@ def main() -> None:
     measured = simulate_architecture(result.design.arch, stimulus,
                                      expected_outputs=result.store.outputs,
                                      vdd=evaluation.vdd)
+    stats = result.cache_stats.get("total", {})
+    print(f"Pipeline cache: {stats.get('hits', 0)} hits / "
+          f"{stats.get('misses', 0)} misses "
+          f"({stats.get('hit_rate', 0.0):.0%} hit rate)")
+
     print(f"\nBit-level verification: {measured.output_mismatches} mismatches "
           f"over {len(stimulus)} passes")
     print(f"Measured power at {evaluation.vdd:.2f} V: {measured.power_mw:.3f} mW "

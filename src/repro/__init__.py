@@ -16,7 +16,9 @@ from repro.lang import parse
 from repro.cdfg.interpreter import simulate
 from repro.cdfg.graph import CDFG
 from repro.core.binding import Binding
+from repro.core.cache import SynthesisCache
 from repro.core.design import DesignPoint
+from repro.core.engine import SynthesisEngine
 from repro.core.impact import SynthesisResult, synthesize
 from repro.core.search import SearchConfig
 from repro.gatesim import simulate_architecture
@@ -38,6 +40,8 @@ __all__ = [
     "CDFG",
     "Binding",
     "DesignPoint",
+    "SynthesisCache",
+    "SynthesisEngine",
     "SynthesisResult",
     "synthesize",
     "SearchConfig",

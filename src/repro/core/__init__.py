@@ -8,9 +8,16 @@ Huffman multiplexer-tree restructuring of Figure 12.
 """
 
 from repro.core.binding import Binding, FUInstance, RegInstance
+from repro.core.cache import CacheStats, MemoTable, SynthesisCache
+from repro.core.engine import SynthesisEngine, SynthesisResult
 
 __all__ = [
     "Binding",
     "FUInstance",
     "RegInstance",
+    "CacheStats",
+    "MemoTable",
+    "SynthesisCache",
+    "SynthesisEngine",
+    "SynthesisResult",
 ]

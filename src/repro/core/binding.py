@@ -133,6 +133,48 @@ class Binding:
         """Delay of every schedulable node (zero for transfers)."""
         return {n.id: self.op_delay(n.id) for n in self.cdfg.op_nodes()}
 
+    def signature(self) -> tuple:
+        """Content signature of the resource constraints (hashable).
+
+        Captures everything scheduling and architecture construction read
+        from the binding: the op->unit partition with module and width per
+        unit, and the variable->register partition — including instance
+        ids, since they key datapath ports.  Two bindings with equal
+        signatures yield identical schedules, architectures and merged
+        traces for the same CDFG, options and trace store; the memo tables
+        in :mod:`repro.core.cache` key on it.
+        """
+        fus = tuple(
+            (fu_id, fu.module.name, fu.width, tuple(sorted(fu.ops)))
+            for fu_id, fu in sorted(self.fus.items())
+        )
+        regs = tuple(
+            (reg_id, reg.width, tuple(sorted(reg.carriers)))
+            for reg_id, reg in sorted(self.regs.items())
+        )
+        return (fus, regs)
+
+    def schedule_signature(self) -> tuple:
+        """Id-free signature of exactly what scheduling reads (hashable).
+
+        The engine consumes the binding only through its *partitions*: each
+        unit's (module, width, op set) fixes delays, occupancy conflicts
+        and the input-mux estimate, and each register's carrier set fixes
+        write conflicts — instance ids never influence the schedule (the
+        ``ScheduledOp.fu`` annotation is not read downstream; architecture
+        construction re-resolves units from its own binding).  Bindings
+        that differ only in id numbering therefore share one memoized STG.
+        """
+        fus = tuple(sorted(
+            (fu.module.name, fu.width, tuple(sorted(fu.ops)))
+            for fu in self.fus.values()
+        ))
+        regs = tuple(sorted(
+            (reg.width, tuple(sorted(reg.carriers)))
+            for reg in self.regs.values()
+        ))
+        return (fus, regs)
+
     def validate(self) -> None:
         """Every FU op must be bound to a module that implements it."""
         for node in self.cdfg.fu_nodes():

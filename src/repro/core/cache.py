@@ -1,0 +1,154 @@
+"""Content-addressed memo tables for the synthesis hot path.
+
+The iterative-improvement search evaluates hundreds of candidate design
+points per run, and distinct candidates very often share intermediate
+artifacts: two moves that arrive at the same binding need the same
+schedule, two schedules with identical STGs replay identically, and any
+(binding, STG) pair merges the same unit traces.  A :class:`SynthesisCache`
+keys each stage on a content signature of exactly its inputs:
+
+* **schedule** — (CDFG id, binding signature, schedule options);
+* **replay**   — (trace-store id, CDFG id, STG signature);
+* **traces**   — (trace-store id, CDFG id, binding signature, STG
+  signature, clock period).
+
+All cached values are immutable once published (STG states, replay arrays
+and merged traces are never mutated after construction — per-architecture
+state durations live on :class:`~repro.rtl.architecture.Architecture`
+precisely so STGs can be shared), so returning a shared object is
+bit-identical to recomputing it.  A disabled cache recomputes every call
+but still counts it as a miss, which is what lets benches report "full
+computations avoided" by comparing hit/miss totals.
+
+Tables are lock-guarded so the engine's parallel multi-start searches can
+share one cache; a racing miss at worst computes a value twice and
+publishes identical content.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one memo table (or an aggregate)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class MemoTable:
+    """One keyed memo table with hit/miss accounting.
+
+    ``enabled=False`` turns the table into a counter-only pass-through:
+    every call recomputes and registers as a miss, so the *number of full
+    computations* stays measurable with caching off.
+    """
+
+    def __init__(self, name: str, enabled: bool = True):
+        self.name = name
+        self.enabled = enabled
+        self._table: dict[Any, Any] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        if not self.enabled:
+            with self._lock:
+                self.stats.misses += 1
+            return compute()
+        with self._lock:
+            if key in self._table:
+                self.stats.hits += 1
+                return self._table[key]
+            self.stats.misses += 1
+        value = compute()
+        with self._lock:
+            # A racing thread may have published first; keep the first
+            # value so every caller sees one shared object.
+            return self._table.setdefault(key, value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class SynthesisCache:
+    """The three memo tables of the synthesis pipeline, plus counters.
+
+    One instance is owned by a :class:`~repro.core.engine.SynthesisEngine`
+    (or created ad hoc by :func:`~repro.core.impact.synthesize`) and
+    threaded through every :class:`~repro.core.design.DesignPoint` it
+    derives, so laxity sweeps and multi-start searches share artifacts.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.schedule = MemoTable("schedule", enabled)
+        self.replay = MemoTable("replay", enabled)
+        self.traces = MemoTable("traces", enabled)
+
+    @property
+    def tables(self) -> tuple[MemoTable, ...]:
+        return (self.schedule, self.replay, self.traces)
+
+    def total_hits(self) -> int:
+        return sum(t.stats.hits for t in self.tables)
+
+    def total_misses(self) -> int:
+        return sum(t.stats.misses for t in self.tables)
+
+    def snapshot(self) -> dict[str, tuple[int, int]]:
+        """(hits, misses) per table — cheap, for windowed deltas."""
+        return {t.name: (t.stats.hits, t.stats.misses) for t in self.tables}
+
+    def delta(self, since: dict[str, tuple[int, int]]) -> "CacheStats":
+        """Aggregate hits/misses accumulated after a :meth:`snapshot`."""
+        agg = CacheStats()
+        for table in self.tables:
+            hits0, misses0 = since.get(table.name, (0, 0))
+            agg.hits += table.stats.hits - hits0
+            agg.misses += table.stats.misses - misses0
+        return agg
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        out = {t.name: t.stats.as_dict() for t in self.tables}
+        total = CacheStats(self.total_hits(), self.total_misses())
+        out["total"] = total.as_dict()
+        return out
+
+    def window_stats(self, since: dict[str, tuple[int, int]]) -> dict[str, dict[str, float]]:
+        """Like :meth:`stats`, restricted to the window after ``since``."""
+        out: dict[str, dict[str, float]] = {}
+        total = CacheStats()
+        for table in self.tables:
+            hits0, misses0 = since.get(table.name, (0, 0))
+            window = CacheStats(table.stats.hits - hits0,
+                                table.stats.misses - misses0)
+            out[table.name] = window.as_dict()
+            total.hits += window.hits
+            total.misses += window.misses
+        out["total"] = total.as_dict()
+        return out
+
+    def clear(self) -> None:
+        for table in self.tables:
+            table.clear()

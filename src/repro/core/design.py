@@ -88,11 +88,23 @@ def energy_cost(design: "DesignPoint", enc_budget: float) -> float:
 
 
 class DesignPoint:
-    """One point in the design space; immutable once evaluated."""
+    """One point in the design space; immutable once evaluated.
+
+    Construction is *lazy*: only the schedule and its replay (the inputs a
+    derivation needs for legality checks) are materialized eagerly.  The
+    architecture, the merged unit traces and the evaluation bundle are
+    cached properties built on first use, so candidates the search rejects
+    early — an interfering register share, an illegal derivation — never
+    pay for RTL construction or trace merging.  When a
+    :class:`~repro.core.cache.SynthesisCache` is attached, the schedule,
+    replay and trace-merge stages are additionally memoized across design
+    points by content signature.
+    """
 
     def __init__(self, cdfg: CDFG, library: ModuleLibrary, store: TraceStore,
                  options: ScheduleOptions, binding: Binding, stg: STG,
-                 rep: ReplayResult, tree_policy: frozenset = frozenset()):
+                 rep: ReplayResult, tree_policy: frozenset = frozenset(),
+                 cache=None):
         self.cdfg = cdfg
         self.library = library
         self.store = store
@@ -101,24 +113,24 @@ class DesignPoint:
         self.stg = stg
         self.rep = rep
         self.tree_policy = tree_policy  # port keys with Huffman-restructured trees
-        self.arch: Architecture = build_architecture(cdfg, binding, stg,
-                                                     clock_ns=options.clock_ns)
-        self.traces: UnitTraces = merge_unit_traces(self.arch, store, rep)
-        self._apply_tree_policy()
-        self.arch.normalize_durations()
+        self.cache = cache
+        self._arch: Architecture | None = None
+        self._traces: UnitTraces | None = None
+        self._liveness: dict[int, set[str]] | None = None
         self._evaluation: Evaluation | None = None
 
     # -- construction ---------------------------------------------------------------
 
     @classmethod
     def initial(cls, cdfg: CDFG, library: ModuleLibrary, store: TraceStore,
-                options: ScheduleOptions | None = None) -> "DesignPoint":
+                options: ScheduleOptions | None = None,
+                cache=None) -> "DesignPoint":
         """The paper's starting point: fully parallel, fastest modules."""
         options = options or ScheduleOptions()
         binding = Binding.initial_parallel(cdfg, library)
-        stg = schedule(cdfg, binding, options)
-        rep = replay(stg, cdfg, store)
-        return cls(cdfg, library, store, options, binding, stg, rep)
+        stg = schedule(cdfg, binding, options, cache=cache)
+        rep = replay(stg, cdfg, store, cache=cache)
+        return cls(cdfg, library, store, options, binding, stg, rep, cache=cache)
 
     def with_binding(self, binding: Binding, reschedule: bool) -> "DesignPoint":
         """Derive a new point after a binding edit.
@@ -126,16 +138,17 @@ class DesignPoint:
         Re-scheduling invalidates earlier register-sharing legality proofs
         (lifetimes are a property of the schedule), so the derived point is
         re-checked and rejected if any shared register's carriers now
-        interfere.
+        interfere.  Rejection happens before any architecture is built.
         """
         if reschedule:
-            stg = schedule(self.cdfg, binding, self.options)
-            rep = replay(stg, self.cdfg, self.store)
+            stg = schedule(self.cdfg, binding, self.options, cache=self.cache)
+            rep = replay(stg, self.cdfg, self.store, cache=self.cache)
         else:
             stg = self.stg
             rep = self.rep
         derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
-                              binding, stg, rep, self.tree_policy)
+                              binding, stg, rep, self.tree_policy,
+                              cache=self.cache)
         if reschedule:
             derived.check_register_sharing()
         return derived
@@ -145,12 +158,12 @@ class DesignPoint:
         from itertools import combinations
 
         from repro.errors import BindingError
-        from repro.core.liveness import carrier_liveness, carriers_interfere
+        from repro.core.liveness import carriers_interfere
 
         shared = [r for r in self.binding.regs.values() if len(r.carriers) > 1]
         if not shared:
             return
-        liveness = carrier_liveness(self)
+        liveness = self.liveness()
         for reg in shared:
             for a, b in combinations(sorted(reg.carriers), 2):
                 if carriers_interfere(liveness, a, b):
@@ -162,16 +175,61 @@ class DesignPoint:
         """Derive a new point with one more Huffman-restructured mux tree."""
         policy = self.tree_policy | {port_key}
         return DesignPoint(self.cdfg, self.library, self.store, self.options,
-                           self.binding, self.stg, self.rep, policy)
+                           self.binding, self.stg, self.rep, policy,
+                           cache=self.cache)
 
-    def _apply_tree_policy(self) -> None:
+    # -- lazy pipeline stages --------------------------------------------------------
+
+    @property
+    def arch(self) -> Architecture:
+        """The RT architecture, built (and tree-restructured) on first use."""
+        if self._arch is None:
+            arch = build_architecture(self.cdfg, self.binding, self.stg,
+                                      clock_ns=self.options.clock_ns)
+            if self.tree_policy:
+                # Restructuring needs the merged port statistics, and
+                # changes timing — re-normalize the cycle windows after.
+                traces = self._merge_traces(arch)
+                self._apply_tree_policy(arch, traces)
+                arch.normalize_durations()
+                self._traces = traces
+            self._arch = arch
+        return self._arch
+
+    @property
+    def traces(self) -> UnitTraces:
+        """Merged per-unit traces, computed on first use."""
+        if self._traces is None:
+            # Building the architecture may already merge the traces as a
+            # side effect (tree-policy restructuring needs them).
+            arch = self.arch
+            if self._traces is None:
+                self._traces = self._merge_traces(arch)
+        return self._traces
+
+    def _merge_traces(self, arch: Architecture) -> UnitTraces:
+        return merge_unit_traces(arch, self.store, self.rep, cache=self.cache)
+
+    def liveness(self) -> dict[int, set[str]]:
+        """Carrier liveness over this point's STG, computed once.
+
+        Depends only on (CDFG, STG), so every register-sharing candidate
+        generated from this point reuses one fixpoint solve.
+        """
+        if self._liveness is None:
+            from repro.core.liveness import carrier_liveness
+
+            self._liveness = carrier_liveness(self)
+        return self._liveness
+
+    def _apply_tree_policy(self, arch: Architecture, traces: UnitTraces) -> None:
         for key in self.tree_policy:
-            port = self.arch.datapath.ports.get(key)
+            port = arch.datapath.ports.get(key)
             if port is None or port.tree is None:
                 continue  # the port vanished under a later binding change
-            stats = {s: (a, p) for s, a, p in self.traces.port_stats.get(key, [])}
+            stats = {s: (a, p) for s, a, p in traces.port_stats.get(key, [])}
             sources = [MuxSource(s, *stats.get(s, (0.0, 0.0))) for s in port.sources]
-            self.arch.set_tree(key, huffman_tree(sources))
+            arch.set_tree(key, huffman_tree(sources))
 
     # -- evaluation -----------------------------------------------------------------
 

@@ -1,0 +1,264 @@
+"""The reusable synthesis engine: one facade over the whole pipeline.
+
+A :class:`SynthesisEngine` owns everything that is shared between the
+synthesis runs of one behavioral description — the module library, the
+profiled trace store, the minimum-ENC initial design point, and the
+content-addressed memo tables of :mod:`repro.core.cache` — so laxity
+sweeps, multi-start searches and repeated experiments stop recomputing
+identical schedules, replays and merged traces.
+
+:meth:`SynthesisEngine.run` executes one IMPACT flow (Figure 7) and is the
+single entry point behind :func:`repro.core.impact.synthesize`; it runs
+independent search starts concurrently via :mod:`concurrent.futures`.
+:meth:`SynthesisEngine.run_many` executes a batch of runs against the same
+shared state.  Results are bit-identical with caching or parallelism
+toggled off: every cached artifact is immutable and content-addressed, and
+start selection always happens in submission order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConstraintError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.interpreter import simulate
+from repro.core.cache import SynthesisCache
+from repro.core.design import DesignPoint
+from repro.core.search import (
+    SearchConfig,
+    SearchHistory,
+    design_cost,
+    iterative_improvement,
+)
+from repro.library.library import ModuleLibrary
+from repro.library.modules_data import default_library
+from repro.sched.engine import ScheduleOptions
+from repro.sim.traces import TraceStore
+
+
+@dataclass
+class SynthesisResult:
+    """Everything a caller needs about one synthesis run."""
+
+    design: DesignPoint
+    initial: DesignPoint
+    mode: str
+    laxity: float
+    enc_min: float
+    enc_budget: float
+    history: SearchHistory
+    store: TraceStore
+    #: Run-window pipeline-cache counters: {"schedule"|"replay"|"traces"|
+    #: "total": {"hits", "misses", "hit_rate"}}.  Empty when no cache.
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def enc(self) -> float:
+        return self.design.enc
+
+    def summary(self) -> dict:
+        total = self.cache_stats.get("total", {})
+        return {
+            "mode": self.mode,
+            "laxity": self.laxity,
+            "enc_min": round(self.enc_min, 2),
+            "enc": round(self.design.enc, 2),
+            **self.design.summary(),
+            "moves": self.history.total_moves(),
+            "evaluations": self.history.evaluations,
+            "cache_hits": total.get("hits", 0),
+            "cache_misses": total.get("misses", 0),
+            "cache_hit_rate": total.get("hit_rate", 0.0),
+        }
+
+
+class SynthesisEngine:
+    """Shared-state facade for synthesizing one behavioral description.
+
+    Parameters
+    ----------
+    cdfg, stimulus:
+        The behavioral description and the profiling stimulus.
+    library, options:
+        Module library and schedule options shared by every run.
+    caching:
+        The config flag for the memo tables.  ``False`` recomputes every
+        pipeline stage (results are bit-identical either way) while still
+        counting computations, so speedups stay measurable.
+    store, initial:
+        Optional pre-computed trace store / initial design point (e.g.
+        from an earlier engine); both are lazily built when omitted.
+    max_workers:
+        Thread budget for parallel multi-start searches (defaults to the
+        CPU count, capped by the number of starts).
+    """
+
+    def __init__(self, cdfg: CDFG, stimulus: list[dict[str, int]], *,
+                 library: ModuleLibrary | None = None,
+                 options: ScheduleOptions | None = None,
+                 caching: bool = True,
+                 store: TraceStore | None = None,
+                 initial: DesignPoint | None = None,
+                 max_workers: int | None = None):
+        self.cdfg = cdfg
+        self.stimulus = stimulus
+        self.library = library or default_library()
+        self.options = options or ScheduleOptions()
+        self.cache = SynthesisCache(enabled=caching)
+        self.max_workers = max_workers
+        self._store = store
+        self._initial = self._adopt(initial)
+
+    # -- shared state ---------------------------------------------------------------
+
+    @property
+    def store(self) -> TraceStore:
+        """The behavioral profile, simulated once per engine."""
+        if self._store is None:
+            self._store = simulate(self.cdfg, self.stimulus)
+        return self._store
+
+    @property
+    def initial(self) -> DesignPoint:
+        """The minimum-ENC fully-parallel design point, built once."""
+        if self._initial is None:
+            self._initial = DesignPoint.initial(
+                self.cdfg, self.library, self.store, self.options,
+                cache=self.cache)
+        return self._initial
+
+    def _adopt(self, design: DesignPoint | None) -> DesignPoint | None:
+        """Point an externally-built design at this engine's cache.
+
+        Guards the memo tables first: keys embed ``id(cdfg)``/``id(store)``,
+        so a design built on foreign objects must be rejected rather than
+        allowed to seed entries that could alias a later object at the
+        same address.  Re-binding is in place so object identity survives
+        (callers hold references); it only changes which memo tables
+        future derivations consult, never any synthesized value.
+        """
+        if design is None:
+            return None
+        if design.cdfg is not self.cdfg:
+            raise ConstraintError(
+                "design point was built on a different CDFG than the engine's")
+        if self._store is None:
+            self._store = design.store
+        elif design.store is not self._store:
+            raise ConstraintError(
+                "design point was profiled against a different trace store "
+                "than the engine's")
+        if design.cache is not self.cache:
+            design.cache = self.cache
+        return design
+
+    # -- the IMPACT flow ------------------------------------------------------------
+
+    def run(self, mode: str = "power", laxity: float = 1.0, *,
+            search: SearchConfig | None = None,
+            starts: list[DesignPoint] | None = None,
+            area_cap: float | None = None,
+            parallel_starts: bool = True) -> SynthesisResult:
+        """Run the full IMPACT flow once (see :func:`repro.core.impact.synthesize`).
+
+        ``starts`` adds extra search starting points (the initial design is
+        always included and always defines ``enc_min``); the search runs
+        from each — concurrently when ``parallel_starts`` — and the best
+        final design wins, with ties broken in start order regardless of
+        completion order.  Every start's evaluation count lands in the
+        returned history, including the losers'.
+        """
+        if laxity < 1.0:
+            raise ConstraintError(f"laxity factor must be >= 1.0, got {laxity}")
+        initial = self.initial
+        enc_min = initial.enc
+        enc_budget = laxity * enc_min
+        window = self.cache.snapshot()
+
+        def feasible(design: DesignPoint) -> bool:
+            evaluation = design.evaluate()
+            if not evaluation.legal or evaluation.enc > enc_budget + 1e-9:
+                return False
+            return area_cap is None or evaluation.area <= area_cap + 1e-9
+
+        start_points = [initial] + [
+            self._adopt(s) for s in (starts or [])
+            if s.evaluate().legal and s.enc <= enc_budget + 1e-9
+        ]
+        results = self._search_starts(start_points, mode, enc_budget, search,
+                                      area_cap, parallel_starts)
+
+        best_design: DesignPoint | None = None
+        best_history: SearchHistory | None = None
+        best_key = (True, float("inf"))  # (infeasible, cost) -- feasible wins
+        for design, history in results:
+            key = (not feasible(design), design_cost(design, mode, enc_budget))
+            if best_design is None or key < best_key:
+                best_key = key
+                best_design = design
+                best_history = history
+        # Losing starts' effort counts toward the run, whichever start won.
+        best_history.evaluations = sum(h.evaluations for _, h in results)
+
+        return SynthesisResult(
+            design=best_design,
+            initial=initial,
+            mode=mode,
+            laxity=laxity,
+            enc_min=enc_min,
+            enc_budget=enc_budget,
+            history=best_history,
+            store=self.store,
+            cache_stats=self.cache.window_stats(window),
+        )
+
+    def _search_starts(self, start_points, mode, enc_budget, search, area_cap,
+                       parallel):
+        """One iterative-improvement search per start, results in start order."""
+        if parallel and len(start_points) > 1:
+            workers = self.max_workers or os.cpu_count() or 2
+            workers = max(1, min(workers, len(start_points)))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(iterative_improvement, start, mode, enc_budget,
+                                search, area_cap=area_cap)
+                    for start in start_points
+                ]
+                return [future.result() for future in futures]
+        return [iterative_improvement(start, mode, enc_budget, search,
+                                      area_cap=area_cap)
+                for start in start_points]
+
+    def run_many(self, runs: Iterable[Mapping], *,
+                 parallel: bool = False) -> list[SynthesisResult]:
+        """Execute a batch of :meth:`run` calls against the shared state.
+
+        Each element of ``runs`` is a kwargs mapping for :meth:`run`.
+        Sequential by default (later runs then reuse everything earlier
+        ones cached); ``parallel=True`` dispatches independent runs to a
+        thread pool — correct for runs that do not feed each other's
+        ``starts``, since the caches are content-addressed and
+        thread-safe.
+        """
+        specs = [dict(spec) for spec in runs]
+        self.initial  # materialize shared state once, outside any pool
+        if parallel and len(specs) > 1:
+            workers = self.max_workers or os.cpu_count() or 2
+            workers = max(1, min(workers, len(specs)))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # Nested pools would deadlock a small worker budget; each
+                # run's starts stay sequential inside its worker thread.
+                futures = [
+                    pool.submit(self.run, **{**spec, "parallel_starts": False})
+                    for spec in specs
+                ]
+                return [future.result() for future in futures]
+        return [self.run(**spec) for spec in specs]
+
+    def cache_stats(self) -> dict:
+        """Lifetime hit/miss counters of the engine's memo tables."""
+        return self.cache.stats()

@@ -13,55 +13,25 @@
 ``mode="power"`` optimizes the Vdd-scaled power estimate (what the paper's
 I-Power designs minimize); ``mode="area"`` the area model (the paper's
 area-optimization mode, used as the comparison base).
+
+:func:`synthesize` is the one-shot convenience wrapper; callers running
+several related flows (laxity sweeps, repeated experiments) should hold a
+:class:`~repro.core.engine.SynthesisEngine` instead, which keeps the trace
+store, the initial design point and the pipeline memo tables warm across
+runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.errors import ConstraintError
 from repro.cdfg.graph import CDFG
-from repro.cdfg.interpreter import simulate
 from repro.core.design import DesignPoint
-from repro.core.search import (
-    SearchConfig,
-    SearchHistory,
-    design_cost,
-    iterative_improvement,
-)
+from repro.core.engine import SynthesisEngine, SynthesisResult
+from repro.core.search import SearchConfig
 from repro.library.library import ModuleLibrary
-from repro.library.modules_data import default_library
 from repro.sched.engine import ScheduleOptions
 from repro.sim.traces import TraceStore
 
-
-@dataclass
-class SynthesisResult:
-    """Everything a caller needs about one synthesis run."""
-
-    design: DesignPoint
-    initial: DesignPoint
-    mode: str
-    laxity: float
-    enc_min: float
-    enc_budget: float
-    history: SearchHistory
-    store: TraceStore
-
-    @property
-    def enc(self) -> float:
-        return self.design.enc
-
-    def summary(self) -> dict:
-        return {
-            "mode": self.mode,
-            "laxity": self.laxity,
-            "enc_min": round(self.enc_min, 2),
-            "enc": round(self.design.enc, 2),
-            **self.design.summary(),
-            "moves": self.history.total_moves(),
-            "evaluations": self.history.evaluations,
-        }
+__all__ = ["SynthesisResult", "SynthesisEngine", "synthesize"]
 
 
 def synthesize(
@@ -77,6 +47,8 @@ def synthesize(
     initial: DesignPoint | None = None,
     starts: list[DesignPoint] | None = None,
     area_cap: float | None = None,
+    caching: bool = True,
+    parallel_starts: bool = False,
 ) -> SynthesisResult:
     """Run the full IMPACT flow on a CDFG.
 
@@ -87,49 +59,12 @@ def synthesize(
     the search runs from each and the best final design wins.  ``initial``
     always defines ``enc_min`` (the minimum-ENC parallel design) and is
     always included as a starting point.
+
+    ``caching`` toggles the content-addressed pipeline memo tables
+    (bit-identical results either way); ``parallel_starts`` runs the extra
+    starting points' searches on a thread pool.
     """
-    if laxity < 1.0:
-        raise ConstraintError(f"laxity factor must be >= 1.0, got {laxity}")
-    library = library or default_library()
-    options = options or ScheduleOptions()
-    if store is None:
-        store = simulate(cdfg, stimulus)
-    if initial is None:
-        initial = DesignPoint.initial(cdfg, library, store, options)
-    enc_min = initial.enc
-    enc_budget = laxity * enc_min
-
-    def feasible(design: DesignPoint) -> bool:
-        evaluation = design.evaluate()
-        if not evaluation.legal or evaluation.enc > enc_budget + 1e-9:
-            return False
-        return area_cap is None or evaluation.area <= area_cap + 1e-9
-
-    best_design: DesignPoint | None = None
-    best_history: SearchHistory | None = None
-    best_key = (False, float("inf"))  # (feasible, cost) -- feasible wins
-    start_points = [initial] + [
-        s for s in (starts or [])
-        if s.evaluate().legal and s.enc <= enc_budget + 1e-9
-    ]
-    for start in start_points:
-        design, history = iterative_improvement(start, mode, enc_budget, search,
-                                                area_cap=area_cap)
-        key = (not feasible(design), design_cost(design, mode, enc_budget))
-        if best_design is None or key < best_key:
-            best_key = key
-            best_design = design
-            best_history = history
-        elif best_history is not None:
-            best_history.evaluations += history.evaluations
-
-    return SynthesisResult(
-        design=best_design,
-        initial=initial,
-        mode=mode,
-        laxity=laxity,
-        enc_min=enc_min,
-        enc_budget=enc_budget,
-        history=best_history,
-        store=store,
-    )
+    engine = SynthesisEngine(cdfg, stimulus, library=library, options=options,
+                             caching=caching, store=store, initial=initial)
+    return engine.run(mode=mode, laxity=laxity, search=search, starts=starts,
+                      area_cap=area_cap, parallel_starts=parallel_starts)

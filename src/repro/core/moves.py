@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import BindingError, ReproError
 from repro.core.design import DesignPoint
-from repro.core.liveness import carrier_liveness, carriers_interfere
+from repro.core.liveness import carriers_interfere
 from repro.library.module import scale_area, scale_delay
 
 
@@ -111,7 +111,9 @@ class ShareRegisters(Move):
         return ("share_reg", self.keep, self.absorb)
 
     def apply(self, design: DesignPoint) -> DesignPoint:
-        liveness = carrier_liveness(design)
+        # Memoized on the design point: every register-sharing candidate
+        # at one search depth shares a single liveness fixpoint.
+        liveness = design.liveness()
         keep_carriers = design.binding.regs[self.keep].carriers
         absorb_carriers = design.binding.regs[self.absorb].carriers
         for a in keep_carriers:

@@ -21,12 +21,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
 from repro.benchmarks import get_benchmark
-from repro.cdfg.interpreter import simulate
-from repro.core.design import DesignPoint, equal_throughput_vdd
-from repro.core.impact import SynthesisResult, synthesize
+from repro.core.design import equal_throughput_vdd
+from repro.core.engine import SynthesisEngine, SynthesisResult
 from repro.core.search import SearchConfig
 from repro.gatesim import simulate_architecture
-from repro.library.modules_data import default_library
 from repro.sched.engine import ScheduleOptions
 
 #: The paper's laxity grid (Figure 13 x-axis).
@@ -85,6 +83,11 @@ class LaxitySweep:
 
     benchmark: str
     points: list[LaxityPoint] = field(default_factory=list)
+    #: Lifetime pipeline-cache counters of the engine that ran the sweep
+    #: (see :meth:`repro.core.cache.SynthesisCache.stats`).
+    cache_stats: dict = field(default_factory=dict)
+    #: Total candidate evaluations across every synthesis run of the sweep.
+    evaluations: int = 0
 
     def max_power_reduction_vs_base(self) -> float:
         """Paper headline: up to 6.7x over the 5 V area-optimized base."""
@@ -109,17 +112,28 @@ def run_laxity_sweep(
     seed: int = 7,
     search: SearchConfig | None = None,
     options: ScheduleOptions | None = None,
+    caching: bool = True,
+    engine: SynthesisEngine | None = None,
 ) -> LaxitySweep:
-    """Regenerate one Figure 13 subplot."""
-    bench = get_benchmark(benchmark)
-    cdfg = bench.cdfg()
-    stimulus = bench.stimulus(n_passes, seed=seed)
-    library = default_library()
-    options = options or ScheduleOptions(clock_ns=bench.clock_ns)
-    search = search or SearchConfig(max_depth=5, max_candidates=12, max_iterations=6)
+    """Regenerate one Figure 13 subplot.
 
-    store = simulate(cdfg, stimulus)
-    initial = DesignPoint.initial(cdfg, library, store, options)
+    One :class:`SynthesisEngine` carries the trace store, the initial
+    design point and the pipeline memo tables across every laxity point
+    and both optimization modes, so the repeated portions of the searches
+    (shared prefixes of the move sequences, re-visited bindings) are not
+    recomputed.  Pass ``engine`` to share that state with a caller; the
+    engine then supplies the program, stimulus and configuration, and
+    ``benchmark`` is just the sweep's label (``n_passes``/``seed``/
+    ``options``/``caching`` are ignored).
+    """
+    search = search or SearchConfig(max_depth=5, max_candidates=12, max_iterations=6)
+    if engine is None:
+        bench = get_benchmark(benchmark)
+        cdfg = bench.cdfg()
+        stimulus = bench.stimulus(n_passes, seed=seed)
+        options = options or ScheduleOptions(clock_ns=bench.clock_ns)
+        engine = SynthesisEngine(cdfg, stimulus, options=options, caching=caching)
+    stimulus = engine.stimulus
 
     sweep = LaxitySweep(benchmark=benchmark)
     prev_area = None
@@ -130,20 +144,20 @@ def run_laxity_sweep(
         # power search additionally starts from the area-optimized design,
         # so I-Power can never lose to A-Power in estimator terms.
         area_starts = [d for d in (prev_area,) if d is not None]
-        area_res = synthesize(cdfg, stimulus, mode="area", laxity=laxity,
-                              library=library, options=options, search=search,
-                              store=store, initial=initial, starts=area_starts)
+        area_res = engine.run(mode="area", laxity=laxity, search=search,
+                              starts=area_starts)
         power_starts = [area_res.design] + [d for d in (prev_power,) if d is not None]
         # The paper's power-optimized designs stay within ~1.3x of the
         # area-optimized base; impose that as the search's area ceiling.
         area_cap = 1.3 * area_res.design.evaluate().area
-        power_res = synthesize(cdfg, stimulus, mode="power", laxity=laxity,
-                               library=library, options=options, search=search,
-                               store=store, initial=initial, starts=power_starts,
-                               area_cap=area_cap)
+        power_res = engine.run(mode="power", laxity=laxity, search=search,
+                               starts=power_starts, area_cap=area_cap)
         prev_area = area_res.design
         prev_power = power_res.design
+        sweep.evaluations += (area_res.history.evaluations
+                              + power_res.history.evaluations)
         sweep.points.append(_measure_point(laxity, area_res, power_res, stimulus))
+    sweep.cache_stats = engine.cache.stats()
     return sweep
 
 

@@ -77,10 +77,22 @@ class UnitTraces:
 
 
 def merge_unit_traces(arch: Architecture, store: TraceStore,
-                      rep: ReplayResult) -> UnitTraces:
-    """Merge per-op traces into per-unit traces for one design point."""
-    merger = _Merger(arch, store, rep)
-    return merger.run()
+                      rep: ReplayResult, cache=None) -> UnitTraces:
+    """Merge per-op traces into per-unit traces for one design point.
+
+    ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`;
+    when given, the result is memoized on (store id, CDFG id, binding
+    signature, STG signature, clock) — everything the merge reads.  The
+    merged traces are immutable apart from an internal activity memo, so
+    the shared object is safe across design points (mux-tree restructuring
+    changes the architecture, never the merged streams).
+    """
+    if cache is None:
+        return _Merger(arch, store, rep).run()
+    key = (id(store), id(arch.cdfg), arch.binding.signature(),
+           arch.stg.signature(), arch.clock_ns)
+    return cache.traces.get_or_compute(
+        key, lambda: _Merger(arch, store, rep).run())
 
 
 class _Merger:

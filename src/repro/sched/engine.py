@@ -516,9 +516,19 @@ class _Engine:
 
         then_tasks = self._block_tasks(cdfg, cdfg.block(region.then_block))
         else_tasks = self._block_tasks(cdfg, cdfg.block(region.else_block))
+        then_subtree = self._region_task_nodes(region.then_block)
+        else_subtree = self._region_task_nodes(region.else_block)
 
         snapshot_nodes = set(self.done_nodes)
         snapshot_regions = set(self.done_regions)
+
+        # While one arm is scheduled, ops in the *opposite* arm can never
+        # execute on this path, so they must not gate readiness: a shared
+        # outside op whose weak (write-after-read) or WAW dependency sits in
+        # the other arm is vacuously ordered there.  Without this, such an
+        # op placed opportunistically in the then arm deadlocks when the
+        # else arm mirrors it (the then-arm reader never runs on that path).
+        self.done_nodes |= else_subtree
 
         # Then arm (greedy on the shared external ops).
         then_cursor = _Cursor(sources=[(s, self._and_cond(c, cond, True))
@@ -529,7 +539,7 @@ class _Engine:
         then_done_regions = set(self.done_regions)
 
         # Else arm must mirror exactly the shared ops the then arm placed.
-        self.done_nodes = set(snapshot_nodes)
+        self.done_nodes = snapshot_nodes | then_subtree
         self.done_regions = set(snapshot_regions)
         else_required = else_tasks + [("op", n) for n in placed_shared]
         else_cursor = _Cursor(sources=[(s, self._and_cond(c, cond, False))
@@ -723,6 +733,20 @@ class _Engine:
         return exit_cursor
 
 
-def schedule(cdfg: CDFG, binding: Binding, options: ScheduleOptions | None = None) -> STG:
-    """Schedule a CDFG under a binding; returns a validated STG."""
-    return _Engine(cdfg, binding, options or ScheduleOptions()).run()
+def schedule(cdfg: CDFG, binding: Binding, options: ScheduleOptions | None = None,
+             cache=None) -> STG:
+    """Schedule a CDFG under a binding; returns a validated STG.
+
+    ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`;
+    when given, the result is memoized on (CDFG id, resource-constraint
+    signature, options) — the engine is deterministic in those inputs, and
+    the STG is immutable once returned, so a cached STG is shared between
+    the design points that would have scheduled identically (see
+    :meth:`~repro.core.binding.Binding.schedule_signature`).
+    """
+    options = options or ScheduleOptions()
+    if cache is None:
+        return _Engine(cdfg, binding, options).run()
+    key = (id(cdfg), binding.schedule_signature(), options)
+    return cache.schedule.get_or_compute(
+        key, lambda: _Engine(cdfg, binding, options).run())

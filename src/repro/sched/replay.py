@@ -56,8 +56,25 @@ class ReplayResult:
         return int(self.cycles.min()) if self.cycles.size else 0
 
 
-def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
-    """Execute the STG over every profiled pass (see module docstring)."""
+def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True,
+           cache=None) -> ReplayResult:
+    """Execute the STG over every profiled pass (see module docstring).
+
+    ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`;
+    when given, the result is memoized on (store id, CDFG id, replay
+    signature of the STG) — replay depends only on those, not on the
+    binding, so design points that re-bind without re-scheduling, and
+    distinct bindings whose schedules coincide up to unit assignment,
+    share one :class:`ReplayResult`.
+    """
+    if cache is None:
+        return _replay(stg, cdfg, store, check)
+    key = (id(store), id(cdfg), stg.replay_signature(), check)
+    return cache.replay.get_or_compute(
+        key, lambda: _replay(stg, cdfg, store, check))
+
+
+def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
     pointers: dict[int, int] = {n: 0 for n in store.occurrences}
     last_val: dict[int, int] = {}
     for node in cdfg.nodes.values():

@@ -113,6 +113,51 @@ class STG:
     def ops_in_state(self, state_id: int) -> list[ScheduledOp]:
         return self.states[state_id].ops
 
+    def signature(self) -> tuple:
+        """Content signature of the whole STG (hashable, memoized).
+
+        Two STGs with equal signatures replay identically against the same
+        trace store and wire identical architectures under the same
+        binding; the replay and trace memo tables key on it.  Safe to
+        memoize because an STG is never mutated once the scheduler returns
+        it (per-design state durations live on the Architecture).
+        """
+        cached = getattr(self, "_signature", None)
+        if cached is None:
+            states = tuple(
+                (sid, state.duration,
+                 tuple((op.node, op.fu, op.start, op.end) for op in state.ops))
+                for sid, state in sorted(self.states.items())
+            )
+            transitions = tuple(sorted(
+                (t.src, t.dst, tuple(sorted(t.conds))) for t in self.transitions
+            ))
+            cached = (self.start, self.done, states, transitions)
+            self._signature = cached
+        return cached
+
+    def replay_signature(self) -> tuple:
+        """Signature of exactly what replay reads (hashable, memoized).
+
+        Replay consumes state durations, each state's ops in chaining
+        order (start, node), and the guarded transitions — never the unit
+        assignment (``op.fu``) or the path ends — so schedules that differ
+        only in those replay identically and share one result.
+        """
+        cached = getattr(self, "_replay_signature", None)
+        if cached is None:
+            states = tuple(
+                (sid, state.duration,
+                 tuple(sorted((op.start, op.node) for op in state.ops)))
+                for sid, state in sorted(self.states.items())
+            )
+            transitions = tuple(sorted(
+                (t.src, t.dst, tuple(sorted(t.conds))) for t in self.transitions
+            ))
+            cached = (self.start, self.done, states, transitions)
+            self._replay_signature = cached
+        return cached
+
     def states_of_node(self, node_id: int) -> list[int]:
         return [s.id for s in self.states.values() if node_id in s.node_ids()]
 

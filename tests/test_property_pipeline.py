@@ -10,7 +10,7 @@ three schedulers, for parallel and randomly-shared bindings.
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.lang import parse
 from repro.cdfg.interpreter import simulate
@@ -87,6 +87,17 @@ def random_program(draw):
 @settings(max_examples=25, deadline=None,
           suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large,
                                  HealthCheck.filter_too_much])
+# Regression: a write after an if whose *then* arm reads the same variable
+# used to deadlock Wavesched — the branch-parallel mirror placed the write
+# in the else arm, where the then-arm reader (its weak write-after-read
+# dependency) can never run.
+@example(
+    source='process rand(a: int8, b: int8) -> (out0: int16, out1: int16, '
+           'out2: int16) { var v0: int8 = 0; var v1: int8 = 0; '
+           'var v2: int8 = 0; if (v0 < v0) { v0 = v2; } v2 = 0; '
+           'out0 = v0; out1 = v1; out2 = v2; }',
+    raw_inputs=[(0, 0), (0, 0)],
+)
 def test_random_programs_bit_exact_through_all_schedulers(source, raw_inputs):
     cdfg = parse(source)
     passes = [{"a": a, "b": b} for a, b in raw_inputs]

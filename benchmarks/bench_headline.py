@@ -13,6 +13,12 @@ content-addressed memo tables avoided).  Headline metrics are emitted
 both as a table and as one machine-readable JSON line (persisted to
 ``results/headline.json``) so successive PRs can compare.
 
+The run also differentially cosimulates every benchmark's design across
+the four execution models (interpreter / replay / gatesim / emitted-
+Verilog netsim) and persists the verdicts to ``results/conformance.json``
+— a headline number is only as good as the agreement of the models that
+produced it.
+
 Set ``HEADLINE_SMOKE=1`` to restrict the run to a single benchmark — the
 CI smoke mode.
 """
@@ -25,11 +31,14 @@ from conftest import RESULTS_DIR, publish, run_once
 from repro.core.search import SearchConfig
 from repro.experiments.laxity import run_laxity_sweep
 from repro.experiments.report import format_table
+from repro.verify.conformance import verify_benchmark
 
 SEARCH = SearchConfig(max_depth=4, max_candidates=10, max_iterations=5, seed=0)
 NAMES = ("loops", "gcd", "dealer", "x25_send", "cordic", "paulin")
+CONFORMANCE_PASSES = 25
 if os.environ.get("HEADLINE_SMOKE"):
     NAMES = ("gcd",)
+    CONFORMANCE_PASSES = 10
 
 
 def bench_headline(benchmark):
@@ -58,9 +67,21 @@ def bench_headline(benchmark):
                 "cache hit rate": f"{stats['total']['hit_rate']:.1%}",
             })
         totals["wall_time_s"] = round(time.perf_counter() - t0, 3)
+
+        # Differential conformance over the same registry: the oracle
+        # chain must agree before any power number above is credible.
+        conformance = []
+        for name in NAMES:
+            report = verify_benchmark(name, n_passes=CONFORMANCE_PASSES,
+                                      seed=0, use_iverilog="auto",
+                                      minimize=False)
+            conformance.append(report.summary())
+        totals["conformance"] = conformance
         return rows, totals
 
     rows, totals = run_once(benchmark, run)
+    conformance = totals["conformance"]
+    conformance_ok = all(c["ok"] for c in conformance)
     calls = totals["hits"] + totals["misses"]
     sched_replay_calls = (totals["sched_hits"] + totals["sched_misses"]
                           + totals["replay_hits"] + totals["replay_misses"])
@@ -75,6 +96,8 @@ def bench_headline(benchmark):
         "schedule_replay_computes": sched_replay_computes,
         "compute_reduction": round(sched_replay_calls / sched_replay_computes, 2)
         if sched_replay_computes else 1.0,
+        "conformance_ok": conformance_ok,
+        "conformance_passes": CONFORMANCE_PASSES,
     }
     benchmark.extra_info.update(metrics)
 
@@ -87,6 +110,10 @@ def bench_headline(benchmark):
         f"{metrics['cache_hit_rate']:.1%} cache hit rate, "
         f"{metrics['compute_reduction']:.2f}x fewer schedule/replay "
         f"computations ({sched_replay_computes}/{sched_replay_calls})")
+    text += (
+        f"\nconformance: {sum(c['ok'] for c in conformance)}/{len(conformance)} "
+        f"benchmarks agree across interpreter/replay/gatesim/netsim "
+        f"({CONFORMANCE_PASSES} passes each)")
     publish("headline", text)
 
     # One machine-readable line per run, for the perf trajectory.
@@ -94,3 +121,8 @@ def bench_headline(benchmark):
     print(json_line)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "headline.json").write_text(json_line + "\n", encoding="utf-8")
+    (RESULTS_DIR / "conformance.json").write_text(
+        json.dumps({"ok": conformance_ok, "passes": CONFORMANCE_PASSES,
+                    "benchmarks": conformance}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    assert conformance_ok, "conformance divergence — see results/conformance.json"

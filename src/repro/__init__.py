@@ -22,6 +22,13 @@ from repro.core.engine import SynthesisEngine
 from repro.core.impact import SynthesisResult, synthesize
 from repro.core.search import SearchConfig
 from repro.gatesim import simulate_architecture
+from repro.hdl import (
+    emit_testbench,
+    emit_verilog,
+    iverilog_available,
+    lower_architecture,
+    simulate_netlist,
+)
 from repro.library import ModuleLibrary, default_library
 from repro.sched import (
     ScheduleOptions,
@@ -32,7 +39,18 @@ from repro.sched import (
 )
 from repro.benchmarks import BENCHMARKS, get_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name):
+    # Lazy: importing the conformance harness at package-import time would
+    # pre-load repro.verify.conformance and trip runpy's double-import
+    # warning under `python -m repro.verify.conformance`.
+    if name in ("verify_architecture", "verify_benchmark", "ConformanceReport"):
+        from repro.verify import conformance
+
+        return getattr(conformance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "parse",
@@ -46,6 +64,13 @@ __all__ = [
     "synthesize",
     "SearchConfig",
     "simulate_architecture",
+    "emit_testbench",
+    "emit_verilog",
+    "iverilog_available",
+    "lower_architecture",
+    "simulate_netlist",
+    "verify_architecture",
+    "verify_benchmark",
     "ModuleLibrary",
     "default_library",
     "ScheduleOptions",

@@ -262,3 +262,36 @@ class SynthesisEngine:
     def cache_stats(self) -> dict:
         """Lifetime hit/miss counters of the engine's memo tables."""
         return self.cache.stats()
+
+    # -- differential verification ----------------------------------------------------
+
+    def verify(self, *, design: DesignPoint | None = None,
+               stimulus: list[dict[str, int]] | None = None,
+               use_iverilog: str = "auto", minimize: bool = True,
+               name: str | None = None):
+        """Differentially cosimulate a design point across every execution
+        model (see :mod:`repro.verify.conformance`).
+
+        Drives ``stimulus`` (default: the engine's profiling stimulus)
+        through the CDFG interpreter, duration-normalized STG replay,
+        gatesim, and the emitted Verilog's netlist simulator — plus
+        iverilog on the printed text when available — and reports any
+        output-value or cycle-count disagreement with the first divergent
+        stimulus minimized.  Defaults to the initial design point; pass
+        ``design`` to verify a searched result.
+
+        Returns a :class:`~repro.verify.conformance.ConformanceReport`;
+        call ``report.raise_if_failed()`` to turn divergence into an
+        exception.
+        """
+        from repro.verify.conformance import verify_architecture
+
+        design = self.initial if design is None else self._adopt(design)
+        if stimulus is None:
+            stimulus, store = self.stimulus, self.store
+        else:
+            store = None
+        return verify_architecture(
+            self.cdfg, design.arch, stimulus, store=store,
+            name=name or getattr(self.cdfg, "name", None) or "impact",
+            use_iverilog=use_iverilog, minimize=minimize)

@@ -70,3 +70,12 @@ class ConstraintError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness misconfiguration."""
+
+
+class HDLError(ReproError):
+    """Verilog emission or netlist simulation failed (unsupported
+    construct, unresolved signal, non-converging combinational net)."""
+
+
+class ConformanceError(ReproError):
+    """Differential cosimulation found disagreeing execution models."""

@@ -58,6 +58,10 @@ class GateSimResult:
     total_cycles: int
     output_mismatches: int
     outputs: dict[str, np.ndarray]
+    #: Per-pass visited state ids (populated with ``record_states=True``);
+    #: the conformance harness diffs this against the HDL netlist's FSM
+    #: trace when cycle counts diverge.
+    state_seq: list[list[int]] | None = None
 
     @property
     def enc(self) -> float:
@@ -116,10 +120,15 @@ class _Accumulator:
 
 def simulate_architecture(arch: Architecture, input_passes: list[dict[str, int]],
                           expected_outputs: dict[str, np.ndarray] | None = None,
-                          vdd: float = NOMINAL_VDD) -> GateSimResult:
-    """Run the architecture over a stimulus; measure power; verify outputs."""
+                          vdd: float = NOMINAL_VDD,
+                          record_states: bool = False) -> GateSimResult:
+    """Run the architecture over a stimulus; measure power; verify outputs.
+
+    ``record_states`` additionally captures the per-pass state trace (one
+    entry per *state visit*, not per cycle) for differential debugging.
+    """
     sim = _GateSim(arch, vdd)
-    return sim.run(input_passes, expected_outputs)
+    return sim.run(input_passes, expected_outputs, record_states)
 
 
 class _GateSim:
@@ -279,11 +288,13 @@ class _GateSim:
     # -- main loop ----------------------------------------------------------------------
 
     def run(self, input_passes: list[dict[str, int]],
-            expected_outputs: dict[str, np.ndarray] | None) -> GateSimResult:
+            expected_outputs: dict[str, np.ndarray] | None,
+            record_states: bool = False) -> GateSimResult:
         arch = self.arch
         cdfg = arch.cdfg
         stg = arch.stg
         cycles_per_pass: list[int] = []
+        state_seq: list[list[int]] | None = [] if record_states else None
         outputs: dict[str, list[int]] = {
             cdfg.node(o).name.removeprefix("out:"): [] for o in cdfg.output_nodes}
         mismatches = 0
@@ -307,9 +318,11 @@ class _GateSim:
 
             state_id = stg.start
             cycles = 0
+            visited: list[int] = []
             while True:
                 duration = arch.state_duration(state_id)
                 cycles += duration
+                visited.append(state_id)
                 if cycles > MAX_CYCLES_PER_PASS:
                     raise ArchitectureError(
                         f"gatesim: pass {pass_idx} exceeded {MAX_CYCLES_PER_PASS} cycles")
@@ -324,6 +337,8 @@ class _GateSim:
                 if state_id == stg.done:
                     break
             cycles_per_pass.append(cycles)
+            if state_seq is not None:
+                state_seq.append(visited)
 
             for out_node in cdfg.output_nodes:
                 node = cdfg.node(out_node)
@@ -353,6 +368,7 @@ class _GateSim:
             total_cycles=total_cycles,
             output_mismatches=mismatches,
             outputs={k: np.array(v, dtype=np.int64) for k, v in outputs.items()},
+            state_seq=state_seq,
         )
 
     def _next_state(self, state_id: int, chain_values: dict) -> int:

@@ -1,0 +1,77 @@
+"""Opportunistic Icarus Verilog cosimulation.
+
+When ``iverilog``/``vvp`` are installed, the emitted module and its
+self-checking testbench are compiled and run, and the final ``COSIM
+PASS``/``COSIM FAIL`` verdict is parsed; when they are not, callers fall
+back to the pure-python netsim (the conformance harness treats iverilog
+as an extra, optional oracle — never a required one).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import HDLError
+
+#: Wall-clock guard per tool invocation (seconds).
+TOOL_TIMEOUT_S = 300
+
+
+def iverilog_available() -> bool:
+    """True when both the compiler and the runtime are on PATH."""
+    return shutil.which("iverilog") is not None and shutil.which("vvp") is not None
+
+
+@dataclass
+class CosimResult:
+    """Outcome of one compile-and-run of the emitted Verilog."""
+
+    passed: bool
+    log: str
+    n_checks_failed: int = 0
+
+
+def run_iverilog(verilog_text: str, testbench_text: str,
+                 name: str = "impact", workdir: str | None = None) -> CosimResult:
+    """Compile and simulate emitted Verilog + testbench with iverilog.
+
+    Raises :class:`HDLError` when the tools are missing or the *compile*
+    fails (a compile failure is an emission bug, not a conformance
+    divergence); simulation check failures come back as a failed result.
+    """
+    if not iverilog_available():
+        raise HDLError("iverilog/vvp not found on PATH")
+    with tempfile.TemporaryDirectory(prefix="impact-cosim-") as tmp:
+        base = Path(workdir) if workdir else Path(tmp)
+        base.mkdir(parents=True, exist_ok=True)
+        dut = base / f"{name}.v"
+        tb = base / f"{name}_tb.v"
+        out = base / f"{name}.vvp"
+        dut.write_text(verilog_text, encoding="utf-8")
+        tb.write_text(testbench_text, encoding="utf-8")
+        compile_proc = subprocess.run(
+            ["iverilog", "-g2005", "-o", str(out), str(dut), str(tb)],
+            capture_output=True, text=True, timeout=TOOL_TIMEOUT_S)
+        if compile_proc.returncode != 0:
+            raise HDLError(f"iverilog compile failed:\n{compile_proc.stderr}")
+        run_proc = subprocess.run(
+            ["vvp", str(out)], capture_output=True, text=True,
+            timeout=TOOL_TIMEOUT_S)
+        log = run_proc.stdout + run_proc.stderr
+        if run_proc.returncode != 0:
+            raise HDLError(f"vvp failed:\n{log}")
+    passed = "COSIM PASS" in log
+    failed = 0
+    for line in log.splitlines():
+        if line.startswith("COSIM FAIL"):
+            try:
+                failed = int(line.split()[2])
+            except (IndexError, ValueError):
+                failed = 1
+    if not passed and failed == 0:
+        raise HDLError(f"testbench printed no verdict:\n{log}")
+    return CosimResult(passed=passed, log=log, n_checks_failed=failed)

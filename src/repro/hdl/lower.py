@@ -1,0 +1,585 @@
+"""Lowering: a bound :class:`~repro.rtl.architecture.Architecture` to a
+word-level netlist (:mod:`repro.hdl.netlist`).
+
+The emitted module follows a start/done handshake:
+
+* ``rst`` puts the FSM in an IDLE state and clears every register;
+* asserting ``start`` for one cycle loads the primary-input registers from
+  the input pins and enters the STG's start state;
+* each STG state runs for its (normalized) duration in cycles — a dwell
+  counter realizes multi-cycle states — with register writes enabled on
+  the last cycle only;
+* reaching the STG's done state asserts ``done`` for one cycle (outputs
+  are stable in their registers) and returns to IDLE.
+
+Structure mirrors the architecture one-to-one:
+
+* every binding register / materialized temporary is a ``reg`` at its
+  natural width, read through explicit sign/zero-extending view wires;
+* every functional unit is one output wire computing the bound operation
+  of whichever node it executes in the current state;
+* every multiplexed datapath port is emitted as the *exact 2:1 tree* of
+  ``rtl/mux.py`` — nested 2:1 muxes steered by a per-state select — so a
+  Huffman-restructured tree emits a different (equivalent) netlist than a
+  balanced one;
+* the controller is a binary-encoded FSM over the STG's states whose
+  next-state logic evaluates the guarded transitions in
+  :meth:`~repro.sched.stg.STG.ordered_transitions` order.
+
+Execution semantics deliberately mirror :mod:`repro.gatesim`: all
+operations of the active state evaluate combinationally (chained through
+FU output wires), register writes commit at state end, and transition
+conditions read the chained value when the condition node executes in the
+current state, else its stored register/temporary.  Where an FU or port
+hosts several mutually-exclusive executions in one state, selection is by
+the operations' branch guards (the hardware-faithful reading of
+Section 3.2.3 sharing).
+"""
+
+from __future__ import annotations
+
+from repro.errors import HDLError
+from repro.cdfg.node import OpKind
+from repro.rtl.architecture import Architecture
+from repro.rtl.builder import edge_source
+from repro.rtl.mux import MuxSource
+from repro.hdl.netlist import (
+    ECase,
+    EConst,
+    EMux,
+    EOp,
+    ERef,
+    EWrap,
+    Netlist,
+    PortDecl,
+    WORD,
+    Wire,
+    Register,
+)
+
+#: CDFG operation kind -> netlist operator.
+_KIND_OPS = {
+    OpKind.ADD: "add", OpKind.SUB: "sub", OpKind.MUL: "mul",
+    OpKind.SHL: "shl", OpKind.SHR: "shr",
+    OpKind.LT: "lt", OpKind.GT: "gt", OpKind.LE: "le", OpKind.GE: "ge",
+    OpKind.EQ: "eq", OpKind.NE: "ne",
+    OpKind.LAND: "land", OpKind.LOR: "lor", OpKind.LNOT: "lnot",
+    OpKind.BAND: "band", OpKind.BOR: "bor", OpKind.BXOR: "bxor",
+}
+
+
+def lower_architecture(arch: Architecture, name: str = "impact") -> Netlist:
+    """Lower a bound architecture to a netlist (validated before return)."""
+    netlist = _Lower(arch, name).run()
+    netlist.validate()
+    return netlist
+
+
+class _Lower:
+    def __init__(self, arch: Architecture, name: str):
+        self.arch = arch
+        self.cdfg = arch.cdfg
+        self.stg = arch.stg
+        self.name = name
+        self.durations = arch.duration_map()
+        self.sids = sorted(self.stg.states)
+        if self.stg.start == self.stg.done:
+            raise HDLError("cannot lower an STG whose start state is its done state")
+        self.idle = max(self.sids) + 1
+        self.sbits = max(1, self.idle.bit_length())
+        exec_durs = [d for sid, d in self.durations.items() if sid != self.stg.done]
+        self.max_dur = max(exec_durs, default=1)
+        self.multi_cycle = self.max_dur > 1
+        #: chaining order of ops inside each state (gatesim's order).
+        self.ordered_ops = {
+            sid: sorted(state.ops, key=lambda op: (op.start, op.node))
+            for sid, state in self.stg.states.items()
+        }
+        self._used_conds: set[int] = set()
+        self._reg_signed: dict[int, bool] = {}
+        # Wires are built into named sections and concatenated for a
+        # readable emission order; references may be forward.
+        self.sections: dict[str, list[Wire]] = {
+            key: [] for key in ("clocking", "views", "selects", "ports",
+                                "shifts", "fus", "conds", "writes",
+                                "control", "outputs")
+        }
+
+    # -- naming conventions -------------------------------------------------------
+
+    def _reg_view(self, reg_id: int) -> str:
+        return f"rv{reg_id}"
+
+    def _state_code(self, sid: int) -> EConst:
+        return EConst(sid, self.sbits)
+
+    # -- expression helpers -------------------------------------------------------
+
+    def _source_expr(self, source: tuple):
+        kind = source[0]
+        if kind == "const":
+            return EConst(int(source[1]))
+        if kind == "reg":
+            return ERef(self._reg_view(source[1]))
+        if kind == "tmp":
+            return ERef(f"tv{source[1]}")
+        if kind == "fu":
+            return ERef(f"fu{source[1]}_out")
+        if kind == "wire":
+            return ERef(f"w{source[1]}")
+        if kind == "pin":
+            return ERef(f"pv_{source[1]}")
+        raise HDLError(f"unknown datapath source {source!r}")
+
+    def _conds_expr(self, conds) -> object:
+        """Conjunction over (condition node, wanted value) terms."""
+        terms = []
+        for cond, want in sorted(conds):
+            self._used_conds.add(cond)
+            terms.append(EOp("ne" if want else "eq",
+                             (ERef(f"cond{cond}"), EConst(0))))
+        if not terms:
+            return EConst(1)
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = EOp("land", (acc, term))
+        return acc
+
+    def _guarded(self, entries: list[tuple[int, int, object]]) -> object:
+        """Resolve several same-state executions by their branch guards.
+
+        ``entries`` is ``[(chain_order, node_id, expr)]``; mutually
+        exclusive guards mean at most one applies, later chained ops take
+        priority (mirrors gatesim's chaining order).
+        """
+        entries = sorted(entries)
+        acc = entries[0][2]
+        for _order, node_id, expr in entries[1:]:
+            guard = self._conds_expr(self.cdfg.node(node_id).guard)
+            acc = expr if guard == EConst(1) else EMux(guard, expr, acc)
+        return acc
+
+    def _state_case(self, by_state: dict[int, object], default,
+                    collapse: bool = False,
+                    extra_arms: dict[int, object] | None = None,
+                    subject: str = "state",
+                    subject_width: int | None = None):
+        """A ``case (<subject>)`` expression from per-state values.
+
+        Groups states with structurally equal expressions into one arm;
+        with ``collapse`` a single distinct expression is returned bare
+        (the value is don't-care in the remaining states).
+        """
+        arms_by_expr: dict[object, list[int]] = {}
+        for sid in sorted(by_state):
+            arms_by_expr.setdefault(by_state[sid], []).append(sid)
+        if extra_arms:
+            for code in sorted(extra_arms):
+                arms_by_expr.setdefault(extra_arms[code], []).append(code)
+        if not arms_by_expr:
+            return default
+        if collapse and len(arms_by_expr) == 1:
+            return next(iter(arms_by_expr))
+        arms = tuple(
+            (tuple(codes), expr)
+            for expr, codes in sorted(arms_by_expr.items(), key=lambda kv: kv[1])
+        )
+        return ECase(ERef(subject), arms, default,
+                     self.sbits if subject_width is None else subject_width)
+
+    def _state_match(self, sids: list[int]) -> object:
+        terms = [EOp("eq", (ERef("state"), self._state_code(sid)))
+                 for sid in sorted(sids)]
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = EOp("lor", (acc, term))
+        return acc
+
+    # -- node computation ---------------------------------------------------------
+
+    def _op_expr(self, node, ins: list[object]) -> object:
+        op = _KIND_OPS.get(node.kind)
+        if op is None:
+            raise HDLError(f"node {node.name}: kind {node.kind.value!r} has no "
+                           f"hardware lowering")
+        if op in ("shl", "shr"):
+            expr = EOp(op, (ins[0], EOp("band", (ins[1], EConst(63)))))
+        elif op == "lnot":
+            expr = EOp(op, (ins[0],))
+        else:
+            expr = EOp(op, (ins[0], ins[1]))
+        return EWrap(expr, node.width, node.signed)
+
+    def _chained_value(self, node_id: int, state_id: int) -> object:
+        """The combinational value a node presents while executing."""
+        node = self.cdfg.node(node_id)
+        if node.needs_fu:
+            return ERef(f"fu{self.arch.binding.fu_of(node_id).id}_out")
+        if node.kind is OpKind.COPY:
+            source = edge_source(self.arch, self.cdfg.in_edge(node_id, 0), state_id)
+            return EWrap(self._source_expr(source), node.width, node.signed)
+        return ERef(f"w{node_id}")
+
+    # -- phases -------------------------------------------------------------------
+
+    def run(self) -> Netlist:
+        self.netlist = Netlist(name=self.name)
+        self._clocking()
+        self._input_ports_and_views()
+        self._register_views()
+        self._shift_wires()
+        self._fu_wires()
+        self._register_writes()
+        self._tmp_writes()
+        self._control()
+        self._outputs()
+        self._cond_wires()  # last: _used_conds is complete now
+        for key in ("clocking", "views", "selects", "ports", "shifts",
+                    "fus", "conds", "writes", "control", "outputs"):
+            self.netlist.wires.extend(self.sections[key])
+        self._meta()
+        return self.netlist
+
+    def _clocking(self) -> None:
+        expr = (EOp("eq", (ERef("dwell"), EConst(0)))
+                if self.multi_cycle else EConst(1))
+        self.sections["clocking"].append(Wire(
+            "last_cycle", expr, "high on the final cycle of the current state"))
+
+    def _input_ports_and_views(self) -> None:
+        for node_id in self.cdfg.input_nodes:
+            node = self.cdfg.node(node_id)
+            var = node.carrier
+            self.netlist.inputs.append(
+                PortDecl(f"in_{var}", node.width, node.signed, label=var))
+            self.sections["views"].append(Wire(
+                f"pv_{var}", EWrap(ERef(f"in_{var}"), node.width, node.signed),
+                f"primary input {var!r}"))
+
+    def _register_views(self) -> None:
+        var_types = self.cdfg.var_types
+        for reg_id, reg in sorted(self.arch.binding.regs.items()):
+            signs = {var_types[c][1] for c in reg.carriers}
+            if len(signs) != 1:
+                raise HDLError(
+                    f"register {reg_id} mixes signed and unsigned carriers "
+                    f"{sorted(reg.carriers)}; not representable as one view")
+            signed = signs.pop()
+            self._reg_signed[reg_id] = signed
+            self.sections["views"].append(Wire(
+                self._reg_view(reg_id),
+                EWrap(ERef(f"r{reg_id}"), reg.width, signed),
+                f"register {reg_id}: {', '.join(sorted(reg.carriers))}"))
+        for node_id, width in sorted(self.arch.datapath.tmp_regs.items()):
+            node = self.cdfg.node(node_id)
+            self.sections["views"].append(Wire(
+                f"tv{node_id}", EWrap(ERef(f"t{node_id}"), width, node.signed),
+                f"temporary of {node.name}"))
+
+    # -- datapath ----------------------------------------------------------------
+
+    def _port_drivers(self, port) -> tuple[dict[int, list], list]:
+        """Split a port's drivers into per-state executions and pin loads.
+
+        Returns ``({state: [(chain_order, node, source)]}, [pin_sources])``.
+        """
+        input_nodes = set(self.cdfg.input_nodes)
+        by_state: dict[int, list] = {}
+        pins = []
+        for (node_id, state_id), source in sorted(port.drivers.items()):
+            if node_id in input_nodes:
+                if source[0] != "pin":
+                    raise HDLError(f"input node driver with source {source!r}")
+                if source not in pins:
+                    pins.append(source)
+                continue
+            ordered = [op.node for op in self.ordered_ops[state_id]]
+            order = ordered.index(node_id)
+            by_state.setdefault(state_id, []).append((order, node_id, source))
+        if len(pins) > 1:
+            raise HDLError(f"port {port.key!r} loaded from several input pins "
+                           f"{pins}; cannot emit a single load path")
+        return by_state, pins
+
+    def _tree_expr(self, shape, sel: str, sources: list) -> object:
+        """The port's 2:1 multiplexer tree, steered by source index."""
+        if isinstance(shape, MuxSource):
+            return self._source_expr(shape.key)
+        left, right = shape
+        right_keys = [s.key for s in _leaves(right)]
+        membership = None
+        for key in right_keys:
+            term = EOp("eq", (ERef(sel), EConst(sources.index(key))))
+            membership = term if membership is None else EOp("lor", (membership, term))
+        return EMux(membership,
+                    self._tree_expr(right, sel, sources),
+                    self._tree_expr(left, sel, sources))
+
+    def _emit_port(self, key: tuple, wire_name: str, sel_name: str,
+                   extra_sel_arms: dict[int, object] | None = None) -> bool:
+        """Emit the select + data wires for one multiplexed port.
+
+        Returns False when the architecture has no such port.
+        """
+        port = self.arch.datapath.ports.get(key)
+        if port is None:
+            return False
+        by_state, pins = self._port_drivers(port)
+        extra = dict(extra_sel_arms or {})
+        if pins:
+            extra[self.idle] = EConst(port.sources.index(pins[0]))
+        if port.tree is not None:
+            sel_by_state = {
+                sid: self._guarded([
+                    (order, node, EConst(port.sources.index(source)))
+                    for order, node, source in entries])
+                for sid, entries in by_state.items()
+            }
+            self.sections["selects"].append(Wire(
+                sel_name,
+                self._state_case(sel_by_state, EConst(0), extra_arms=extra),
+                f"source select for {key!r} ({len(port.sources)} sources)"))
+            expr = self._tree_expr(port.tree.shape, sel_name, port.sources)
+        else:
+            expr = self._source_expr(port.sources[0])
+        self.sections["ports"].append(Wire(
+            wire_name, expr, f"datapath port {key!r}"))
+        return True
+
+    def _shift_wires(self) -> None:
+        """Constant shifts are wiring, not FUs; still need a value wire."""
+        for node in sorted(self.cdfg.op_nodes(), key=lambda n: n.id):
+            if node.needs_fu or node.kind is OpKind.COPY:
+                continue
+            by_state = {}
+            for sid in self.stg.states_of_node(node.id):
+                ins = [self._source_expr(edge_source(self.arch, e, sid))
+                       for e in self.cdfg.in_edges(node.id)]
+                by_state[sid] = self._op_expr(node, ins)
+            self.sections["shifts"].append(Wire(
+                f"w{node.id}",
+                self._state_case(by_state, EConst(0), collapse=True),
+                f"constant shift {node.name}"))
+
+    def _fu_wires(self) -> None:
+        for fu_id, fu in sorted(self.arch.binding.fus.items()):
+            n_ports = max(len(self.cdfg.in_edges(op)) for op in fu.ops)
+            for k in range(n_ports):
+                self._emit_port(("fu_in", fu_id, k),
+                                f"fu{fu_id}_in{k}", f"sel_fu{fu_id}_{k}")
+            by_state: dict[int, list] = {}
+            for sid in self.sids:
+                for order, op in enumerate(self.ordered_ops[sid]):
+                    if op.node in fu.ops:
+                        node = self.cdfg.node(op.node)
+                        ins = [ERef(f"fu{fu_id}_in{k}")
+                               for k in range(len(self.cdfg.in_edges(op.node)))]
+                        by_state.setdefault(sid, []).append(
+                            (order, op.node, self._op_expr(node, ins)))
+            expr_by_state = {sid: self._guarded(entries)
+                             for sid, entries in by_state.items()}
+            ops = ", ".join(sorted(self.cdfg.node(op).name for op in fu.ops))
+            self.sections["fus"].append(Wire(
+                f"fu{fu_id}_out",
+                self._state_case(expr_by_state, EConst(0), collapse=True),
+                f"FU {fu_id} [{fu.module.name} w{fu.width}]: {ops}"))
+
+    # -- storage ------------------------------------------------------------------
+
+    def _write_enable(self, exec_states: list[int], pin_load: bool) -> object:
+        terms = []
+        if exec_states:
+            terms.append(EOp("land",
+                             (self._state_match(exec_states), ERef("last_cycle"))))
+        if pin_load:
+            terms.append(EOp("land",
+                             (EOp("eq", (ERef("state"), EConst(self.idle, self.sbits))),
+                              EOp("ne", (ERef("start"), EConst(0))))))
+        if not terms:
+            return EConst(0)
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = EOp("lor", (acc, term))
+        return acc
+
+    def _register_writes(self) -> None:
+        for reg_id, reg in sorted(self.arch.binding.regs.items()):
+            key = ("reg_in", reg_id)
+            port = self.arch.datapath.ports.get(key)
+            if port is None:
+                # Never written: holds its reset value.
+                self.sections["writes"].append(Wire(f"din_r{reg_id}", EConst(0)))
+                self.sections["writes"].append(Wire(f"we_r{reg_id}", EConst(0)))
+            else:
+                by_state, pins = self._port_drivers(port)
+                self._emit_port(key, f"din_r{reg_id}", f"sel_r{reg_id}")
+                self.sections["writes"].append(Wire(
+                    f"we_r{reg_id}",
+                    self._write_enable(sorted(by_state), bool(pins)),
+                    f"write enable, register {reg_id}"))
+            self.netlist.regs.append(Register(
+                f"r{reg_id}", reg.width, d=f"din_r{reg_id}", en=f"we_r{reg_id}",
+                comment=f"{', '.join(sorted(reg.carriers))}"))
+
+    def _tmp_writes(self) -> None:
+        for node_id, width in sorted(self.arch.datapath.tmp_regs.items()):
+            key = ("tmp_in", node_id)
+            port = self.arch.datapath.ports.get(key)
+            if port is None:
+                self.sections["writes"].append(Wire(f"din_t{node_id}", EConst(0)))
+                self.sections["writes"].append(Wire(f"we_t{node_id}", EConst(0)))
+            else:
+                by_state, _pins = self._port_drivers(port)
+                self._emit_port(key, f"din_t{node_id}", f"sel_t{node_id}")
+                self.sections["writes"].append(Wire(
+                    f"we_t{node_id}",
+                    self._write_enable(sorted(by_state), False),
+                    f"write enable, temporary {node_id}"))
+            self.netlist.regs.append(Register(
+                f"t{node_id}", width, d=f"din_t{node_id}", en=f"we_t{node_id}",
+                comment=f"temporary of {self.cdfg.node(node_id).name}"))
+
+    # -- controller ---------------------------------------------------------------
+
+    def _transition_expr(self, sid: int) -> object:
+        transitions = self.stg.ordered_transitions(sid)
+        if not transitions:
+            raise HDLError(f"state {sid} has no outgoing transition")
+        expr = self._state_code(transitions[-1].dst)
+        for t in reversed(transitions[:-1]):
+            expr = EMux(self._conds_expr(t.conds), self._state_code(t.dst), expr)
+        return expr
+
+    def _control(self) -> None:
+        by_state: dict[int, object] = {}
+        for sid in self.sids:
+            if sid == self.stg.done:
+                by_state[sid] = EConst(self.idle, self.sbits)
+                continue
+            advance = self._transition_expr(sid)
+            by_state[sid] = (EMux(ERef("last_cycle"), advance, self._state_code(sid))
+                             if self.multi_cycle else advance)
+        idle_arm = {self.idle: EMux(EOp("ne", (ERef("start"), EConst(0))),
+                                    self._state_code(self.stg.start),
+                                    EConst(self.idle, self.sbits))}
+        self.sections["control"].append(Wire(
+            "state_next",
+            self._state_case(by_state, EConst(self.idle, self.sbits),
+                             extra_arms=idle_arm),
+            "controller next-state logic"))
+        self.netlist.regs.append(Register(
+            "state", self.sbits, d="state_next", en=None, reset=self.idle,
+            comment="controller state register"))
+        if self.multi_cycle:
+            dwell_bits = max(1, (self.max_dur - 1).bit_length())
+            # The done state always exits after one cycle (it only strobes
+            # ``done``), so it must never load the dwell counter — a stale
+            # nonzero dwell would corrupt the next pass's first state.
+            self.sections["control"].append(Wire(
+                "dur_next",
+                self._state_case({sid: EConst(self.durations[sid] - 1)
+                                  for sid in self.sids
+                                  if self.durations[sid] > 1
+                                  and sid != self.stg.done},
+                                 EConst(0), subject="state_next",
+                                 subject_width=WORD),
+                "dwell cycles of the next state"))
+            self.sections["control"].append(Wire(
+                "dwell_next",
+                EMux(ERef("last_cycle"), ERef("dur_next"),
+                     EOp("sub", (EWrap(ERef("dwell"), dwell_bits, False), EConst(1)))),
+                "multi-cycle state dwell countdown"))
+            self.netlist.regs.append(Register(
+                "dwell", dwell_bits, d="dwell_next", en=None,
+                comment="remaining cycles in the current state"))
+        self.sections["control"].append(Wire(
+            "done_w",
+            EOp("eq", (ERef("state"), EConst(self.stg.done, self.sbits))),
+            "pass-completion strobe"))
+        self.netlist.outputs.append(
+            PortDecl("done", 1, False, label=None, source="done_w"))
+
+    def _cond_wires(self) -> None:
+        for cond in sorted(self._used_conds):
+            node = self.cdfg.node(cond)
+            by_state = {}
+            if node.is_schedulable:
+                for sid in self.stg.states_of_node(cond):
+                    by_state[sid] = self._chained_value(cond, sid)
+            if node.carrier is not None:
+                stored = ERef(self._reg_view(self.arch.binding.reg_of(node.carrier).id))
+            elif cond in self.arch.datapath.tmp_regs:
+                stored = ERef(f"tv{cond}")
+            elif node.kind is OpKind.CONST:
+                stored = EConst(node.value)
+            else:
+                raise HDLError(f"condition {node.name} has no stored location")
+            self.sections["conds"].append(Wire(
+                f"cond{cond}",
+                self._state_case(by_state, stored),
+                f"controller condition input: {node.name}"))
+
+    # -- interface ----------------------------------------------------------------
+
+    def _outputs(self) -> None:
+        for out_id in self.cdfg.output_nodes:
+            node = self.cdfg.node(out_id)
+            name = node.name.removeprefix("out:")
+            edge = self.cdfg.in_edge(out_id, 0)
+            src = self.cdfg.node(edge.src)
+            if src.kind is OpKind.CONST:
+                source = f"outv_{name}"
+                self.sections["outputs"].append(Wire(
+                    source, EConst(src.value), f"constant output {name!r}"))
+            elif src.carrier is not None:
+                source = self._reg_view(self.arch.binding.reg_of(src.carrier).id)
+            elif edge.src in self.arch.datapath.tmp_regs:
+                source = f"tv{edge.src}"
+            else:
+                raise HDLError(f"output {name!r} has no registered source")
+            self.netlist.outputs.append(
+                PortDecl(f"out_{name}", node.width, node.signed,
+                         label=name, source=source))
+
+    def _meta(self) -> None:
+        arch = self.arch
+        self.netlist.meta = {
+            "design": self.name,
+            "clock_ns": arch.clock_ns,
+            "encoding": {"state_bits": self.sbits, "idle": self.idle,
+                         "start": self.stg.start, "done": self.stg.done},
+            "states": [
+                {"id": sid, "duration": self.durations[sid],
+                 "ops": [self.cdfg.node(op.node).name
+                         for op in self.ordered_ops[sid]]}
+                for sid in self.sids
+            ],
+            "fus": [
+                {"id": fid, "module": fu.module.name, "width": fu.width,
+                 "ops": sorted(self.cdfg.node(op).name for op in fu.ops)}
+                for fid, fu in sorted(arch.binding.fus.items())
+            ],
+            "registers": [
+                {"id": rid, "width": reg.width,
+                 "carriers": sorted(reg.carriers)}
+                for rid, reg in sorted(arch.binding.regs.items())
+            ],
+            "temporaries": [
+                {"node": nid, "width": width,
+                 "of": self.cdfg.node(nid).name}
+                for nid, width in sorted(arch.datapath.tmp_regs.items())
+            ],
+            "controller": {
+                "states": arch.controller.n_states,
+                "transitions": arch.controller.n_transitions,
+                "condition_inputs": arch.controller.n_condition_inputs,
+                "outputs": arch.controller.n_outputs,
+            },
+            "mux2_count": arch.datapath.total_mux_count(),
+        }
+
+
+def _leaves(shape) -> list[MuxSource]:
+    if isinstance(shape, MuxSource):
+        return [shape]
+    return _leaves(shape[0]) + _leaves(shape[1])

@@ -1,0 +1,273 @@
+"""Pure-python cycle-accurate simulation of a lowered netlist.
+
+This is the always-available half of the cosimulation story: the same
+:class:`~repro.hdl.netlist.Netlist` the Verilog printer renders is
+executed here cycle by cycle, so the emitted RTL's semantics can be
+checked against the behavioral interpreter, STG replay and gatesim with
+no external tools.  When ``iverilog`` is present,
+:mod:`repro.hdl.cosim` additionally runs the printed text itself.
+
+Semantics follow Verilog word rules at the IR's conventions: every wire
+is a signed 64-bit value (operations wrap at 64 bits), registers store
+raw bit patterns at their declared width, and an identifier reference
+yields the pattern for registers/inputs and the signed value for wires.
+
+Combinational nets are evaluated in a statically topo-sorted order with a
+fixpoint sweep on top, so mux-steered false combinational cycles (a unit
+feeding another in one state and the reverse in a different state) settle
+exactly as an event-driven simulator would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HDLError
+from repro.hdl.netlist import (
+    ECase,
+    EConst,
+    EMux,
+    EOp,
+    ERef,
+    EWrap,
+    Netlist,
+    WORD,
+    refs_of,
+)
+from repro.utils.bitwidth import mask_for_width, to_unsigned, wrap_to_width
+
+#: Safety cap on clock cycles per start/done pass.
+MAX_CYCLES_PER_PASS = 1_000_000
+
+_WORD_MASK = mask_for_width(WORD)
+
+
+def _compile(expr):
+    """Compile an expression to a closure over the value environment."""
+    if isinstance(expr, EConst):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, ERef):
+        name = expr.name
+        return lambda env: env[name]
+    if isinstance(expr, EWrap):
+        inner = _compile(expr.expr)
+        width = expr.width
+        if expr.signed:
+            return lambda env: wrap_to_width(inner(env), width)
+        mask = mask_for_width(width)
+        return lambda env: inner(env) & mask
+    if isinstance(expr, EMux):
+        cond = _compile(expr.cond)
+        a = _compile(expr.a)
+        b = _compile(expr.b)
+        return lambda env: a(env) if cond(env) else b(env)
+    if isinstance(expr, ECase):
+        subject = _compile(expr.subject)
+        table = {}
+        for codes, arm in expr.arms:
+            arm_fn = _compile(arm)
+            for code in codes:
+                table[code] = arm_fn
+        default = _compile(expr.default)
+        return lambda env: table.get(subject(env), default)(env)
+    if isinstance(expr, EOp):
+        args = [_compile(a) for a in expr.args]
+        return _compile_op(expr.op, args)
+    raise HDLError(f"cannot compile expression {expr!r}")
+
+
+def _compile_op(op: str, args):
+    a = args[0]
+    b = args[1] if len(args) > 1 else None
+    if op == "add":
+        return lambda env: wrap_to_width(a(env) + b(env), WORD)
+    if op == "sub":
+        return lambda env: wrap_to_width(a(env) - b(env), WORD)
+    if op == "mul":
+        return lambda env: wrap_to_width(a(env) * b(env), WORD)
+    if op == "shl":
+        return lambda env: wrap_to_width(a(env) << (b(env) & 63), WORD)
+    if op == "shr":
+        return lambda env: a(env) >> (b(env) & 63)
+    if op == "lt":
+        return lambda env: int(a(env) < b(env))
+    if op == "gt":
+        return lambda env: int(a(env) > b(env))
+    if op == "le":
+        return lambda env: int(a(env) <= b(env))
+    if op == "ge":
+        return lambda env: int(a(env) >= b(env))
+    if op == "eq":
+        return lambda env: int(a(env) == b(env))
+    if op == "ne":
+        return lambda env: int(a(env) != b(env))
+    if op == "land":
+        return lambda env: int(bool(a(env)) and bool(b(env)))
+    if op == "lor":
+        return lambda env: int(bool(a(env)) or bool(b(env)))
+    if op == "lnot":
+        return lambda env: int(not a(env))
+    if op == "band":
+        return lambda env: a(env) & b(env)
+    if op == "bor":
+        return lambda env: a(env) | b(env)
+    if op == "bxor":
+        return lambda env: a(env) ^ b(env)
+    raise HDLError(f"cannot compile operator {op!r}")
+
+
+class NetlistSimulator:
+    """Two-phase clocked execution of a netlist: settle the combinational
+    nets, then commit every enabled register on the clock edge."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._wires = [(w.name, _compile(w.expr)) for w in self._topo_wires()]
+        self._regs = {r.name: r for r in netlist.regs}
+        self._input_widths = {p.name: p.width for p in netlist.inputs}
+        self.env: dict[str, int] = {}
+        self.reset()
+
+    def _topo_wires(self):
+        """Static topological order (declared order breaks cycles)."""
+        wires = self.netlist.wires
+        wire_names = {w.name for w in wires}
+        deps = {w.name: refs_of(w.expr) & wire_names for w in wires}
+        order: list = []
+        done: set[str] = set()
+        visiting: set[str] = set()
+        by_name = {w.name: w for w in wires}
+
+        def visit(wire) -> None:
+            if wire.name in done or wire.name in visiting:
+                return  # cycles fall back to declared order + fixpoint
+            visiting.add(wire.name)
+            for dep in sorted(deps[wire.name]):
+                visit(by_name[dep])
+            visiting.discard(wire.name)
+            done.add(wire.name)
+            order.append(wire)
+
+        for wire in wires:
+            visit(wire)
+        return order
+
+    def reset(self) -> None:
+        self.env = {name: 0 for name in self._input_widths}
+        self.env["start"] = 0
+        for reg in self.netlist.regs:
+            self.env[reg.name] = to_unsigned(reg.reset, reg.width)
+        for name, _fn in self._wires:
+            self.env[name] = 0
+        self._settle()
+
+    def poke(self, inputs: dict[str, int]) -> None:
+        """Drive input ports (values wrapped to the port width)."""
+        for name, value in inputs.items():
+            width = self._input_widths.get(name)
+            if width is None:
+                raise HDLError(f"no input port {name!r}")
+            self.env[name] = to_unsigned(int(value), width)
+
+    def _settle(self) -> None:
+        env = self.env
+        for _sweep in range(len(self._wires) + 2):
+            changed = False
+            for name, fn in self._wires:
+                value = fn(env)
+                if env[name] != value:
+                    env[name] = value
+                    changed = True
+            if not changed:
+                return
+        raise HDLError("combinational nets did not settle (true logic cycle)")
+
+    def step(self, start: int = 0) -> None:
+        """One clock edge: settle, then commit enabled registers."""
+        self.env["start"] = 1 if start else 0
+        self._settle()
+        env = self.env
+        updates = []
+        for reg in self.netlist.regs:
+            if reg.en is not None and not env[reg.en]:
+                continue
+            updates.append((reg.name, env[reg.d] & mask_for_width(reg.width)))
+        for name, pattern in updates:
+            env[name] = pattern
+        self.env["start"] = 0
+        self._settle()
+
+    # -- observation -------------------------------------------------------------
+
+    def output(self, label: str) -> int:
+        for port in self.netlist.outputs:
+            if port.label == label:
+                value = self.env[port.source]
+                return (wrap_to_width(value, port.width) if port.signed
+                        else value & mask_for_width(port.width))
+        raise HDLError(f"no output labeled {label!r}")
+
+    @property
+    def done(self) -> bool:
+        for port in self.netlist.outputs:
+            if port.name == "done":
+                return bool(self.env[port.source])
+        raise HDLError("netlist has no done output")
+
+    def state(self) -> int:
+        return self.env["state"]
+
+
+@dataclass
+class NetSimResult:
+    """One stimulus run through the netlist simulator."""
+
+    outputs: dict[str, list[int]]
+    cycles: list[int]
+    state_seq: list[list[int]] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles)
+
+
+def run_passes(netlist: Netlist, input_passes: list[dict[str, int]],
+               max_cycles_per_pass: int = MAX_CYCLES_PER_PASS) -> NetSimResult:
+    """Execute the start/done handshake once per stimulus pass.
+
+    ``input_passes`` uses behavioral variable names (the same stimulus
+    dictionaries every other execution model consumes); cycle counts are
+    clock cycles between leaving IDLE and the done strobe — directly
+    comparable with gatesim and duration-normalized replay.
+    """
+    sim = NetlistSimulator(netlist)
+    labels = [p.label for p in netlist.outputs if p.label is not None]
+    in_map = {p.label: p.name for p in netlist.inputs if p.label is not None}
+    outputs: dict[str, list[int]] = {label: [] for label in labels}
+    cycles_per_pass: list[int] = []
+    state_seq: list[list[int]] = []
+
+    for pass_idx, stimulus in enumerate(input_passes):
+        try:
+            sim.poke({in_map[var]: value for var, value in stimulus.items()})
+        except KeyError as exc:
+            raise HDLError(f"stimulus names unknown input {exc}") from None
+        sim.step(start=1)
+        cycles = 0
+        states = [sim.state()]
+        while not sim.done:
+            sim.step()
+            cycles += 1
+            states.append(sim.state())
+            if cycles > max_cycles_per_pass:
+                raise HDLError(f"netsim: pass {pass_idx} exceeded "
+                               f"{max_cycles_per_pass} cycles without done")
+        for label in labels:
+            outputs[label].append(sim.output(label))
+        cycles_per_pass.append(cycles)
+        state_seq.append(states[:-1])  # drop the done-state entry
+        sim.step()  # done -> IDLE
+    return NetSimResult(outputs=outputs, cycles=cycles_per_pass,
+                        state_seq=state_seq)

@@ -71,6 +71,11 @@ class Architecture:
     def state_duration(self, state_id: int) -> int:
         return self._durations[state_id]
 
+    def duration_map(self) -> dict[int, int]:
+        """Copy of the normalized per-state cycle counts (for replay
+        recosting and the HDL backend's dwell counters)."""
+        return dict(self._durations)
+
     def normalize_durations(self) -> bool:
         """Timing closure: set every state's cycle count from its real path.
 
@@ -191,11 +196,23 @@ class Architecture:
         return max_vdd_scaling(ratio)
 
     def invalidate_timing(self, state_ids: list[int] | None = None) -> None:
+        """Drop cached critical paths and re-derive the state durations.
+
+        Durations are a function of the cached paths, so the two must be
+        invalidated together: dropping only ``_state_paths`` used to leave
+        ``_durations`` frozen at values normalized against the *old* paths
+        — a partial ``invalidate_timing([sid])`` after a mux-tree edit
+        then made :meth:`check_timing` compare fresh paths against stale
+        cycle budgets (phantom violations, or silently illegal windows).
+        Renormalizing here restores the invariant that every cached
+        duration was computed from the paths currently in the cache.
+        """
         if state_ids is None:
             self._state_paths.clear()
         else:
             for sid in state_ids:
                 self._state_paths.pop(sid, None)
+        self.normalize_durations()
 
     # -- area ---------------------------------------------------------------------
 

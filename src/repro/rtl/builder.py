@@ -198,7 +198,7 @@ class _ArchBuilder:
                 select_lines += max(1, (len(port.sources) - 1).bit_length())
         write_enables = len(self.binding.regs) + len(self.datapath.tmp_regs)
         fu_enables = len(self.binding.fus)
-        cond_inputs = len({c for t in self.stg.transitions for c, _ in t.conds})
+        cond_inputs = len(self.stg.condition_inputs())
         return ControllerModel(
             n_states=self.stg.n_states,
             n_transitions=len(self.stg.transitions),

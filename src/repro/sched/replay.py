@@ -41,6 +41,8 @@ class ReplayResult:
     op_state: dict[int, np.ndarray]          # node -> executing state id
     total_cycles: int
     state_visits: dict[int, int] = field(default_factory=dict)
+    #: Per-pass sequence of visited state ids (excluding the done state).
+    state_seq: list[np.ndarray] = field(default_factory=list)
 
     @property
     def enc(self) -> float:
@@ -54,6 +56,22 @@ class ReplayResult:
     @property
     def min_cycles(self) -> int:
         return int(self.cycles.min()) if self.cycles.size else 0
+
+    def cycles_under(self, durations: dict[int, int]) -> np.ndarray:
+        """Per-pass cycle counts under a *different* duration assignment.
+
+        The replayed path through the STG is schedule-determined; only the
+        per-state cycle budget changes when the architecture normalizes
+        durations to real critical paths.  This recosts every pass under
+        ``durations`` (e.g. ``Architecture.duration_map()``) so replay
+        cycle counts are comparable with gatesim and the Verilog netlist,
+        which both run normalized durations.
+        """
+        lut = np.zeros(max(durations) + 1, dtype=np.int64)
+        for sid, duration in durations.items():
+            lut[sid] = duration
+        return np.array([int(lut[seq].sum()) for seq in self.state_seq],
+                        dtype=np.int64)
 
 
 def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True,
@@ -86,6 +104,7 @@ def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> Repl
     op_state: dict[int, list[int]] = {n: [] for n in store.occurrences}
     state_visits: dict[int, int] = {}
     cycles_per_pass: list[int] = []
+    state_seq: list[np.ndarray] = []
     global_cycle = 0
 
     # Pre-sort state op lists by chaining order once.
@@ -112,12 +131,14 @@ def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> Repl
 
         state_id = stg.start
         cycles = 0
+        visited: list[int] = []
         while True:
             cycles += stg.states[state_id].duration
             if cycles > MAX_CYCLES_PER_PASS:
                 raise ScheduleError(f"replay exceeded {MAX_CYCLES_PER_PASS} cycles "
                                     f"(pass {pass_idx}) — STG does not terminate")
             state_visits[state_id] = state_visits.get(state_id, 0) + 1
+            visited.append(state_id)
             for sched_op in ordered_ops[state_id]:
                 node_id = sched_op.node
                 occ = store.occurrences.get(node_id)
@@ -143,6 +164,7 @@ def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> Repl
             if state_id == stg.done:
                 break
         cycles_per_pass.append(cycles)
+        state_seq.append(np.array(visited, dtype=np.int32))
 
     if check:
         for node_id, ptr in pointers.items():
@@ -162,6 +184,7 @@ def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> Repl
         op_state={n: np.array(v, dtype=np.int32) for n, v in op_state.items()},
         total_cycles=global_cycle,
         state_visits=state_visits,
+        state_seq=state_seq,
     )
 
 

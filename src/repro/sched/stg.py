@@ -102,6 +102,23 @@ class STG:
     def out_transitions(self, state_id: int) -> list[Transition]:
         return self._out.get(state_id, [])
 
+    def ordered_transitions(self, state_id: int) -> list[Transition]:
+        """Outgoing transitions in a deterministic priority order.
+
+        Most-specific guards first (more condition terms), ties broken by
+        the sorted condition terms and destination.  Because
+        :meth:`validate` guarantees exactly one transition matches any
+        condition assignment, evaluating these in order with a final
+        else-branch realizes the STG exactly — this is the order the
+        Verilog backend emits next-state logic in.
+        """
+        return sorted(self.out_transitions(state_id),
+                      key=lambda t: (-len(t.conds), sorted(t.conds), t.dst))
+
+    def condition_inputs(self) -> set[int]:
+        """All condition nodes steering any transition (controller inputs)."""
+        return {c for t in self.transitions for c, _ in t.conds}
+
     def __len__(self) -> int:
         return len(self.states)
 

@@ -1,0 +1,28 @@
+"""Differential verification of synthesized architectures.
+
+:mod:`repro.verify.conformance` drives identical stimulus through every
+execution model this reproduction has — the behavioral CDFG interpreter,
+duration-normalized STG replay, the bit-level gatesim, the emitted
+Verilog's netlist simulator, and (opportunistically) iverilog on the
+printed Verilog text — and asserts output-value and cycle-count
+agreement, minimizing the first divergent stimulus automatically.
+"""
+
+__all__ = [
+    "ConformanceReport",
+    "Divergence",
+    "minimize_stimulus",
+    "verify_architecture",
+    "verify_benchmark",
+]
+
+
+def __getattr__(name):
+    # Lazy re-export: keeps `python -m repro.verify.conformance` free of
+    # the runpy double-import warning while preserving
+    # `from repro.verify import verify_benchmark`-style imports.
+    if name in __all__:
+        from repro.verify import conformance
+
+        return getattr(conformance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

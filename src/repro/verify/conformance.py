@@ -1,0 +1,382 @@
+"""Differential cosimulation conformance harness.
+
+Four (optionally five) execution models evaluate every stimulus pass:
+
+1. **interpreter** — the behavioral CDFG interpreter, the reference for
+   primary-output values;
+2. **replay** — STG replay under the architecture's *normalized* state
+   durations, the reference for per-pass cycle counts;
+3. **gatesim** — the bit-level architecture simulator (values + cycles);
+4. **netsim** — the emitted Verilog's netlist executed by
+   :mod:`repro.hdl.netsim` (values + cycles);
+5. **iverilog** — when installed, the printed Verilog text itself,
+   compiled and run against a generated self-checking testbench.
+
+Any disagreement is a :class:`Divergence`; the harness then *minimizes*
+the first divergent stimulus by greedily shrinking each input toward zero
+while the divergence persists, so a scheduling or binding bug reports as
+the smallest reproducing input rather than a random 100-pass blob.
+
+Run it from the command line::
+
+    python -m repro.verify.conformance --all          # every registry benchmark
+    python -m repro.verify.conformance -b gcd -p 200  # one benchmark, 200 passes
+
+or programmatically through :meth:`repro.SynthesisEngine.verify`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConformanceError, ReproError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.interpreter import simulate
+from repro.gatesim import simulate_architecture
+from repro.hdl import (
+    emit_testbench,
+    emit_verilog,
+    iverilog_available,
+    lower_architecture,
+    run_iverilog,
+    simulate_netlist,
+)
+from repro.rtl.architecture import Architecture
+from repro.sched.replay import replay
+from repro.sim.traces import TraceStore
+
+#: The always-available oracle chain, in comparison order.
+BACKENDS = ("interpreter", "replay", "gatesim", "netsim")
+
+#: Trial budget for stimulus minimization.
+MAX_MINIMIZE_TRIALS = 256
+
+#: Cap on recorded divergences per run (the first one is what matters).
+MAX_DIVERGENCES = 16
+
+
+@dataclass
+class Divergence:
+    """One disagreement between two execution models."""
+
+    pass_idx: int
+    kind: str               # "output" | "cycles" | "error"
+    backend: str            # the model that disagrees with the reference
+    detail: str
+    stimulus: dict[str, int] = field(default_factory=dict)
+    minimized: dict[str, int] | None = None
+
+    def __str__(self) -> str:
+        text = (f"pass {self.pass_idx}: {self.backend} {self.kind} "
+                f"divergence — {self.detail}")
+        if self.minimized is not None:
+            text += f" [minimized stimulus: {self.minimized}]"
+        return text
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one differential conformance run."""
+
+    name: str
+    n_passes: int
+    backends: list[str]
+    divergences: list[Divergence]
+    total_cycles: int
+    iverilog_ran: bool
+    wall_s: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "n_passes": self.n_passes,
+            "backends": list(self.backends),
+            "iverilog": self.iverilog_ran,
+            "total_cycles": self.total_cycles,
+            "divergences": len(self.divergences),
+            "wall_s": round(self.wall_s, 3),
+        }
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            first = self.divergences[0]
+            raise ConformanceError(
+                f"{self.name}: {len(self.divergences)} divergence(s); first: {first}")
+
+
+def _compare_run(cdfg: CDFG, arch: Architecture, netlist, stimulus,
+                 store: TraceStore | None = None) -> tuple[list[Divergence], int]:
+    """Run the always-available chain once; returns (divergences, cycles)."""
+    divergences: list[Divergence] = []
+    if store is None:
+        store = simulate(cdfg, stimulus)
+
+    rep = replay(arch.stg, cdfg, store)
+    ref_cycles = [int(c) for c in rep.cycles_under(arch.duration_map())]
+    ref_outputs = {k: [int(x) for x in v] for k, v in store.outputs.items()}
+
+    def check_outputs(backend: str, outputs: dict) -> None:
+        for out_name, expected in ref_outputs.items():
+            got = [int(x) for x in outputs[out_name]]
+            for idx, (e, g) in enumerate(zip(expected, got)):
+                if e != g and len(divergences) < MAX_DIVERGENCES:
+                    divergences.append(Divergence(
+                        idx, "output", backend,
+                        f"{out_name} = {g}, interpreter says {e}",
+                        stimulus=dict(stimulus[idx])))
+
+    def check_cycles(backend: str, cycles, states=None, ref_states=None) -> None:
+        for idx, (e, g) in enumerate(zip(ref_cycles, [int(c) for c in cycles])):
+            if e != g and len(divergences) < MAX_DIVERGENCES:
+                detail = f"{g} cycles, replay says {e}"
+                if states is not None and ref_states is not None:
+                    detail += (f" (states {states[idx][:12]} vs "
+                               f"replay {list(ref_states[idx][:12])})")
+                divergences.append(Divergence(
+                    idx, "cycles", backend, detail, stimulus=dict(stimulus[idx])))
+
+    try:
+        gs = simulate_architecture(arch, stimulus, expected_outputs=store.outputs,
+                                   record_states=True)
+        check_outputs("gatesim", gs.outputs)
+        check_cycles("gatesim", gs.cycles, gs.state_seq, rep.state_seq)
+    except ReproError as exc:
+        divergences.append(Divergence(0, "error", "gatesim", str(exc)))
+
+    try:
+        # Replay already knows how long each pass should take; a netlist
+        # that runs 4x past that has diverged into a non-terminating path.
+        cap = max(ref_cycles, default=1) * 4 + 64
+        ns = simulate_netlist(netlist, stimulus, max_cycles_per_pass=cap)
+        check_outputs("netsim", ns.outputs)
+        durations = arch.duration_map()
+        ns_visits = [visits_from_cycle_trace(seq, durations)
+                     for seq in ns.state_seq]
+        check_cycles("netsim", ns.cycles, ns_visits, rep.state_seq)
+    except ReproError as exc:
+        divergences.append(Divergence(0, "error", "netsim", str(exc)))
+
+    return divergences, int(sum(ref_cycles))
+
+
+def visits_from_cycle_trace(seq: list[int],
+                            durations: dict[int, int]) -> list[int]:
+    """Recover per-visit state ids from a per-cycle FSM trace.
+
+    A state with duration ``d`` occupies ``d`` consecutive trace entries
+    per visit; a 1-cycle state self-looping ``k`` times occupies ``k``
+    entries for ``k`` distinct visits — so runs must be split by the
+    state's duration, not merely de-duplicated.  Ragged runs (a diverged
+    netlist stuck mid-state) round up to whole visits.
+    """
+    visits: list[int] = []
+    idx = 0
+    while idx < len(seq):
+        state = seq[idx]
+        run = 1
+        while idx + run < len(seq) and seq[idx + run] == state:
+            run += 1
+        duration = max(1, durations.get(state, 1))
+        visits.extend([state] * ((run + duration - 1) // duration))
+        idx += run
+    return visits
+
+
+def minimize_stimulus(cdfg: CDFG, arch: Architecture, inputs: dict[str, int],
+                      netlist=None) -> dict[str, int]:
+    """Greedily shrink a divergent input assignment toward zero.
+
+    Each variable is halved toward zero (then tried at 0 and ±1) while the
+    single-pass conformance chain still diverges; trials whose *behavior*
+    cannot even be interpreted (e.g. a non-terminating loop) are rejected,
+    so minimization cannot trade the original bug for a crash.
+    """
+    if netlist is None:
+        netlist = lower_architecture(arch)
+    trials = 0
+
+    def diverges(candidate: dict[str, int]) -> bool:
+        nonlocal trials
+        if trials >= MAX_MINIMIZE_TRIALS:
+            return False
+        trials += 1
+        try:
+            store = simulate(cdfg, [candidate])
+        except ReproError:
+            return False  # behaviorally invalid candidate
+        try:
+            found, _cycles = _compare_run(cdfg, arch, netlist, [candidate], store)
+        except ReproError:
+            return True
+        return bool(found)
+
+    current = dict(inputs)
+    if not diverges(current):
+        return current  # not reproducible standalone; report as-is
+    improved = True
+    while improved and trials < MAX_MINIMIZE_TRIALS:
+        improved = False
+        for var in sorted(current):
+            value = current[var]
+            while value != 0:
+                smaller = value // 2 if value > 0 else -((-value) // 2)
+                trial = {**current, var: smaller}
+                if smaller != value and diverges(trial):
+                    current = trial
+                    value = smaller
+                    improved = True
+                else:
+                    break
+            for candidate in (0, 1, -1):
+                if current[var] != candidate and abs(candidate) < abs(current[var]):
+                    trial = {**current, var: candidate}
+                    if diverges(trial):
+                        current = trial
+                        improved = True
+                        break
+    return current
+
+
+def verify_architecture(cdfg: CDFG, arch: Architecture,
+                        stimulus: list[dict[str, int]], *,
+                        store: TraceStore | None = None,
+                        name: str = "impact",
+                        use_iverilog: str = "auto",
+                        minimize: bool = True) -> ConformanceReport:
+    """Differentially cosimulate one architecture over one stimulus.
+
+    ``use_iverilog``: ``"auto"`` runs the external simulator when
+    installed, ``"off"`` never, ``"require"`` fails when missing.
+    """
+    if use_iverilog not in ("auto", "off", "require"):
+        raise ConformanceError(f"unknown iverilog mode {use_iverilog!r}")
+    t0 = time.perf_counter()
+    netlist = lower_architecture(arch, name=name)
+    divergences, total_cycles = _compare_run(cdfg, arch, netlist, stimulus, store)
+
+    backends = list(BACKENDS)
+    iverilog_ran = False
+    want_iverilog = (use_iverilog == "require"
+                     or (use_iverilog == "auto" and iverilog_available()))
+    if use_iverilog == "require" and not iverilog_available():
+        raise ConformanceError("iverilog required but not found on PATH")
+    if want_iverilog:
+        if store is None:
+            store = simulate(cdfg, stimulus)
+        rep = replay(arch.stg, cdfg, store)
+        expected = {k: [int(x) for x in v] for k, v in store.outputs.items()}
+        cycles = [int(c) for c in rep.cycles_under(arch.duration_map())]
+        tb = emit_testbench(netlist, stimulus, expected, cycles)
+        result = run_iverilog(emit_verilog(netlist), tb, name=name)
+        iverilog_ran = True
+        backends.append("iverilog")
+        if not result.passed:
+            first_fail = next((line for line in result.log.splitlines()
+                               if line.startswith("FAIL")), "see log")
+            divergences.append(Divergence(
+                -1, "output", "iverilog",
+                f"{result.n_checks_failed} testbench checks failed: {first_fail}"))
+
+    if minimize:
+        # The first divergence is the actionable one; minimize just it.
+        first = next((d for d in divergences if d.stimulus), None)
+        if first is not None:
+            first.minimized = minimize_stimulus(cdfg, arch, first.stimulus,
+                                                netlist=netlist)
+
+    return ConformanceReport(
+        name=name,
+        n_passes=len(stimulus),
+        backends=backends,
+        divergences=divergences,
+        total_cycles=total_cycles,
+        iverilog_ran=iverilog_ran,
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+def verify_benchmark(name: str, n_passes: int = 100, seed: int = 0, *,
+                     use_iverilog: str = "auto",
+                     minimize: bool = True) -> ConformanceReport:
+    """Conformance-check one registry benchmark's initial design point."""
+    from repro.benchmarks import get_benchmark
+    from repro.core.engine import SynthesisEngine
+    from repro.sched.engine import ScheduleOptions
+
+    bench = get_benchmark(name)
+    cdfg = bench.cdfg()
+    stimulus = bench.stimulus(n_passes, seed=seed)
+    engine = SynthesisEngine(cdfg, stimulus,
+                             options=ScheduleOptions(clock_ns=bench.clock_ns))
+    return engine.verify(use_iverilog=use_iverilog, minimize=minimize, name=name)
+
+
+def _format_row(report: ConformanceReport) -> str:
+    verdict = "ok" if report.ok else f"FAIL ({len(report.divergences)})"
+    backends = "+".join(report.backends)
+    return (f"{report.name:<10s} {report.n_passes:>5d} passes  "
+            f"{report.total_cycles:>8d} cycles  {backends:<40s} "
+            f"{report.wall_s:>7.2f}s  {verdict}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.conformance",
+        description="Differential cosimulation over the benchmark registry.")
+    parser.add_argument("--all", action="store_true",
+                        help="verify every registry benchmark")
+    parser.add_argument("-b", "--benchmark", action="append", default=[],
+                        help="verify one benchmark (repeatable)")
+    parser.add_argument("-p", "--passes", type=int, default=100,
+                        help="random stimulus passes per benchmark (default 100)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iverilog", choices=("auto", "off", "require"),
+                        default="auto")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="skip divergent-stimulus minimization")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write a machine-readable summary to this path")
+    args = parser.parse_args(argv)
+
+    from repro.benchmarks import BENCHMARKS
+
+    names = list(BENCHMARKS) if args.all or not args.benchmark else args.benchmark
+    reports: list[ConformanceReport] = []
+    for name in names:
+        report = verify_benchmark(name, n_passes=args.passes, seed=args.seed,
+                                  use_iverilog=args.iverilog,
+                                  minimize=not args.no_minimize)
+        reports.append(report)
+        print(_format_row(report))
+        for div in report.divergences:
+            print(f"    {div}")
+
+    all_ok = all(r.ok for r in reports)
+    print(f"\nconformance: {sum(r.ok for r in reports)}/{len(reports)} benchmarks "
+          f"agree across {'/'.join(BACKENDS)}"
+          + (" + iverilog" if any(r.iverilog_ran for r in reports) else ""))
+    if args.json is not None:
+        payload = {
+            "ok": all_ok,
+            "passes": args.passes,
+            "seed": args.seed,
+            "benchmarks": [r.summary() for r in reports],
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                             encoding="utf-8")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

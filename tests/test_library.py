@@ -117,7 +117,10 @@ class TestVoltage:
 
     @given(st.floats(1.0, 8.0), st.floats(0.0, 2.0))
     def test_monotonicity(self, ratio, extra):
-        assert max_vdd_scaling(ratio + extra) <= max_vdd_scaling(ratio)
+        # Monotone up to the brentq root tolerance (xtol=1e-6): an
+        # epsilon-sized ratio perturbation may move the solved root by
+        # solver tolerance in either direction.
+        assert max_vdd_scaling(ratio + extra) <= max_vdd_scaling(ratio) + 1e-5
 
     def test_below_threshold_rejected(self):
         with pytest.raises(ValueError):

@@ -140,3 +140,52 @@ class TestTreeInstallation:
                    for k in port.sources]
         arch.set_tree(port.key, huffman_tree(sources))
         arch.check_timing()  # must not raise
+
+
+class TestInvalidationRenormalizes:
+    """Regression: invalidate_timing with an explicit state_ids list used
+    to drop cached paths without renormalizing durations, so
+    check_timing compared fresh paths against cycle budgets normalized
+    for the *old* paths (phantom violations)."""
+
+    def test_explicit_state_ids_renormalize_durations(self, gcd_cdfg):
+        import math
+
+        arch = _arch(gcd_cdfg, clock=6.0)
+        before = arch.duration_map()
+        assert arch.check_timing() == []
+        # A physical change that slows every path: pretend each mux stage
+        # now costs multiple cycles (as a deep restructured tree would).
+        arch.mux_delay_ns = 20.0
+        arch.invalidate_timing(list(arch.stg.states))
+        # Old behavior: stale durations -> violations. Fixed behavior:
+        # the states multi-cycle to absorb the deeper network.
+        assert arch.check_timing() == []
+        after = arch.duration_map()
+        assert any(after[s] > before[s] for s in before)
+        for sid in arch.stg.states:
+            path = arch.state_critical_path(sid)
+            assert after[sid] == max(1, math.ceil(path / arch.clock_ns - 1e-9))
+
+    def test_partial_invalidation_keeps_durations_consistent(self, gcd_cdfg):
+        arch = _arch(gcd_cdfg, clock=6.0)
+        mux_states = [sid for sid in arch.stg.states
+                      if arch.state_critical_path(sid) > 0]
+        arch.mux_delay_ns = 20.0
+        arch.invalidate_timing(mux_states[:1])
+        # Whatever subset was invalidated, cached durations must agree
+        # with the paths currently in the cache.
+        assert arch.check_timing() == []
+
+    def test_set_tree_leaves_timing_closed(self, gcd_cdfg):
+        from repro.core.mux_restructure import huffman_tree
+        from repro.rtl.mux import MuxSource
+
+        arch = _arch(gcd_cdfg, clock=6.0)
+        port = max(arch.datapath.mux_ports(), key=lambda p: p.n_sources())
+        sources = [MuxSource(k, 0.5, 1.0 / len(port.sources))
+                   for k in port.sources]
+        arch.set_tree(port.key, huffman_tree(sources))
+        # set_tree invalidates all timing; durations must follow suit
+        # without the caller needing to call normalize_durations().
+        assert arch.check_timing() == []

@@ -84,6 +84,76 @@ class TestTreeStructure:
             huffman_tree([])
 
 
+class TestPortEdgeCases:
+    """Datapath-port edge cases previously covered only indirectly via
+    test_rtl_architecture.py."""
+
+    def test_single_source_port_needs_no_mux(self):
+        from repro.rtl.datapath import Datapath
+
+        dp = Datapath()
+        dp.add_driver(("reg_in", 0), 8, consumer=1, state=0, source=("reg", 2))
+        dp.add_driver(("reg_in", 0), 8, consumer=1, state=3, source=("reg", 2))
+        dp.finalize_trees()
+        port = dp.port(("reg_in", 0))
+        assert not port.needs_mux()
+        assert port.tree is None
+        assert port.n_muxes() == 0
+        assert port.max_depth() == 0
+        assert port.depth_of(("reg", 2)) == 0  # no tree: zero stages
+
+    def test_degenerate_one_level_tree(self):
+        from repro.rtl.datapath import Datapath
+
+        dp = Datapath()
+        dp.add_driver(("fu_in", 0, 0), 8, consumer=1, state=0, source=("reg", 0))
+        dp.add_driver(("fu_in", 0, 0), 8, consumer=2, state=1, source=("reg", 1))
+        dp.finalize_trees()
+        port = dp.port(("fu_in", 0, 0))
+        assert port.needs_mux()
+        assert port.n_muxes() == 1
+        assert port.max_depth() == 1
+        assert port.depth_of(("reg", 0)) == 1
+        assert port.depth_of(("reg", 1)) == 1
+        # Huffman restructuring of a 2-source tree cannot change depths.
+        restructured = huffman_tree([MuxSource(k, 0.9, 0.5)
+                                     for k in port.sources])
+        assert restructured.max_depth() == 1
+        assert restructured.n_muxes() == 1
+
+    def test_width_mismatched_sources_take_max_width(self):
+        from repro.rtl.datapath import Datapath
+
+        dp = Datapath()
+        dp.add_driver(("reg_in", 5), 8, consumer=1, state=0, source=("reg", 0))
+        dp.add_driver(("reg_in", 5), 16, consumer=2, state=1, source=("fu", 3))
+        dp.add_driver(("reg_in", 5), 4, consumer=3, state=2, source=("const", 7))
+        dp.finalize_trees()
+        port = dp.port(("reg_in", 5))
+        assert port.width == 16  # a narrower later driver never shrinks it
+        assert port.n_sources() == 3
+        assert port.n_muxes() == 2
+        # Mux area accounting scales with the resolved (max) width.
+        assert port.n_muxes() * port.width == 32
+
+    def test_duplicate_driver_updates_selection_not_sources(self):
+        from repro.rtl.datapath import Datapath
+
+        dp = Datapath()
+        dp.add_driver(("reg_in", 1), 8, consumer=1, state=0, source=("reg", 0))
+        dp.add_driver(("reg_in", 1), 8, consumer=1, state=0, source=("reg", 2))
+        port = dp.port(("reg_in", 1))
+        assert port.sources == [("reg", 0), ("reg", 2)]
+        assert port.drivers[(1, 0)] == ("reg", 2)  # last write wins
+
+    def test_unknown_port_lookup_raises(self):
+        from repro.errors import ArchitectureError
+        from repro.rtl.datapath import Datapath
+
+        with pytest.raises(ArchitectureError):
+            Datapath().port(("reg_in", 99))
+
+
 def _all_tree_shapes(leaves):
     """Enumerate every binary tree over an ordered leaf list."""
     if len(leaves) == 1:

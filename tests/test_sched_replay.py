@@ -76,3 +76,35 @@ class TestReplayErrors:
         stg.states[stg.start].ops.clear()
         with pytest.raises(ScheduleError):
             replay(stg, simple_cdfg, store, check=True)
+
+
+class TestStateSequences:
+    """Per-pass state traces and duration recosting (the conformance
+    harness compares these against gatesim and the HDL netlist)."""
+
+    def test_state_seq_consistent_with_cycles(self, gcd_cdfg):
+        binding = Binding.initial_parallel(gcd_cdfg, default_library())
+        store = simulate(gcd_cdfg, [{"a": 12, "b": 18}, {"a": 9, "b": 6}])
+        stg = wavesched(gcd_cdfg, binding)
+        rep = replay(stg, gcd_cdfg, store)
+        assert len(rep.state_seq) == 2
+        for seq, cycles in zip(rep.state_seq, rep.cycles):
+            assert seq[0] == stg.start
+            assert stg.done not in seq
+            assert sum(stg.states[s].duration for s in seq) == int(cycles)
+
+    def test_cycles_under_identity_matches_replay(self, gcd_cdfg):
+        binding = Binding.initial_parallel(gcd_cdfg, default_library())
+        store = simulate(gcd_cdfg, [{"a": 12, "b": 18}, {"a": 7, "b": 3}])
+        stg = wavesched(gcd_cdfg, binding)
+        rep = replay(stg, gcd_cdfg, store)
+        identity = {sid: s.duration for sid, s in stg.states.items()}
+        assert list(rep.cycles_under(identity)) == list(rep.cycles)
+
+    def test_cycles_under_recosts_durations(self, gcd_cdfg):
+        binding = Binding.initial_parallel(gcd_cdfg, default_library())
+        store = simulate(gcd_cdfg, [{"a": 12, "b": 18}])
+        stg = wavesched(gcd_cdfg, binding)
+        rep = replay(stg, gcd_cdfg, store)
+        doubled = {sid: 2 * s.duration for sid, s in stg.states.items()}
+        assert list(rep.cycles_under(doubled)) == [2 * int(c) for c in rep.cycles]

@@ -139,3 +139,35 @@ class TestGraphMetrics:
         stg = _linear_stg(1)
         stg.states[stg.start].ops.append(ScheduledOp(1, 0, 0.0, 9.5))
         assert stg.worst_state_delay() == pytest.approx(9.5)
+
+
+class TestTransitionHelpers:
+    """Deterministic transition ordering and condition-input extraction
+    (consumed by the Verilog backend's next-state logic)."""
+
+    def test_ordered_transitions_specific_guards_first(self):
+        stg = STG()
+        a, b, c, d = (stg.new_state() for _ in range(4))
+        stg.start, stg.done = a.id, d.id
+        stg.add_transition(a.id, b.id, frozenset({(1, True)}))
+        stg.add_transition(a.id, c.id, frozenset({(1, False), (2, True)}))
+        stg.add_transition(a.id, d.id, frozenset({(1, False), (2, False)}))
+        ordered = stg.ordered_transitions(a.id)
+        assert [len(t.conds) for t in ordered] == [2, 2, 1]
+        # Deterministic: same STG, same order, every call.
+        assert stg.ordered_transitions(a.id) == ordered
+
+    def test_condition_inputs(self):
+        stg = STG()
+        a, b = stg.new_state(), stg.new_state()
+        stg.start, stg.done = a.id, b.id
+        stg.add_transition(a.id, b.id, frozenset({(5, True)}))
+        stg.add_transition(a.id, a.id, frozenset({(5, False)}))
+        assert stg.condition_inputs() == {5}
+
+    def test_condition_inputs_empty_for_unconditional(self):
+        stg = STG()
+        a, b = stg.new_state(), stg.new_state()
+        stg.start, stg.done = a.id, b.id
+        stg.add_transition(a.id, b.id)
+        assert stg.condition_inputs() == set()

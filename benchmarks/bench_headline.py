@@ -7,11 +7,15 @@ sweeps (coarser grid than the per-benchmark benches, so it stands alone).
 
 Each sweep runs through one :class:`~repro.core.engine.SynthesisEngine`,
 so the bench also tracks the performance trajectory of the synthesis hot
-path itself: wall time, candidate evaluations, and the pipeline-cache
-hit rates (how many full schedule / replay / trace-merge computations the
-content-addressed memo tables avoided).  Headline metrics are emitted
-both as a table and as one machine-readable JSON line (persisted to
-``results/headline.json``) so successive PRs can compare.
+path itself: wall time, candidate evaluations, the pipeline-cache hit
+rates, and the per-stage timing/incremental-hit breakdown from
+:data:`repro.core.profile.PROFILER` (how often the delta-based
+incremental evaluation layer short-circuited a full recomputation).
+Headline metrics are emitted as a table, as one machine-readable JSON
+line (persisted to ``results/headline.json`` with the per-stage profile
+mirrored to ``results/profile.json``), and as an appended run record in
+``BENCH_headline.json`` — the checked-in perf trajectory the CI
+perf-smoke job gates regressions against (see ``check_perf.py``).
 
 The run also differentially cosimulates every benchmark's design across
 the four execution models (interpreter / replay / gatesim / emitted-
@@ -19,15 +23,18 @@ Verilog netsim) and persists the verdicts to ``results/conformance.json``
 — a headline number is only as good as the agreement of the models that
 produced it.
 
-Set ``HEADLINE_SMOKE=1`` to restrict the run to a single benchmark — the
-CI smoke mode.
+Set ``HEADLINE_SMOKE=1`` to restrict the run to the two smallest
+benchmarks — the CI smoke/perf-gate mode.
 """
 
+import datetime
 import json
 import os
+import pathlib
 import time
 
 from conftest import RESULTS_DIR, publish, run_once
+from repro.core.profile import PROFILER
 from repro.core.search import SearchConfig
 from repro.experiments.laxity import run_laxity_sweep
 from repro.experiments.report import format_table
@@ -37,8 +44,20 @@ SEARCH = SearchConfig(max_depth=4, max_candidates=10, max_iterations=5, seed=0)
 NAMES = ("loops", "gcd", "dealer", "x25_send", "cordic", "paulin")
 CONFORMANCE_PASSES = 25
 if os.environ.get("HEADLINE_SMOKE"):
-    NAMES = ("gcd",)
+    NAMES = ("loops", "gcd")
     CONFORMANCE_PASSES = 10
+
+BENCH_LOG = pathlib.Path(__file__).resolve().parent.parent / "BENCH_headline.json"
+
+
+def append_run_record(record: dict) -> None:
+    """Append one run record to the checked-in perf trajectory."""
+    log = {"records": []}
+    if BENCH_LOG.exists():
+        log = json.loads(BENCH_LOG.read_text(encoding="utf-8"))
+    log["records"].append(record)
+    BENCH_LOG.write_text(json.dumps(log, indent=1, sort_keys=True) + "\n",
+                         encoding="utf-8")
 
 
 def bench_headline(benchmark):
@@ -46,6 +65,7 @@ def bench_headline(benchmark):
         rows = []
         totals = {"hits": 0, "misses": 0, "sched_hits": 0, "sched_misses": 0,
                   "replay_hits": 0, "replay_misses": 0, "evaluations": 0}
+        profile_window = PROFILER.snapshot()
         t0 = time.perf_counter()
         for name in NAMES:
             sweep = run_laxity_sweep(name, laxities=(1.0, 2.0, 3.0),
@@ -67,6 +87,7 @@ def bench_headline(benchmark):
                 "cache hit rate": f"{stats['total']['hit_rate']:.1%}",
             })
         totals["wall_time_s"] = round(time.perf_counter() - t0, 3)
+        totals["profile"] = PROFILER.window(profile_window)
 
         # Differential conformance over the same registry: the oracle
         # chain must agree before any power number above is credible.
@@ -86,9 +107,16 @@ def bench_headline(benchmark):
     sched_replay_calls = (totals["sched_hits"] + totals["sched_misses"]
                           + totals["replay_hits"] + totals["replay_misses"])
     sched_replay_computes = totals["sched_misses"] + totals["replay_misses"]
+    profile = totals["profile"]
+    incremental_hits = {stage: stats["incremental"]
+                        for stage, stats in profile.items()
+                        if stats.get("incremental")}
     metrics = {
         "bench": "headline",
         "benchmarks": list(NAMES),
+        "smoke": bool(os.environ.get("HEADLINE_SMOKE")),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
         "wall_time_s": totals["wall_time_s"],
         "evaluations": totals["evaluations"],
         "cache_hit_rate": round(totals["hits"] / calls, 4) if calls else 0.0,
@@ -96,6 +124,8 @@ def bench_headline(benchmark):
         "schedule_replay_computes": sched_replay_computes,
         "compute_reduction": round(sched_replay_calls / sched_replay_computes, 2)
         if sched_replay_computes else 1.0,
+        "incremental_hits": incremental_hits,
+        "profile": profile,
         "conformance_ok": conformance_ok,
         "conformance_passes": CONFORMANCE_PASSES,
     }
@@ -110,6 +140,14 @@ def bench_headline(benchmark):
         f"{metrics['cache_hit_rate']:.1%} cache hit rate, "
         f"{metrics['compute_reduction']:.2f}x fewer schedule/replay "
         f"computations ({sched_replay_computes}/{sched_replay_calls})")
+    stage_bits = []
+    for stage in sorted(profile):
+        stats = profile[stage]
+        stage_bits.append(
+            f"{stage} {stats['seconds']:.2f}s"
+            f" ({stats['incremental']}/{stats['calls']} incremental)")
+    if stage_bits:
+        text += "\nstages: " + ", ".join(stage_bits)
     text += (
         f"\nconformance: {sum(c['ok'] for c in conformance)}/{len(conformance)} "
         f"benchmarks agree across interpreter/replay/gatesim/netsim "
@@ -121,8 +159,17 @@ def bench_headline(benchmark):
     print(json_line)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "headline.json").write_text(json_line + "\n", encoding="utf-8")
+    (RESULTS_DIR / "profile.json").write_text(
+        json.dumps({"recorded_at": metrics["recorded_at"],
+                    "wall_time_s": metrics["wall_time_s"],
+                    "benchmarks": list(NAMES),
+                    "stages": profile,
+                    "incremental_hits": incremental_hits},
+                   indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")
     (RESULTS_DIR / "conformance.json").write_text(
         json.dumps({"ok": conformance_ok, "passes": CONFORMANCE_PASSES,
                     "benchmarks": conformance}, indent=2, sort_keys=True) + "\n",
         encoding="utf-8")
+    append_run_record(metrics)
     assert conformance_ok, "conformance divergence — see results/conformance.json"

@@ -1,0 +1,78 @@
+"""CI perf gate: fail on a wall-time regression against the baseline.
+
+Compares the freshly measured headline run (``results/headline.json``,
+written by ``bench_headline.py``) against the checked-in perf trajectory
+(``BENCH_headline.json``): the baseline is the most recent *earlier*
+record covering the same benchmark set, and the gate fails when the
+current wall time exceeds ``--max-ratio`` (default 1.25, i.e. a >25 %
+regression).  Runs with no comparable baseline pass with a notice, so
+the first record on a new benchmark set seeds the trajectory instead of
+failing it.
+
+Wall time is machine-dependent; the default ratio leaves headroom for
+runner jitter while still catching the order-of-magnitude mistakes
+(accidentally disabled caching, a quadratic loop) the gate exists for.
+
+Usage::
+
+    python benchmarks/check_perf.py [--baseline BENCH_headline.json]
+                                    [--current results/headline.json]
+                                    [--max-ratio 1.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def find_baseline(records: list[dict], current: dict) -> dict | None:
+    """Most recent earlier record over the same benchmark set."""
+    matches = [
+        r for r in records
+        if r.get("benchmarks") == current.get("benchmarks")
+        and r.get("recorded_at", "") < current.get("recorded_at", "")
+    ]
+    return matches[-1] if matches else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(ROOT / "BENCH_headline.json"))
+    parser.add_argument("--current", default=str(ROOT / "results" / "headline.json"))
+    parser.add_argument("--max-ratio", type=float, default=1.25)
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.current).read_text(encoding="utf-8"))
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"perf gate: no baseline file {baseline_path}; passing (seed run)")
+        return 0
+    records = json.loads(baseline_path.read_text(encoding="utf-8")).get("records", [])
+    baseline = find_baseline(records, current)
+    if baseline is None:
+        print(f"perf gate: no earlier record for benchmarks "
+              f"{current.get('benchmarks')}; passing (seed run)")
+        return 0
+
+    wall = current["wall_time_s"]
+    base = baseline["wall_time_s"]
+    ratio = wall / base if base else float("inf")
+    verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
+    print(f"perf gate: current {wall:.2f}s vs baseline {base:.2f}s "
+          f"({baseline['recorded_at']}) -> {ratio:.2f}x [{verdict}, "
+          f"limit {args.max_ratio:.2f}x]")
+    if verdict == "REGRESSION":
+        print("perf gate: headline wall time regressed by more than "
+              f"{(args.max_ratio - 1.0):.0%} — see results/profile.json for "
+              "the per-stage breakdown")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

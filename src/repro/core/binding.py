@@ -154,6 +154,26 @@ class Binding:
         )
         return (fus, regs)
 
+    def merge_signature(self) -> tuple:
+        """Content signature of exactly what trace merging reads (hashable).
+
+        The merge consumes each unit's (id, width, op set) and each
+        register's (id, width, carrier set) — plus the datapath's port
+        structure, which is likewise module-free — but never the module
+        assignments, so bindings that differ only in module selection
+        share one merged-trace object.  Instance ids are included: they
+        key streams and datapath ports.
+        """
+        fus = tuple(
+            (fu_id, fu.width, tuple(sorted(fu.ops)))
+            for fu_id, fu in sorted(self.fus.items())
+        )
+        regs = tuple(
+            (reg_id, reg.width, tuple(sorted(reg.carriers)))
+            for reg_id, reg in sorted(self.regs.items())
+        )
+        return (fus, regs)
+
     def schedule_signature(self) -> tuple:
         """Id-free signature of exactly what scheduling reads (hashable).
 

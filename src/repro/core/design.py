@@ -5,25 +5,33 @@ class makes each point cheap to derive from its predecessor:
 
 * moves that change only the binding or the multiplexer shapes reuse the
   STG *and* the replay (replay depends only on the schedule, not the
-  binding) and merely rebuild the architecture and re-merge unit traces;
-* moves that change the resource constraints re-schedule first.
+  binding), and — when they declare a :class:`~repro.core.delta.DirtySet`
+  — derive the architecture, the merged unit traces and the power
+  estimate *incrementally*: clean ports, streams and per-component
+  energy terms are shared with the parent point, and only the dirty
+  subset is recomputed (Section 2.3's trace manipulation applied to the
+  whole evaluation pipeline);
+* moves that change the resource constraints re-schedule first and take
+  the full path.
 
 The evaluation bundle (ENC, legality, area, Vdd-scaled power) is computed
-once per point and cached.
+once per point and cached; its power half is *lazy*, so area-mode
+searches never pay for a power estimate.  Incremental and full
+evaluation are bit-identical — the randomized equivalence suite
+(``tests/test_incremental_equivalence.py``) enforces it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cdfg.graph import CDFG
 from repro.core.binding import Binding
+from repro.core.delta import DirtySet
 from repro.core.mux_restructure import huffman_tree
 from repro.library.library import ModuleLibrary
 from repro.power.estimator import PowerEstimate, estimate_power
 from repro.power.trace_manip import UnitTraces, merge_unit_traces
 from repro.rtl.architecture import Architecture
-from repro.rtl.builder import build_architecture
+from repro.rtl.builder import build_architecture, derive_architecture
 from repro.rtl.mux import MuxSource
 from repro.sched.engine import ScheduleOptions, schedule
 from repro.sched.replay import ReplayResult, replay
@@ -31,7 +39,6 @@ from repro.sched.stg import STG
 from repro.sim.traces import TraceStore
 
 
-@dataclass
 class Evaluation:
     """The numbers the search needs about one design point.
 
@@ -40,16 +47,45 @@ class Evaluation:
     the Figure 13 experiment additionally exploit *cycle* slack — a design
     whose ENC is under the laxity budget may scale Vdd further at equal
     throughput (see :func:`equal_throughput_vdd`).
+
+    The power half of the bundle is lazy: ``estimate`` (and with it
+    ``power_5v``/``power_scaled``) is materialized on first access, so
+    area-only consumers never trigger trace merging or power estimation.
     """
 
-    enc: float
-    legal: bool
-    area: float
-    slack_ratio: float
-    vdd: float
-    power_5v: float
-    power_scaled: float
-    estimate: PowerEstimate
+    __slots__ = ("enc", "legal", "area", "slack_ratio", "vdd",
+                 "_power_fn", "_estimate")
+
+    def __init__(self, enc: float, legal: bool, area: float,
+                 slack_ratio: float, vdd: float, power_fn=None,
+                 estimate: PowerEstimate | None = None):
+        self.enc = enc
+        self.legal = legal
+        self.area = area
+        self.slack_ratio = slack_ratio
+        self.vdd = vdd
+        self._power_fn = power_fn
+        self._estimate = estimate
+
+    @property
+    def estimate(self) -> PowerEstimate:
+        """The 5 V power estimate, materialized on first use."""
+        if self._estimate is None:
+            self._estimate = self._power_fn()
+        return self._estimate
+
+    @property
+    def power_materialized(self) -> bool:
+        return self._estimate is not None
+
+    @property
+    def power_5v(self) -> float:
+        return self.estimate.total
+
+    @property
+    def power_scaled(self) -> float:
+        scale = (self.vdd / 5.0) ** 2
+        return self.estimate.total * scale
 
     def cost(self, mode: str) -> float:
         if mode == "power":
@@ -99,12 +135,18 @@ class DesignPoint:
     :class:`~repro.core.cache.SynthesisCache` is attached, the schedule,
     replay and trace-merge stages are additionally memoized across design
     points by content signature.
+
+    A point derived with a :class:`~repro.core.delta.DirtySet` (and
+    ``incremental`` enabled) keeps a reference to its parent and builds
+    its architecture, traces and power estimate by patching the parent's,
+    recomputing only the dirty units/ports.
     """
 
     def __init__(self, cdfg: CDFG, library: ModuleLibrary, store: TraceStore,
                  options: ScheduleOptions, binding: Binding, stg: STG,
                  rep: ReplayResult, tree_policy: frozenset = frozenset(),
-                 cache=None):
+                 cache=None, parent: "DesignPoint | None" = None,
+                 dirty: DirtySet | None = None, incremental: bool = True):
         self.cdfg = cdfg
         self.library = library
         self.store = store
@@ -114,6 +156,11 @@ class DesignPoint:
         self.rep = rep
         self.tree_policy = tree_policy  # port keys with Huffman-restructured trees
         self.cache = cache
+        self.incremental = incremental
+        self._parent = parent if (incremental and dirty is not None
+                                  and not dirty.reschedule) else None
+        self._dirty = dirty
+        self._rebuilt_ports: frozenset | None = None
         self._arch: Architecture | None = None
         self._traces: UnitTraces | None = None
         self._liveness: dict[int, set[str]] | None = None
@@ -124,33 +171,45 @@ class DesignPoint:
     @classmethod
     def initial(cls, cdfg: CDFG, library: ModuleLibrary, store: TraceStore,
                 options: ScheduleOptions | None = None,
-                cache=None) -> "DesignPoint":
+                cache=None, incremental: bool = True) -> "DesignPoint":
         """The paper's starting point: fully parallel, fastest modules."""
         options = options or ScheduleOptions()
         binding = Binding.initial_parallel(cdfg, library)
         stg = schedule(cdfg, binding, options, cache=cache)
         rep = replay(stg, cdfg, store, cache=cache)
-        return cls(cdfg, library, store, options, binding, stg, rep, cache=cache)
+        return cls(cdfg, library, store, options, binding, stg, rep,
+                   cache=cache, incremental=incremental)
 
-    def with_binding(self, binding: Binding, reschedule: bool) -> "DesignPoint":
+    def with_binding(self, binding: Binding, reschedule: bool,
+                     dirty: DirtySet | None = None) -> "DesignPoint":
         """Derive a new point after a binding edit.
 
         Re-scheduling invalidates earlier register-sharing legality proofs
         (lifetimes are a property of the schedule), so the derived point is
         re-checked and rejected if any shared register's carriers now
         interfere.  Rejection happens before any architecture is built.
+
+        ``dirty`` is the applying move's declaration of what it touched;
+        for non-rescheduling moves it enables the incremental evaluation
+        path.  Passing no dirty set (or a rescheduling one) falls back to
+        full evaluation.
         """
         if reschedule:
             stg = schedule(self.cdfg, binding, self.options, cache=self.cache)
             rep = replay(stg, self.cdfg, self.store, cache=self.cache)
+            dirty = None
         else:
             stg = self.stg
             rep = self.rep
         derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
                               binding, stg, rep, self.tree_policy,
-                              cache=self.cache)
+                              cache=self.cache, parent=self, dirty=dirty,
+                              incremental=self.incremental)
         if reschedule:
             derived.check_register_sharing()
+        else:
+            # Liveness depends only on (CDFG, STG), both shared.
+            derived._liveness = self._liveness
         return derived
 
     def check_register_sharing(self) -> None:
@@ -174,9 +233,13 @@ class DesignPoint:
     def with_tree_policy(self, port_key: tuple) -> "DesignPoint":
         """Derive a new point with one more Huffman-restructured mux tree."""
         policy = self.tree_policy | {port_key}
-        return DesignPoint(self.cdfg, self.library, self.store, self.options,
-                           self.binding, self.stg, self.rep, policy,
-                           cache=self.cache)
+        derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
+                              self.binding, self.stg, self.rep, policy,
+                              cache=self.cache, parent=self,
+                              dirty=DirtySet.for_ports(port_key),
+                              incremental=self.incremental)
+        derived._liveness = self._liveness
+        return derived
 
     # -- lazy pipeline stages --------------------------------------------------------
 
@@ -184,14 +247,24 @@ class DesignPoint:
     def arch(self) -> Architecture:
         """The RT architecture, built (and tree-restructured) on first use."""
         if self._arch is None:
-            arch = build_architecture(self.cdfg, self.binding, self.stg,
-                                      clock_ns=self.options.clock_ns)
-            if self.tree_policy:
+            parent = self._parent
+            if parent is not None:
+                arch, rebuilt = derive_architecture(parent.arch, self.binding,
+                                                    self._dirty)
+                self._rebuilt_ports = rebuilt
+                # Only re-wired ports can carry a stale balanced tree; a
+                # shared port inherited its (possibly restructured) tree
+                # — and the critical paths computed with it — wholesale.
+                pending = [k for k in self.tree_policy if k in rebuilt]
+            else:
+                arch = build_architecture(self.cdfg, self.binding, self.stg,
+                                          clock_ns=self.options.clock_ns)
+                pending = list(self.tree_policy)
+            if pending:
                 # Restructuring needs the merged port statistics, and
-                # changes timing — re-normalize the cycle windows after.
+                # changes timing — invalidate the affected states after.
                 traces = self._merge_traces(arch)
-                self._apply_tree_policy(arch, traces)
-                arch.normalize_durations()
+                self._apply_tree_policy(arch, traces, pending)
                 self._traces = traces
             self._arch = arch
         return self._arch
@@ -208,6 +281,12 @@ class DesignPoint:
         return self._traces
 
     def _merge_traces(self, arch: Architecture) -> UnitTraces:
+        parent = self._parent
+        if parent is not None and self._rebuilt_ports is not None:
+            return merge_unit_traces(arch, self.store, self.rep,
+                                     cache=self.cache, parent=parent.traces,
+                                     dirty=self._dirty,
+                                     dirty_ports=self._rebuilt_ports)
         return merge_unit_traces(arch, self.store, self.rep, cache=self.cache)
 
     def liveness(self) -> dict[int, set[str]]:
@@ -222,14 +301,18 @@ class DesignPoint:
             self._liveness = carrier_liveness(self)
         return self._liveness
 
-    def _apply_tree_policy(self, arch: Architecture, traces: UnitTraces) -> None:
-        for key in self.tree_policy:
+    def _apply_tree_policy(self, arch: Architecture, traces: UnitTraces,
+                           pending: list[tuple]) -> None:
+        touched: set[int] = set()
+        for key in pending:
             port = arch.datapath.ports.get(key)
             if port is None or port.tree is None:
                 continue  # the port vanished under a later binding change
             stats = {s: (a, p) for s, a, p in traces.port_stats.get(key, [])}
             sources = [MuxSource(s, *stats.get(s, (0.0, 0.0))) for s in port.sources]
-            arch.set_tree(key, huffman_tree(sources))
+            arch.set_tree(key, huffman_tree(sources), invalidate=False)
+            touched |= arch.datapath.ports[key].driver_states()
+        arch.invalidate_timing(sorted(touched))
 
     # -- evaluation -----------------------------------------------------------------
 
@@ -240,19 +323,36 @@ class DesignPoint:
             if slack == float("inf"):
                 slack = 5.0
             vdd = self.arch.scaled_vdd() if legal else 5.0
-            est_5v = estimate_power(self.arch, self.traces, vdd=5.0)
-            scale = (vdd / 5.0) ** 2
             self._evaluation = Evaluation(
                 enc=self.enc,
                 legal=legal,
                 area=self.arch.area(),
                 slack_ratio=slack,
                 vdd=vdd,
-                power_5v=est_5v.total,
-                power_scaled=est_5v.total * scale,
-                estimate=est_5v,
+                power_fn=self._estimate_5v,
             )
         return self._evaluation
+
+    def _estimate_5v(self) -> PowerEstimate:
+        """The 5 V power estimate, patched from the parent's when possible."""
+        parent = self._parent
+        if (parent is not None and self._rebuilt_ports is not None
+                and parent.rep is self.rep
+                and parent._evaluation is not None
+                and parent._evaluation.power_materialized):
+            estimate = estimate_power(
+                self.arch, self.traces, vdd=5.0,
+                reuse=parent._evaluation.estimate,
+                dirty_fus=self._dirty.fu_ids,
+                dirty_regs=self._dirty.reg_ids,
+                dirty_ports=self._rebuilt_ports)
+        else:
+            estimate = estimate_power(self.arch, self.traces, vdd=5.0)
+        # Every parent-derived artifact is now materialized (the estimate
+        # forced arch and traces): release the parent so a committed
+        # chain does not pin every ancestor's architecture and streams.
+        self._parent = None
+        return estimate
 
     @property
     def enc(self) -> float:

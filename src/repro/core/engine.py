@@ -28,6 +28,7 @@ from repro.cdfg.graph import CDFG
 from repro.cdfg.interpreter import simulate
 from repro.core.cache import SynthesisCache
 from repro.core.design import DesignPoint
+from repro.core.profile import PROFILER
 from repro.core.search import (
     SearchConfig,
     SearchHistory,
@@ -55,6 +56,11 @@ class SynthesisResult:
     #: Run-window pipeline-cache counters: {"schedule"|"replay"|"traces"|
     #: "total": {"hits", "misses", "hit_rate"}}.  Empty when no cache.
     cache_stats: dict = field(default_factory=dict)
+    #: Run-window per-stage timing: {stage: {"calls", "seconds",
+    #: "incremental", "full"}} from :data:`repro.core.profile.PROFILER`.
+    #: Under parallel multi-start the sibling searches' windows overlap,
+    #: so per-run numbers are indicative the same way cache stats are.
+    profile: dict = field(default_factory=dict)
 
     @property
     def enc(self) -> float:
@@ -89,6 +95,12 @@ class SynthesisEngine:
         The config flag for the memo tables.  ``False`` recomputes every
         pipeline stage (results are bit-identical either way) while still
         counting computations, so speedups stay measurable.
+    incremental:
+        The config flag for delta-based candidate evaluation: moves with
+        a dirty set derive architecture, traces and power estimate by
+        patching the parent design point's.  ``False`` forces the full
+        path for every candidate; results are bit-identical either way
+        (the equivalence suite enforces it).
     store, initial:
         Optional pre-computed trace store / initial design point (e.g.
         from an earlier engine); both are lazily built when omitted.
@@ -101,6 +113,7 @@ class SynthesisEngine:
                  library: ModuleLibrary | None = None,
                  options: ScheduleOptions | None = None,
                  caching: bool = True,
+                 incremental: bool = True,
                  store: TraceStore | None = None,
                  initial: DesignPoint | None = None,
                  max_workers: int | None = None):
@@ -109,6 +122,7 @@ class SynthesisEngine:
         self.library = library or default_library()
         self.options = options or ScheduleOptions()
         self.cache = SynthesisCache(enabled=caching)
+        self.incremental = incremental
         self.max_workers = max_workers
         self._store = store
         self._initial = self._adopt(initial)
@@ -128,7 +142,7 @@ class SynthesisEngine:
         if self._initial is None:
             self._initial = DesignPoint.initial(
                 self.cdfg, self.library, self.store, self.options,
-                cache=self.cache)
+                cache=self.cache, incremental=self.incremental)
         return self._initial
 
     def _adopt(self, design: DesignPoint | None) -> DesignPoint | None:
@@ -178,6 +192,7 @@ class SynthesisEngine:
         enc_min = initial.enc
         enc_budget = laxity * enc_min
         window = self.cache.snapshot()
+        profile_window = PROFILER.snapshot()
 
         def feasible(design: DesignPoint) -> bool:
             evaluation = design.evaluate()
@@ -214,6 +229,7 @@ class SynthesisEngine:
             history=best_history,
             store=self.store,
             cache_stats=self.cache.window_stats(window),
+            profile=PROFILER.window(profile_window),
         )
 
     def _search_starts(self, start_points, mode, enc_budget, search, area_cap,

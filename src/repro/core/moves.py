@@ -4,6 +4,14 @@ Every move is a small immutable object with a signature (for tabu lists), a
 ``needs_reschedule`` property, and ``apply(design) -> DesignPoint``.  Moves
 never mutate their input design point; application clones the binding.
 
+Each move also declares its **dirty set** — :meth:`Move.affected` returns
+the :class:`~repro.core.delta.DirtySet` of functional units, registers and
+multiplexer ports the move invalidates — and passes it into the
+derivation, which is what lets the evaluation pipeline patch the parent's
+architecture, merged traces and power estimate instead of recomputing
+them.  Rescheduling moves declare a full dirty set and take the full
+evaluation path.
+
 ========================= ============================ =============
 move                      paper section                re-schedule?
 ========================= ============================ =============
@@ -22,15 +30,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BindingError, ReproError
+from repro.core.delta import DirtySet
 from repro.core.design import DesignPoint
 from repro.core.liveness import carriers_interfere
 from repro.library.module import scale_area, scale_delay
 
 
 class Move:
-    """Base class; subclasses define signature() and apply()."""
+    """Base class; subclasses define signature(), affected() and apply()."""
 
     def signature(self) -> tuple:
+        raise NotImplementedError
+
+    def affected(self, design: DesignPoint) -> DirtySet:
+        """What this move invalidates when applied at ``design``.
+
+        Conservative by construction: every unit the move creates,
+        deletes or edits — the incremental evaluation layer recomputes
+        exactly this set and shares the rest with the parent point.
+        ``apply()`` passes this same declaration into the derivation, so
+        there is a single source of truth per move.  The one exception
+        is :class:`SubstituteModule`, whose application *escalates* to a
+        full reschedule when the slower module breaks a cycle window —
+        the declaration here describes the non-escalated application.
+        """
         raise NotImplementedError
 
     def apply(self, design: DesignPoint) -> DesignPoint:
@@ -51,6 +74,9 @@ class ShareFU(Move):
     def signature(self) -> tuple:
         return ("share_fu", self.keep, self.absorb, self.module_name)
 
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet.full()  # re-schedules: every port and lifetime moves
+
     def apply(self, design: DesignPoint) -> DesignPoint:
         binding = design.binding.clone()
         module = design.library.get(self.module_name)
@@ -68,12 +94,17 @@ class SplitFU(Move):
     def signature(self) -> tuple:
         return ("split_fu", self.fu, self.op)
 
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet.for_fus(self.fu, design.binding._next_fu)
+
     def apply(self, design: DesignPoint) -> DesignPoint:
+        dirty = self.affected(design)
         binding = design.binding.clone()
-        binding.split_fu(self.fu, {self.op})
+        new_fu = binding.split_fu(self.fu, {self.op})
+        assert new_fu.id in dirty.fu_ids  # the declaration predicted the id
         # The schedule stays legal: the new unit performs the op in the
         # same states the old one did (the assignment set is a superset).
-        return design.with_binding(binding, reschedule=False)
+        return design.with_binding(binding, reschedule=False, dirty=dirty)
 
 
 @dataclass(frozen=True)
@@ -86,13 +117,17 @@ class SubstituteModule(Move):
     def signature(self) -> tuple:
         return ("substitute", self.fu, self.module_name)
 
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet.for_fus(self.fu)
+
     def apply(self, design: DesignPoint) -> DesignPoint:
         binding = design.binding.clone()
         module = design.library.get(self.module_name)
         old_delay = scale_delay(binding.fus[self.fu].module, binding.fus[self.fu].width)
         binding.substitute_module(self.fu, module)
         new_delay = scale_delay(module, binding.fus[self.fu].width)
-        candidate = design.with_binding(binding, reschedule=False)
+        candidate = design.with_binding(binding, reschedule=False,
+                                        dirty=self.affected(design))
         if new_delay > old_delay and candidate.arch.check_timing():
             # Slower module broke a state's cycle window: re-schedule
             # (the paper re-schedules exactly on cycle-time violations).
@@ -110,6 +145,9 @@ class ShareRegisters(Move):
     def signature(self) -> tuple:
         return ("share_reg", self.keep, self.absorb)
 
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet.for_regs(self.keep, self.absorb)
+
     def apply(self, design: DesignPoint) -> DesignPoint:
         # Memoized on the design point: every register-sharing candidate
         # at one search depth shares a single liveness fixpoint.
@@ -124,7 +162,8 @@ class ShareRegisters(Move):
                         f"{b!r} are simultaneously alive")
         binding = design.binding.clone()
         binding.merge_regs(self.keep, self.absorb)
-        return design.with_binding(binding, reschedule=False)
+        return design.with_binding(binding, reschedule=False,
+                                   dirty=self.affected(design))
 
 
 @dataclass(frozen=True)
@@ -137,10 +176,15 @@ class SplitRegister(Move):
     def signature(self) -> tuple:
         return ("split_reg", self.reg, self.carrier)
 
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet.for_regs(self.reg, design.binding._next_reg)
+
     def apply(self, design: DesignPoint) -> DesignPoint:
+        dirty = self.affected(design)
         binding = design.binding.clone()
-        binding.split_reg(self.reg, {self.carrier})
-        return design.with_binding(binding, reschedule=False)
+        new_reg = binding.split_reg(self.reg, {self.carrier})
+        assert new_reg.id in dirty.reg_ids  # the declaration predicted the id
+        return design.with_binding(binding, reschedule=False, dirty=dirty)
 
 
 @dataclass(frozen=True)
@@ -151,6 +195,9 @@ class RestructureMux(Move):
 
     def signature(self) -> tuple:
         return ("restructure_mux", self.port_key)
+
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet.for_ports(self.port_key)
 
     def apply(self, design: DesignPoint) -> DesignPoint:
         if self.port_key in design.tree_policy:

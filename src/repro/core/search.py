@@ -117,11 +117,15 @@ def iterative_improvement(
             best_design: DesignPoint | None = None
             best_cost = float("inf")
             for move in candidates:
+                # Candidates rejected inside apply() (interfering register
+                # shares, illegal merges) are search effort too — count
+                # them before the attempt so reported evaluation counts
+                # reflect what the search actually tried.
+                history.evaluations += 1
                 try:
                     candidate = move.apply(work)
                 except ReproError:
                     continue
-                history.evaluations += 1
                 cost = design_cost(candidate, mode, enc_budget)
                 if cost < best_cost:
                     best_cost = cost

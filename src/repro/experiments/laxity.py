@@ -88,6 +88,9 @@ class LaxitySweep:
     cache_stats: dict = field(default_factory=dict)
     #: Total candidate evaluations across every synthesis run of the sweep.
     evaluations: int = 0
+    #: Per-stage timing/incremental counters accumulated over the sweep
+    #: (see :class:`repro.core.profile.Profiler`).
+    profile: dict = field(default_factory=dict)
 
     def max_power_reduction_vs_base(self) -> float:
         """Paper headline: up to 6.7x over the 5 V area-optimized base."""
@@ -135,7 +138,10 @@ def run_laxity_sweep(
         engine = SynthesisEngine(cdfg, stimulus, options=options, caching=caching)
     stimulus = engine.stimulus
 
+    from repro.core.profile import PROFILER
+
     sweep = LaxitySweep(benchmark=benchmark)
+    profile_window = PROFILER.snapshot()
     prev_area = None
     prev_power = None
     for laxity in laxities:
@@ -158,6 +164,7 @@ def run_laxity_sweep(
                               + power_res.history.evaluations)
         sweep.points.append(_measure_point(laxity, area_res, power_res, stimulus))
     sweep.cache_stats = engine.cache.stats()
+    sweep.profile = PROFILER.window(profile_window)
     return sweep
 
 

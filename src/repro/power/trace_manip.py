@@ -7,6 +7,14 @@ multiplexer input's statistics come from the driver's signal stream and
 its selection frequency.  All merging is pure array manipulation over the
 one recorded behavioral simulation plus the (cheap) STG replay — exactly
 the paper's scheme for avoiding re-simulation at every synthesis step.
+
+The same scheme extends across design points: a move's dirty set names
+the few units it touched, so :func:`merge_unit_traces` can derive a
+candidate's traces from its parent's by re-merging only the dirty
+units/ports and sharing every other stream *object*.  Shared streams
+carry their activity statistics as lazy memos, so the expensive toggle
+counting happens once per distinct stream, not once per design point
+that looks at it.
 """
 
 from __future__ import annotations
@@ -17,25 +25,45 @@ import numpy as np
 
 from repro.errors import PowerModelError
 from repro.cdfg.node import OpKind
+from repro.core.profile import PROFILER
 from repro.rtl.architecture import Architecture
 from repro.sched.replay import ReplayResult
-from repro.sim.statistics import activity_stats, ActivityStats
+from repro.sim.statistics import stream_activity
 from repro.sim.traces import TraceStore
 
 
 @dataclass
 class FUStream:
-    """Merged trace of one functional unit (the paper's TR(Du))."""
+    """Merged trace of one functional unit (the paper's TR(Du)).
+
+    The ``_port_activity``/``_internal`` fields are lazy memos of derived
+    statistics; both are pure functions of the (immutable) stream arrays,
+    so sharing a stream object between design points shares the memo.
+    """
 
     fu_id: int
     width: int
     ins: tuple[np.ndarray, ...]
     out: np.ndarray
     chained_fraction: float
+    _port_activity: tuple[float, ...] | None = field(default=None, repr=False)
+    _internal: float | None = field(default=None, repr=False)
 
     @property
     def executions(self) -> int:
         return int(self.out.shape[0])
+
+    def port_activity(self) -> tuple[float, ...]:
+        """Mean toggle activity of each port (inputs..., output), memoized."""
+        if self._port_activity is None:
+            stats = [stream_activity(col, self.width) for col in self.ins]
+            stats.append(stream_activity(self.out, self.width))
+            self._port_activity = tuple(stats)
+        return self._port_activity
+
+    def out_activity(self) -> float:
+        """Mean toggle activity of the output port alone."""
+        return self.port_activity()[-1]
 
 
 @dataclass
@@ -45,10 +73,17 @@ class RegStream:
     key: object              # ("reg", id) or ("tmp", node)
     width: int
     values: np.ndarray
+    _activity: float | None = field(default=None, repr=False)
 
     @property
     def writes(self) -> int:
         return int(self.values.shape[0])
+
+    def activity(self) -> float:
+        """Mean toggle activity of the write stream, memoized."""
+        if self._activity is None:
+            self._activity = stream_activity(self.values, self.width)
+        return self._activity
 
 
 @dataclass
@@ -64,43 +99,73 @@ class UnitTraces:
 
     def fu_activity(self, fu_id: int) -> tuple[float, ...]:
         """Mean toggle activity of each port (inputs..., output)."""
-        stream = self.fu_streams[fu_id]
-        stats = [activity_stats(col, stream.width).mean for col in stream.ins]
-        stats.append(activity_stats(stream.out, stream.width).mean)
-        return tuple(stats)
+        return self.fu_streams[fu_id].port_activity()
 
     def reg_activity(self, key: object) -> float:
         stream = self.reg_streams.get(key)
         if stream is None or stream.writes < 2:
             return 0.0
-        return activity_stats(stream.values, stream.width).mean
+        return stream.activity()
 
 
 def merge_unit_traces(arch: Architecture, store: TraceStore,
-                      rep: ReplayResult, cache=None) -> UnitTraces:
+                      rep: ReplayResult, cache=None,
+                      parent: UnitTraces | None = None,
+                      dirty=None, dirty_ports: frozenset = frozenset()) -> UnitTraces:
     """Merge per-op traces into per-unit traces for one design point.
 
     ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`;
-    when given, the result is memoized on (store id, CDFG id, binding
-    signature, STG signature, clock) — everything the merge reads.  The
-    merged traces are immutable apart from an internal activity memo, so
-    the shared object is safe across design points (mux-tree restructuring
-    changes the architecture, never the merged streams).
+    when given, the result is memoized on (store id, CDFG id, merge
+    signature of the binding, STG signature) — everything the merge
+    reads.  The signature deliberately ignores module assignments (the
+    merge never reads them), so module-substitution candidates share the
+    parent's traces outright.  The merged traces are immutable apart from
+    internal statistic memos, so the shared object is safe across design
+    points (mux-tree restructuring changes the architecture, never the
+    merged streams).
+
+    ``parent``/``dirty``/``dirty_ports`` enable the incremental path: the
+    parent's streams and port statistics are shared for every unit/port
+    outside the dirty sets and only the dirty remainder is re-merged —
+    bit-identical to a full merge, because a clean unit's merge inputs
+    (operation set, width, occurrence arrays, replay timing) are the
+    parent's exactly.
     """
+    def compute() -> UnitTraces:
+        incremental = parent is not None and dirty is not None
+        with PROFILER.stage("trace_merge", incremental=incremental):
+            if incremental:
+                return _Merger(arch, store, rep, parent=parent, dirty=dirty,
+                               dirty_ports=dirty_ports).run()
+            return _Merger(arch, store, rep).run()
+
     if cache is None:
-        return _Merger(arch, store, rep).run()
-    key = (id(store), id(arch.cdfg), arch.binding.signature(),
-           arch.stg.signature(), arch.clock_ns)
-    return cache.traces.get_or_compute(
-        key, lambda: _Merger(arch, store, rep).run())
+        return compute()
+    key = (id(store), id(arch.cdfg), arch.binding.merge_signature(),
+           arch.stg.signature())
+    return cache.traces.get_or_compute(key, compute)
 
 
 class _Merger:
-    def __init__(self, arch: Architecture, store: TraceStore, rep: ReplayResult):
+    def __init__(self, arch: Architecture, store: TraceStore, rep: ReplayResult,
+                 parent: UnitTraces | None = None, dirty=None,
+                 dirty_ports: frozenset = frozenset()):
         self.arch = arch
         self.store = store
         self.rep = rep
+        self.parent = parent
+        self.dirty = dirty
+        self.dirty_ports = dirty_ports
         self.traces = UnitTraces(total_cycles=rep.total_cycles)
+        if parent is not None:
+            # Activities of signals no dirty unit feeds are unchanged;
+            # seed the memo so clean sources of dirty ports are free.
+            dirty_sources = dirty.dirty_sources()
+            self.traces._activity_cache = {
+                source: value
+                for source, value in parent._activity_cache.items()
+                if source not in dirty_sources
+            }
 
     def run(self) -> UnitTraces:
         self._merge_fus()
@@ -134,40 +199,44 @@ class _Merger:
 
     def _merge_fus(self) -> None:
         for fu in self.arch.binding.fus.values():
-            parts = []
-            for op in sorted(fu.ops):
-                got = self._occ_arrays(op)
-                if got is None:
-                    continue
-                occ, cycles, starts = got
-                parts.append((op, occ, cycles, starts))
-            if not parts:
-                self.traces.fu_streams[fu.id] = FUStream(
-                    fu.id, fu.width, (np.zeros(0, np.int64), np.zeros(0, np.int64)),
-                    np.zeros(0, np.int64), 0.0)
+            if self.parent is not None and fu.id not in self.dirty.fu_ids:
+                self.traces.fu_streams[fu.id] = self.parent.fu_streams[fu.id]
                 continue
-            cycles = np.concatenate([p[2] for p in parts])
-            starts = np.concatenate([p[3] for p in parts])
-            order = np.lexsort((starts, cycles))
-            out = np.concatenate([p[1].out for p in parts])[order]
-            max_arity = max(len(p[1].ins) for p in parts)
-            ins = []
-            for k in range(max_arity):
-                col_parts = []
-                valid_parts = []
-                for _op, occ, _c, _s in parts:
-                    if k < len(occ.ins):
-                        col_parts.append(occ.ins[k])
-                        valid_parts.append(np.ones(len(occ), dtype=bool))
-                    else:
-                        col_parts.append(np.zeros(len(occ), dtype=np.int64))
-                        valid_parts.append(np.zeros(len(occ), dtype=bool))
-                col = np.concatenate(col_parts)[order]
-                valid = np.concatenate(valid_parts)[order]
-                ins.append(self._forward_fill(col, valid))
-            chained = float((starts[order] > 0.0).mean()) if starts.size else 0.0
-            self.traces.fu_streams[fu.id] = FUStream(
-                fu.id, fu.width, tuple(ins), out, chained)
+            self.traces.fu_streams[fu.id] = self._merge_one_fu(fu)
+
+    def _merge_one_fu(self, fu) -> FUStream:
+        parts = []
+        for op in sorted(fu.ops):
+            got = self._occ_arrays(op)
+            if got is None:
+                continue
+            occ, cycles, starts = got
+            parts.append((op, occ, cycles, starts))
+        if not parts:
+            return FUStream(
+                fu.id, fu.width, (np.zeros(0, np.int64), np.zeros(0, np.int64)),
+                np.zeros(0, np.int64), 0.0)
+        cycles = np.concatenate([p[2] for p in parts])
+        starts = np.concatenate([p[3] for p in parts])
+        order = np.lexsort((starts, cycles))
+        out = np.concatenate([p[1].out for p in parts])[order]
+        max_arity = max(len(p[1].ins) for p in parts)
+        ins = []
+        for k in range(max_arity):
+            col_parts = []
+            valid_parts = []
+            for _op, occ, _c, _s in parts:
+                if k < len(occ.ins):
+                    col_parts.append(occ.ins[k])
+                    valid_parts.append(np.ones(len(occ), dtype=bool))
+                else:
+                    col_parts.append(np.zeros(len(occ), dtype=np.int64))
+                    valid_parts.append(np.zeros(len(occ), dtype=bool))
+            col = np.concatenate(col_parts)[order]
+            valid = np.concatenate(valid_parts)[order]
+            ins.append(self._forward_fill(col, valid))
+        chained = float((starts[order] > 0.0).mean()) if starts.size else 0.0
+        return FUStream(fu.id, fu.width, tuple(ins), out, chained)
 
     def _merge_registers(self) -> None:
         cdfg = self.arch.cdfg
@@ -181,6 +250,11 @@ class _Merger:
             writers_by_reg.setdefault(reg.id, []).append(node.id)
 
         for reg_id, writers in writers_by_reg.items():
+            if self.parent is not None and reg_id not in self.dirty.reg_ids:
+                stream = self.parent.reg_streams.get(("reg", reg_id))
+                if stream is not None:
+                    self.traces.reg_streams[("reg", reg_id)] = stream
+                continue
             reg = self.arch.binding.regs[reg_id]
             parts = []
             for writer in sorted(writers):
@@ -199,6 +273,13 @@ class _Merger:
                 ("reg", reg_id), reg.width, values)
 
         for node_id, width in self.arch.datapath.tmp_regs.items():
+            if self.parent is not None:
+                # Temporary streams read only the occurrence store; the
+                # temporary set itself is (CDFG, STG)-determined — shared.
+                stream = self.parent.reg_streams.get(("tmp", node_id))
+                if stream is not None:
+                    self.traces.reg_streams[("tmp", node_id)] = stream
+                continue
             got = self._occ_arrays(node_id)
             if got is None:
                 continue
@@ -221,13 +302,13 @@ class _Merger:
         elif kind == "fu":
             stream = self.traces.fu_streams.get(source[1])
             if stream is not None and stream.executions >= 2:
-                value = activity_stats(stream.out, stream.width).mean
+                value = stream.out_activity()
         elif kind in ("wire", "pin"):
             node_id = self._node_of_signal(source)
             occ = self.store.occurrences.get(node_id)
             if occ is not None and len(occ) >= 2:
                 node = self.arch.cdfg.node(node_id)
-                value = activity_stats(occ.out, node.width).mean
+                value = stream_activity(occ.out, node.width)
         else:
             raise PowerModelError(f"unknown source kind {source!r}")
         cache[source] = value
@@ -244,16 +325,20 @@ class _Merger:
 
     def _port_statistics(self) -> None:
         for port in self.arch.datapath.mux_ports():
+            if self.parent is not None and port.key not in self.dirty_ports:
+                stats = self.parent.port_stats.get(port.key)
+                if stats is not None:
+                    self.traces.port_stats[port.key] = stats
+                    self.traces.port_samples[port.key] = \
+                        self.parent.port_samples[port.key]
+                continue
             counts: dict[object, int] = {s: 0 for s in port.sources}
             total = 0
             for (consumer, state_id), source in port.drivers.items():
-                states = self.rep.op_state.get(consumer)
-                if states is None:
-                    continue
-                n = int((states == state_id).sum())
+                n = self.rep.op_state_counts(consumer).get(state_id, 0)
                 counts[source] += n
                 total += n
-            stats: list[tuple[object, float, float]] = []
+            stats = []
             for source in port.sources:
                 prob = counts[source] / total if total else 0.0
                 stats.append((source, self.signal_activity(source), prob))

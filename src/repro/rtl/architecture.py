@@ -245,15 +245,26 @@ class Architecture:
 
     # -- mux restructuring hook ------------------------------------------------------
 
-    def set_tree(self, key: PortKey, tree: MuxTree) -> None:
-        """Install a restructured tree on a port (keys must match)."""
+    def set_tree(self, key: PortKey, tree: MuxTree, *,
+                 invalidate: bool = True) -> None:
+        """Install a restructured tree on a port (keys must match).
+
+        The port is cloned before mutation (copy-on-write): incrementally
+        derived architectures share untouched port objects with their
+        parent, and a tree edit must never leak backwards.  Callers
+        installing several trees pass ``invalidate=False`` and finish
+        with one :meth:`invalidate_timing` over the affected states;
+        the default re-derives all durations immediately.
+        """
         port = self.datapath.port(key)
         if port.tree is None:
             raise ArchitectureError(f"port {key!r} has no multiplexer to restructure")
         if {s.key for s in tree.sources()} != set(port.sources):
             raise ArchitectureError(f"tree sources do not match port {key!r}")
+        port = self.datapath.clone_port(key)
         port.tree = tree
-        self.invalidate_timing()
+        if invalidate:
+            self.invalidate_timing(sorted(port.driver_states()))
 
     def summary(self) -> dict[str, float]:
         return {

@@ -5,6 +5,17 @@ physically comes from — a chained unit output, a register, a constant — and
 accumulates the multiplexer network from the distinct sources per port.
 Temporary registers are materialized only for values that actually cross a
 state boundary (or steer the controller); everything else is wiring.
+
+:func:`derive_architecture` is the incremental variant for design points
+derived without re-scheduling: ports untouched by the move's
+:class:`~repro.core.delta.DirtySet` are shared (as objects) from the
+parent architecture, per-edge source resolution runs only for dirty
+ports, and the parent's cached state critical paths seed the child's
+timing memo for every state no dirty port drives.  The wiring loops
+still walk every (state, op) pair — that is what reproduces the parent's
+port *insertion order* exactly, so iteration-order-sensitive consumers
+(move generation, accumulation order in the power estimator) see the
+same sequence the full build would have produced.
 """
 
 from __future__ import annotations
@@ -15,18 +26,39 @@ from repro.cdfg.edge import Edge
 from repro.cdfg.graph import CDFG
 from repro.cdfg.node import OpKind
 from repro.core.binding import Binding
+from repro.core.delta import DirtySet, affected_ports, port_key_dirty
+from repro.core.profile import PROFILER
 from repro.library.modules_data import DEFAULT_CLOCK_NS
 from repro.rtl.architecture import Architecture
 from repro.rtl.controller import ControllerModel
-from repro.rtl.datapath import Datapath, SourceKey
+from repro.rtl.datapath import Datapath, PortKey, SourceKey
 from repro.sched.stg import STG
 
 
 def build_architecture(cdfg: CDFG, binding: Binding, stg: STG,
                        clock_ns: float = DEFAULT_CLOCK_NS) -> Architecture:
     """Build and structurally validate the RT-level architecture."""
-    builder = _ArchBuilder(cdfg, binding, stg, clock_ns)
-    return builder.run()
+    with PROFILER.stage("arch_build"):
+        builder = _ArchBuilder(cdfg, binding, stg, clock_ns)
+        return builder.run()
+
+
+def derive_architecture(parent: Architecture, binding: Binding,
+                        dirty: DirtySet) -> tuple[Architecture, frozenset[PortKey]]:
+    """Derive a sibling architecture from ``parent`` under a new binding.
+
+    ``parent`` and the derived architecture share the STG (the move did
+    not re-schedule), so the datapath differs only at the ports the
+    dirty set reaches.  Returns the architecture and the set of port
+    keys that were actually re-wired (a superset of the ports whose
+    content differs; everything else is the parent's object).  The
+    result is bit-identical to ``build_architecture`` on the same inputs
+    — the equivalence suite enforces this.
+    """
+    with PROFILER.stage("arch_build", incremental=True):
+        builder = _ArchBuilder(parent.cdfg, binding, parent.stg,
+                               parent.clock_ns, parent=parent, dirty=dirty)
+        return builder.run(), frozenset(builder.rebuilt)
 
 
 def edge_source(arch: Architecture, edge: Edge, state_id: int) -> SourceKey:
@@ -88,16 +120,22 @@ def producer_signal(arch: Architecture, node_id: int, state_id: int) -> SourceKe
 
 
 class _ArchBuilder:
-    def __init__(self, cdfg: CDFG, binding: Binding, stg: STG, clock_ns: float):
+    def __init__(self, cdfg: CDFG, binding: Binding, stg: STG, clock_ns: float,
+                 parent: Architecture | None = None,
+                 dirty: DirtySet | None = None):
         self.cdfg = cdfg
         self.binding = binding
         self.stg = stg
         self.clock_ns = clock_ns
         self.datapath = Datapath()
-        self._state_nodes: dict[int, set[int]] = {
-            sid: set(state.node_ids()) for sid, state in stg.states.items()
-        }
-        self._cond_nodes = set(condition_nodes(cdfg))
+        # Incremental derivation state (None for a full build).
+        self.parent = parent
+        self.dirty = dirty
+        self.rebuilt: set[PortKey] = set()
+        self._dirty_states: set[int] = set()
+        self._dirty_ports: frozenset[PortKey] = frozenset()
+        if parent is not None:
+            self._dirty_ports = affected_ports(parent, dirty)
 
     def run(self) -> Architecture:
         self.arch = Architecture(
@@ -108,15 +146,53 @@ class _ArchBuilder:
             controller=ControllerModel(1, 0, 0, 0),  # placeholder until wired
             clock_ns=self.clock_ns,
         )
-        self._materialize_tmp_regs()
+        if self.parent is None:
+            self._materialize_tmp_regs()
+        else:
+            # Temporaries depend only on (CDFG, STG), both shared.
+            self.datapath.tmp_regs = dict(self.parent.datapath.tmp_regs)
+            cached_tests = getattr(self.parent, "_test_node_cache", None)
+            if cached_tests is not None:
+                self.arch._test_node_cache = cached_tests
         self._wire_fu_inputs()
         self._wire_register_inputs()
-        self.datapath.finalize_trees()
+        self._finalize_trees()
         self.arch.controller = self._controller_model()
+        if self.parent is not None:
+            # Critical paths of states no dirty port drives are the
+            # parent's (same ops, delays and trees — shared objects).
+            self.arch._state_paths = {
+                sid: path for sid, path in dict(self.parent._state_paths).items()
+                if sid not in self._dirty_states
+            }
         # Timing closure: real mux depths may differ from the scheduler's
         # estimates; cycle counts come from the real critical paths.
         self.arch.normalize_durations()
         return self.arch
+
+    def _finalize_trees(self) -> None:
+        if self.parent is None:
+            self.datapath.finalize_trees()
+            return
+        for key in self.rebuilt:
+            self.datapath.ports[key].build_default_tree()
+
+    def _port_dirty(self, key: PortKey) -> bool:
+        return key in self._dirty_ports or port_key_dirty(key, self.dirty)
+
+    def _wire(self, key: PortKey, width: int, consumer: int, state_id: int,
+              resolve) -> None:
+        """Route one driver: resolve it for dirty ports, share otherwise."""
+        if self.parent is None or self._port_dirty(key):
+            self.datapath.add_driver(key, width, consumer, state_id, resolve())
+            if self.parent is not None:
+                self.rebuilt.add(key)
+                self._dirty_states.add(state_id)
+            return
+        if key not in self.datapath.ports:
+            # First encounter: adopt the parent's port wholesale (the
+            # dict-insertion position matches the full build's).
+            self.datapath.ports[key] = self.parent.datapath.ports[key]
 
     # -- temporaries ------------------------------------------------------------
 
@@ -124,10 +200,11 @@ class _ArchBuilder:
         """A temporary needs a register iff some consumer reads it in a
         different state than it was produced, or the controller samples it."""
         cdfg = self.cdfg
+        cond_nodes = set(condition_nodes(cdfg))
         for node in cdfg.op_nodes():
             if node.carrier is not None:
                 continue
-            needed = node.id in self._cond_nodes
+            needed = node.id in cond_nodes
             if not needed:
                 producer_states = set(self.stg.states_of_node(node.id))
                 for edge in cdfg.out_edges(node.id):
@@ -164,9 +241,9 @@ class _ArchBuilder:
                     continue
                 fu = self.binding.fu_of(op.node)
                 for k, edge in enumerate(self.cdfg.in_edges(op.node)):
-                    source = self._resolve_edge(edge, state.id)
-                    self.datapath.add_driver(("fu_in", fu.id, k), edge.width,
-                                             op.node, state.id, source)
+                    self._wire(("fu_in", fu.id, k), edge.width, op.node,
+                               state.id,
+                               lambda e=edge, s=state.id: self._resolve_edge(e, s))
 
     def _wire_register_inputs(self) -> None:
         cdfg = self.cdfg
@@ -175,19 +252,17 @@ class _ArchBuilder:
                 node = cdfg.node(op.node)
                 if node.carrier is not None:
                     reg = self.binding.reg_of(node.carrier)
-                    source = self._producer_signal(op.node, state.id)
-                    self.datapath.add_driver(("reg_in", reg.id), reg.width,
-                                             op.node, state.id, source)
+                    self._wire(("reg_in", reg.id), reg.width, op.node, state.id,
+                               lambda n=op.node, s=state.id: self._producer_signal(n, s))
                 elif op.node in self.datapath.tmp_regs:
-                    source = self._producer_signal(op.node, state.id)
-                    self.datapath.add_driver(("tmp_in", op.node), node.width,
-                                             op.node, state.id, source)
+                    self._wire(("tmp_in", op.node), node.width, op.node, state.id,
+                               lambda n=op.node, s=state.id: self._producer_signal(n, s))
         # Primary inputs load their variable registers at pass start.
         for node_id in cdfg.input_nodes:
             node = cdfg.node(node_id)
             reg = self.binding.reg_of(node.carrier)
-            self.datapath.add_driver(("reg_in", reg.id), reg.width,
-                                     node_id, self.stg.start, ("pin", node.carrier))
+            self._wire(("reg_in", reg.id), reg.width, node_id, self.stg.start,
+                       lambda n=node: ("pin", n.carrier))
 
     # -- controller -------------------------------------------------------------------
 

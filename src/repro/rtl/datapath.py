@@ -67,6 +67,16 @@ class MuxPort:
     def n_muxes(self) -> int:
         return 0 if self.tree is None else self.tree.n_muxes()
 
+    def clone(self) -> "MuxPort":
+        """Shallow structural copy (tree object shared until replaced)."""
+        return MuxPort(key=self.key, width=self.width,
+                       sources=list(self.sources), drivers=dict(self.drivers),
+                       tree=self.tree)
+
+    def driver_states(self) -> set[int]:
+        """All state ids with an execution selecting through this port."""
+        return {state for (_consumer, state) in self.drivers}
+
 
 @dataclass
 class Datapath:
@@ -96,6 +106,19 @@ class Datapath:
         for port in self.ports.values():
             if port.tree is None:
                 port.build_default_tree()
+
+    def clone_port(self, key: PortKey) -> MuxPort:
+        """Replace a port with its clone in place (copy-on-write edits).
+
+        Dict assignment to an existing key keeps its position, so
+        iteration order — which downstream accumulation relies on — is
+        unchanged.  Architectures derived incrementally share port
+        objects with their parent; cloning before mutation keeps the
+        parent's datapath intact.
+        """
+        port = self.port(key).clone()
+        self.ports[key] = port
+        return port
 
     def total_mux_count(self) -> int:
         return sum(p.n_muxes() for p in self.ports.values())

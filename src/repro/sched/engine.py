@@ -744,9 +744,15 @@ def schedule(cdfg: CDFG, binding: Binding, options: ScheduleOptions | None = Non
     the design points that would have scheduled identically (see
     :meth:`~repro.core.binding.Binding.schedule_signature`).
     """
+    from repro.core.profile import PROFILER
+
     options = options or ScheduleOptions()
+
+    def compute() -> STG:
+        with PROFILER.stage("schedule"):
+            return _Engine(cdfg, binding, options).run()
+
     if cache is None:
-        return _Engine(cdfg, binding, options).run()
+        return compute()
     key = (id(cdfg), binding.schedule_signature(), options)
-    return cache.schedule.get_or_compute(
-        key, lambda: _Engine(cdfg, binding, options).run())
+    return cache.schedule.get_or_compute(key, compute)

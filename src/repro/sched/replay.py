@@ -43,6 +43,30 @@ class ReplayResult:
     state_visits: dict[int, int] = field(default_factory=dict)
     #: Per-pass sequence of visited state ids (excluding the done state).
     state_seq: list[np.ndarray] = field(default_factory=list)
+    #: Lazy per-node {state id: occurrence count} memo (see
+    #: :meth:`op_state_counts`); keyed here so every design point sharing
+    #: this replay shares the counts.
+    _state_count_memo: dict[int, dict[int, int]] = field(
+        default_factory=dict, repr=False)
+
+    def op_state_counts(self, node_id: int) -> dict[int, int]:
+        """How often a node executed in each state, memoized.
+
+        Replaces per-driver ``(op_state == state).sum()`` scans in the
+        multiplexer statistics with one vectorized ``np.unique`` per
+        node, shared across every port and every design point that
+        replays this schedule.
+        """
+        got = self._state_count_memo.get(node_id)
+        if got is None:
+            states = self.op_state.get(node_id)
+            if states is None:
+                got = {}
+            else:
+                ids, counts = np.unique(states, return_counts=True)
+                got = {int(i): int(c) for i, c in zip(ids, counts)}
+            self._state_count_memo[node_id] = got
+        return got
 
     @property
     def enc(self) -> float:
@@ -93,6 +117,13 @@ def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True,
 
 
 def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
+    from repro.core.profile import PROFILER
+
+    with PROFILER.stage("replay"):
+        return _replay_impl(stg, cdfg, store, check)
+
+
+def _replay_impl(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
     pointers: dict[int, int] = {n: 0 for n in store.occurrences}
     last_val: dict[int, int] = {}
     for node in cdfg.nodes.values():

@@ -4,6 +4,13 @@ The RT-level estimator of [19] consumes, per unit, the mean and standard
 deviation of switching activity plus temporal (lag-1) and spatial
 correlations of the signals at its ports.  These are computed here from
 value streams (numpy int64 arrays of *signed* values plus a bit width).
+
+The synthesis hot path consumes only the *mean* activity, so it calls
+:func:`stream_activity` — one vectorized toggle pass, no std/lag-1 work
+— and memoizes the result on the merged stream objects (see
+:mod:`repro.power.trace_manip`); :func:`activity_stats` returns the full
+bundle for the estimator-fidelity experiments.  The two agree exactly:
+``activity_stats(v, w).mean == stream_activity(v, w)``.
 """
 
 from __future__ import annotations

@@ -35,8 +35,8 @@ def toggle_series(patterns: np.ndarray) -> np.ndarray:
     """
     if patterns.size < 2:
         return np.zeros(0, dtype=np.int64)
-    xored = np.bitwise_xor(patterns[1:].astype(np.uint64), patterns[:-1].astype(np.uint64))
-    return popcount(xored)
+    unsigned = patterns.astype(np.uint64)  # one conversion, two views
+    return popcount(np.bitwise_xor(unsigned[1:], unsigned[:-1]))
 
 
 def toggle_count(patterns: np.ndarray) -> int:

@@ -44,6 +44,30 @@ class TestDerivation:
         assert gcd_design.evaluate() is gcd_design.evaluate()
 
 
+class TestLazyPower:
+    def test_area_cost_never_materializes_power(self, gcd_design):
+        evaluation = gcd_design.evaluate()
+        assert not evaluation.power_materialized
+        assert evaluation.cost("area") == evaluation.area
+        assert evaluation.legal and evaluation.vdd > 0
+        assert not evaluation.power_materialized
+
+    def test_power_materializes_once_on_demand(self, gcd_design):
+        evaluation = gcd_design.evaluate()
+        power = evaluation.power_5v
+        assert evaluation.power_materialized
+        assert power > 0
+        assert evaluation.estimate is evaluation.estimate
+        assert evaluation.power_scaled == pytest.approx(
+            power * (evaluation.vdd / 5.0) ** 2)
+
+    def test_area_only_search_skips_trace_merge(self, gcd_design):
+        # The eager half of the bundle needs the architecture but not
+        # the merged traces: forcing it must leave traces unbuilt.
+        gcd_design.evaluate()
+        assert gcd_design._traces is None
+
+
 class TestEncAccounting:
     def test_enc_matches_gatesim_cycles(self, gcd_design):
         from repro.gatesim import simulate_architecture

@@ -1,0 +1,163 @@
+"""Unit tests for the per-stage profiler, dirty sets, and the perf gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import threading
+
+from repro.core.delta import DirtySet, port_key_dirty
+from repro.core.profile import PROFILER, Profiler
+
+
+class TestProfiler:
+    def test_stage_accumulates_calls_and_seconds(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.stage("merge"):
+                pass
+        with profiler.stage("merge", incremental=True):
+            pass
+        stats = profiler.stats()["merge"]
+        assert stats["calls"] == 4
+        assert stats["incremental"] == 1
+        assert stats["full"] == 3
+        assert stats["seconds"] >= 0.0
+
+    def test_stage_records_on_exception(self):
+        profiler = Profiler()
+        try:
+            with profiler.stage("boom"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert profiler.stats()["boom"]["calls"] == 1
+
+    def test_window_deltas(self):
+        profiler = Profiler()
+        with profiler.stage("a"):
+            pass
+        window = profiler.snapshot()
+        with profiler.stage("a", incremental=True):
+            pass
+        with profiler.stage("b"):
+            pass
+        delta = profiler.window(window)
+        assert delta["a"]["calls"] == 1
+        assert delta["a"]["incremental"] == 1
+        assert delta["b"]["calls"] == 1
+        # Stages with no activity in the window are omitted.
+        window = profiler.snapshot()
+        with profiler.stage("c"):
+            pass
+        assert set(profiler.window(window)) == {"c"}
+
+    def test_incremental_hits(self):
+        profiler = Profiler()
+        with profiler.stage("arch", incremental=True):
+            pass
+        with profiler.stage("arch"):
+            pass
+        with profiler.stage("merge"):
+            pass
+        assert profiler.incremental_hits() == {"arch": 1}
+
+    def test_thread_safety(self):
+        profiler = Profiler()
+
+        def worker():
+            for _ in range(200):
+                with profiler.stage("hot", incremental=True):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = profiler.stats()["hot"]
+        assert stats["calls"] == 800
+        assert stats["incremental"] == 800
+
+    def test_global_profiler_exists(self):
+        assert isinstance(PROFILER, Profiler)
+
+
+class TestDirtySet:
+    def test_factories_and_sources(self):
+        dirty = DirtySet.for_fus(1, 2)
+        assert dirty.fu_ids == frozenset({1, 2})
+        assert not dirty.reschedule
+        assert ("fu", 1) in dirty.dirty_sources()
+        assert DirtySet.full().reschedule
+        regs = DirtySet.for_regs(3)
+        assert ("reg", 3) in regs.dirty_sources()
+
+    def test_port_key_dirty(self):
+        dirty = DirtySet(fu_ids=frozenset({7}), reg_ids=frozenset({2}),
+                         port_keys=frozenset({("tmp_in", 9)}))
+        assert port_key_dirty(("fu_in", 7, 0), dirty)
+        assert not port_key_dirty(("fu_in", 8, 0), dirty)
+        assert port_key_dirty(("reg_in", 2), dirty)
+        assert not port_key_dirty(("reg_in", 3), dirty)
+        assert port_key_dirty(("tmp_in", 9), dirty)
+        assert not port_key_dirty(("tmp_in", 10), dirty)
+
+
+def _load_check_perf():
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "check_perf.py")
+    spec = importlib.util.spec_from_file_location("check_perf", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPerfGate:
+    def test_baseline_selection_matches_benchmark_set_and_time(self):
+        check_perf = _load_check_perf()
+        records = [
+            {"benchmarks": ["gcd"], "recorded_at": "2026-01-01T00:00:00+00:00",
+             "wall_time_s": 10.0},
+            {"benchmarks": ["loops", "gcd"],
+             "recorded_at": "2026-01-02T00:00:00+00:00", "wall_time_s": 5.0},
+            {"benchmarks": ["loops", "gcd"],
+             "recorded_at": "2026-01-03T00:00:00+00:00", "wall_time_s": 6.0},
+        ]
+        current = {"benchmarks": ["loops", "gcd"],
+                   "recorded_at": "2026-01-04T00:00:00+00:00",
+                   "wall_time_s": 7.0}
+        baseline = check_perf.find_baseline(records, current)
+        assert baseline["wall_time_s"] == 6.0
+        # The current run itself (same timestamp) is never its baseline.
+        assert check_perf.find_baseline([current], current) is None
+
+    def test_gate_passes_and_fails_on_ratio(self, tmp_path):
+        import json
+
+        check_perf = _load_check_perf()
+        baseline = {"records": [
+            {"benchmarks": ["loops", "gcd"],
+             "recorded_at": "2026-01-01T00:00:00+00:00", "wall_time_s": 10.0},
+        ]}
+        (tmp_path / "BENCH_headline.json").write_text(json.dumps(baseline))
+        current = {"benchmarks": ["loops", "gcd"],
+                   "recorded_at": "2026-01-02T00:00:00+00:00",
+                   "wall_time_s": 12.0}
+        (tmp_path / "headline.json").write_text(json.dumps(current))
+        argv = ["--baseline", str(tmp_path / "BENCH_headline.json"),
+                "--current", str(tmp_path / "headline.json")]
+        assert check_perf.main(argv + ["--max-ratio", "1.25"]) == 0
+        assert check_perf.main(argv + ["--max-ratio", "1.1"]) == 1
+
+    def test_gate_seeds_quietly_without_baseline(self, tmp_path):
+        import json
+
+        check_perf = _load_check_perf()
+        current = {"benchmarks": ["paulin"],
+                   "recorded_at": "2026-01-02T00:00:00+00:00",
+                   "wall_time_s": 12.0}
+        (tmp_path / "headline.json").write_text(json.dumps(current))
+        assert check_perf.main(["--baseline", str(tmp_path / "missing.json"),
+                                "--current",
+                                str(tmp_path / "headline.json")]) == 0

@@ -1,0 +1,80 @@
+"""Pareto-frontier quality on gcd and paulin.
+
+Runs the multi-objective explorer over its default (objective x laxity)
+grid for the control-dominated GCD and the data-dominated Paulin solver
+and reports the two standard frontier-quality indicators:
+
+* **frontier size** — how many mutually non-dominated (area, power,
+  latency) design variants the archive-guided searches surfaced;
+* **hypervolume** — the objective-space volume the front dominates up to
+  a *fixed* per-benchmark reference point (committed below, comfortably
+  beyond each benchmark's reachable region), the scalar that grows only
+  when the front advances or spreads — comparable across runs precisely
+  because the reference never moves.
+
+The frontier is deterministic for any shard count (the determinism test
+enforces 1 vs N bit-identity), so these metrics are stable across
+machines; wall time is the only machine-dependent column.  Results land
+in ``results/pareto.txt`` and ``results/pareto.json``.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, publish, run_once
+from repro.core.search import SearchConfig
+from repro.experiments.report import format_table
+from repro.explore import explore
+
+SEARCH = SearchConfig(max_depth=4, max_candidates=10, max_iterations=5, seed=0)
+NAMES = ("gcd", "paulin")
+SHARDS = 2
+
+#: Fixed hypervolume reference points (area, power mW, latency cycles),
+#: chosen well outside each benchmark's reachable objective region so
+#: every frontier point contributes volume and runs stay comparable.
+REFERENCES = {
+    "gcd": (1500.0, 4.0, 150.0),
+    "paulin": (40000.0, 25.0, 250.0),
+}
+
+
+def bench_pareto(benchmark):
+    def run():
+        rows = []
+        results = {}
+        for name in NAMES:
+            result = explore(name, shards=SHARDS, n_passes=15,
+                             search=SEARCH)
+            summary = result.summary()
+            summary["hypervolume"] = result.front.hypervolume(
+                REFERENCES[name])
+            results[name] = {**summary, "wall_time_s": result.wall_time_s,
+                             "reference": REFERENCES[name],
+                             "frontier": result.rows()}
+            rows.append({
+                "benchmark": name,
+                "jobs": summary["jobs"],
+                "evaluations": summary["evaluations"],
+                "offers": summary["offered"],
+                "frontier": summary["frontier_size"],
+                "hypervolume": f"{summary['hypervolume']:.4g}",
+                "wall_s": f"{result.wall_time_s:.2f}",
+            })
+        return rows, results
+
+    rows, results = run_once(benchmark, run)
+    benchmark.extra_info.update({
+        name: {k: results[name][k] for k in
+               ("frontier_size", "hypervolume", "evaluations")}
+        for name in NAMES
+    })
+    publish("pareto", format_table(rows, title=(
+        f"Pareto frontier quality over the default explore grid "
+        f"({SHARDS} shards; size + hypervolume are shard-count invariant)")))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "pareto.json").write_text(
+        json.dumps(results, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")
+    for name in NAMES:
+        assert results[name]["frontier_size"] >= 1
+        assert results[name]["hypervolume"] > 0.0

@@ -1,48 +1,60 @@
-"""Design-space exploration: regenerate one Figure 13 subplot.
+"""Design-space exploration: build a benchmark's Pareto frontier.
 
-Sweeps the laxity factor for a chosen benchmark, printing the normalized
-A-Power / I-Power / I-Area series exactly as the paper plots them, plus an
-ASCII rendition of the subplot and the Section 4 headline ratios.
+Runs the multi-objective explorer (the same engine behind
+``python -m repro explore``): a grid of area- / power- / weighted-
+objective searches across a laxity sweep, every feasible visited design
+offered to a Pareto archive, merged into one (area, power, latency)
+frontier.  Prints the frontier, the per-job accounting and an ASCII
+projection of the area/power trade-off, then writes the JSON/CSV/
+markdown reports under ``results/``.
 
-Run:  python examples/design_space_exploration.py [benchmark] [n_points]
-      (default: gcd, 5 points)
+Run:  python examples/design_space_exploration.py [benchmark] [shards]
+      (default: gcd, 2 shards — any shard count yields the identical
+      frontier; see docs/cli.md)
 """
 
 import sys
 
 from repro.benchmarks import BENCHMARKS
 from repro.core.search import SearchConfig
-from repro.experiments.laxity import run_laxity_sweep
-from repro.experiments.report import ascii_series, format_sweep
+from repro.experiments.report import ascii_series, format_table, write_report
+from repro.explore import explore, verify_frontier
 
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "gcd"
-    n_points = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    shards = int(sys.argv[2]) if len(sys.argv) > 2 else 2
     if name not in BENCHMARKS:
         raise SystemExit(f"unknown benchmark {name!r}; pick one of {sorted(BENCHMARKS)}")
 
-    laxities = tuple(round(1.0 + 2.0 * i / (n_points - 1), 2)
-                     for i in range(n_points))
-    print(f"Sweeping {name} over laxity factors {laxities} ...")
-    sweep = run_laxity_sweep(
-        name, laxities=laxities, n_passes=20,
-        search=SearchConfig(max_depth=5, max_candidates=12, max_iterations=6))
-
-    total = sweep.cache_stats.get("total", {})
-    print(f"\n{sweep.evaluations} candidate evaluations; pipeline cache "
-          f"{total.get('hits', 0)} hits / {total.get('misses', 0)} misses "
-          f"({total.get('hit_rate', 0.0):.0%})")
+    search = SearchConfig(max_depth=5, max_candidates=12, max_iterations=6)
+    print(f"Exploring {name} on {shards} shard(s) ...")
+    result = explore(name, shards=shards, n_passes=20, search=search)
+    summary = result.summary()
 
     print()
-    print(format_sweep(sweep))
-    print()
-    xs = [p.laxity for p in sweep.points]
-    print(ascii_series(xs, {
-        "A-Power": [p.a_power for p in sweep.points],
-        "I-Power": [p.i_power for p in sweep.points],
-        "I-Area": [p.i_area for p in sweep.points],
-    }))
+    print(format_table(result.rows(), title=(
+        f"{name}: {summary['frontier_size']}-point Pareto frontier "
+        f"(area, power, latency)")))
+    print(f"\n{summary['jobs']} jobs, {summary['evaluations']} candidate "
+          f"evaluations, {summary['offered']} archive offers, "
+          f"hypervolume {summary['hypervolume']:.4g}, "
+          f"{result.wall_time_s:.2f}s wall")
+
+    points = result.front.points
+    if len(points) > 1:
+        xs = [p.area for p in points]
+        print("\narea (x) vs power (y) projection of the frontier:")
+        print(ascii_series(xs, {"frontier": [p.power for p in points]}))
+
+    reports = verify_frontier(result)
+    print(f"\nconformance: {sum(r.ok for r in reports)}/{len(reports)} "
+          f"frontier points agree across every execution model")
+
+    written = write_report(result.rows(), f"results/explore_{name}",
+                           title=f"explore {name}",
+                           extra={"summary": summary, "jobs": result.jobs})
+    print("reports: " + ", ".join(str(p) for p in written.values()))
 
 
 if __name__ == "__main__":

@@ -1,58 +1,58 @@
 """Quickstart: synthesize a low-power GCD circuit end to end.
 
-Shows the whole IMPACT pipeline on the classic benchmark:
+Shows the whole IMPACT pipeline on the classic benchmark, using only the
+documented public surface (`import repro` — the same API docs/tutorial.md
+walks through and `python -m repro synth` wraps):
 
-1. parse a behavioral description into a CDFG;
-2. profile it with a stimulus (behavioral simulation + traces);
-3. synthesize in power-optimization mode at a laxity factor of 2.0;
-4. verify the synthesized architecture bit-exactly against the behavior
-   with the gate-level proxy, and report power/area/Vdd.
+1. build a ready-to-run engine for a registry benchmark;
+2. synthesize in power-optimization mode at a laxity factor of 2.0;
+3. verify the synthesized design across every execution model
+   (interpreter / replay / gatesim / emitted Verilog);
+4. measure power with the bit-level proxy and compare to the estimator.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.benchmarks import get_benchmark
-from repro.core.engine import SynthesisEngine
-from repro.core.search import SearchConfig
-from repro.gatesim import simulate_architecture
-from repro.sched.engine import ScheduleOptions
+import repro
 
 
 def main() -> None:
-    bench = get_benchmark("gcd")
-    cdfg = bench.cdfg()
+    bench = repro.get_benchmark("gcd")
     print(f"Benchmark: {bench.name} — {bench.description}")
-    print(f"CDFG: {cdfg.summary()}")
-
-    stimulus = bench.stimulus(40, seed=1)
-    options = ScheduleOptions(clock_ns=bench.clock_ns)
 
     # The engine owns the trace store, the initial design point and the
     # pipeline memo tables; re-running at another laxity reuses them all.
-    engine = SynthesisEngine(cdfg, stimulus, options=options)
+    engine = repro.engine_for_benchmark("gcd", n_passes=40, seed=1)
+    print(f"CDFG: {engine.cdfg.summary()}")
     result = engine.run(
         mode="power", laxity=2.0,
-        search=SearchConfig(max_depth=5, max_candidates=12, max_iterations=6),
+        search=repro.SearchConfig(max_depth=5, max_candidates=12,
+                                  max_iterations=6),
     )
 
     print(f"\nMinimum ENC (parallel design): {result.enc_min:.2f} cycles")
     print(f"ENC budget at laxity 2.0:      {result.enc_budget:.2f} cycles")
     print(f"Synthesized design:            {result.design.summary()}")
-
-    evaluation = result.design.evaluate()
-    measured = simulate_architecture(result.design.arch, stimulus,
-                                     expected_outputs=result.store.outputs,
-                                     vdd=evaluation.vdd)
     stats = result.cache_stats.get("total", {})
     print(f"Pipeline cache: {stats.get('hits', 0)} hits / "
           f"{stats.get('misses', 0)} misses "
           f"({stats.get('hit_rate', 0.0):.0%} hit rate)")
 
-    print(f"\nBit-level verification: {measured.output_mismatches} mismatches "
-          f"over {len(stimulus)} passes")
+    # The conformance oracle chain: behavioral interpreter, STG replay,
+    # gatesim and the emitted Verilog's netlist simulator must agree.
+    report = engine.verify(design=result.design)
+    print(f"\nConformance: {'OK' if report.ok else 'DIVERGED'} over "
+          f"{len(engine.stimulus)} passes "
+          f"(backends: {', '.join(report.backends)})")
+    report.raise_if_failed()
+
+    evaluation = result.design.evaluate()
+    measured = repro.simulate_architecture(
+        result.design.arch, engine.stimulus,
+        expected_outputs=result.store.outputs, vdd=evaluation.vdd)
     print(f"Measured power at {evaluation.vdd:.2f} V: {measured.power_mw:.3f} mW "
           f"(estimator said {evaluation.power_scaled:.3f} mW)")
-    print(f"Power breakdown: " + ", ".join(
+    print("Power breakdown: " + ", ".join(
         f"{k}={v:.3f}" for k, v in measured.breakdown.items()))
 
 

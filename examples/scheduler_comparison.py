@@ -8,20 +8,16 @@ see the loop kernel with its hoisted next-iteration test.
 Run:  python examples/scheduler_comparison.py
 """
 
-from repro.benchmarks import get_benchmark
-from repro.cdfg.interpreter import simulate
-from repro.core.binding import Binding
+import repro
 from repro.experiments.report import format_table
 from repro.experiments.wavesched_enc import enc_comparison
-from repro.library import default_library
-from repro.sched import wavesched
 
 
 def dump_stg(name: str = "gcd") -> None:
-    bench = get_benchmark(name)
+    bench = repro.get_benchmark(name)
     cdfg = bench.cdfg()
-    binding = Binding.initial_parallel(cdfg, default_library())
-    stg = wavesched(cdfg, binding, clock_ns=bench.clock_ns)
+    binding = repro.Binding.initial_parallel(cdfg, repro.default_library())
+    stg = repro.wavesched(cdfg, binding, clock_ns=bench.clock_ns)
     print(f"\n{name} STG under Wavesched ({stg.n_states} states):")
     for sid, state in stg.states.items():
         ops = ", ".join(f"{cdfg.node(op.node).name}@{op.start:.1f}ns"

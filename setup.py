@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.2.0",
     description=(
         "IMPACT: low-power high-level synthesis for control-flow intensive "
         "circuits (DATE 1998 reproduction)"
@@ -24,4 +24,5 @@ setup(
         "scipy>=1.10",
     ],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

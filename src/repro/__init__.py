@@ -8,8 +8,11 @@ Public API (one import per concept a user needs):
 >>> result = repro.synthesize(cdfg, stimulus, mode="power", laxity=2.0)
 >>> measured = repro.simulate_architecture(result.design.arch, stimulus,
 ...                                        expected_outputs=store.outputs)
+>>> frontier = repro.explore("gcd", shards=4)   # Pareto design-space sweep
 
-See README.md for the walk-through and DESIGN.md for the system map.
+The same surface is reachable from the shell via ``python -m repro``
+(synth / explore / verify / bench — see docs/cli.md).  docs/tutorial.md
+is the end-to-end walk-through and docs/architecture.md the system map.
 """
 
 from repro.lang import parse
@@ -20,8 +23,17 @@ from repro.core.cache import SynthesisCache
 from repro.core.design import DesignPoint
 from repro.core.engine import SynthesisEngine
 from repro.core.impact import SynthesisResult, synthesize
-from repro.core.search import SearchConfig
+from repro.core.search import SearchConfig, WeightedObjective
+from repro.explore import (
+    ExploreResult,
+    ParetoFront,
+    ParetoPoint,
+    engine_for_benchmark,
+    explore,
+    verify_frontier,
+)
 from repro.gatesim import simulate_architecture
+from repro.power.estimator import PowerEstimate, estimate_power
 from repro.hdl import (
     emit_testbench,
     emit_verilog,
@@ -39,7 +51,7 @@ from repro.sched import (
 )
 from repro.benchmarks import BENCHMARKS, get_benchmark
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def __getattr__(name):
@@ -63,6 +75,15 @@ __all__ = [
     "SynthesisResult",
     "synthesize",
     "SearchConfig",
+    "WeightedObjective",
+    "explore",
+    "verify_frontier",
+    "engine_for_benchmark",
+    "ExploreResult",
+    "ParetoFront",
+    "ParetoPoint",
+    "estimate_power",
+    "PowerEstimate",
     "simulate_architecture",
     "emit_testbench",
     "emit_verilog",

@@ -196,5 +196,12 @@ class Interpreter:
 
 
 def simulate(cdfg: CDFG, input_passes: list[dict[str, int]]) -> TraceStore:
-    """Convenience wrapper: run the interpreter over a stimulus."""
+    """Profile a CDFG behaviorally over a stimulus.
+
+    ``input_passes`` is one dict per pass mapping input-port names to
+    integer values.  Returns a :class:`~repro.sim.traces.TraceStore`
+    holding per-operation value traces, occurrence counts and the
+    reference outputs — the inputs power estimation and conformance
+    checking are built on.
+    """
     return Interpreter(cdfg).run(input_passes)

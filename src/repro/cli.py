@@ -1,0 +1,321 @@
+"""The ``python -m repro`` command-line interface.
+
+Four subcommands cover the production entry points (documented in
+``docs/cli.md``):
+
+* ``repro synth``   — one IMPACT synthesis run, summary + report files;
+* ``repro explore`` — the multi-objective Pareto-frontier explorer
+  (sharded across processes, frontier verified by default);
+* ``repro verify``  — the differential-conformance oracle chain;
+* ``repro bench``   — a Figure 13 laxity sweep with report emission.
+
+Every report lands under ``--results-dir`` (default ``results/``) as
+JSON + CSV + markdown via :func:`repro.experiments.report.write_report`.
+The functions here are importable — ``examples/`` and the docs route
+through them so the documented surface stays the executed one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.benchmarks.registry import BENCHMARKS, get_benchmark
+from repro.core.search import SearchConfig
+from repro.errors import ReproError
+from repro.experiments.report import format_table, write_report
+from repro.explore.driver import DEFAULT_LAXITIES, DEFAULT_OBJECTIVES
+
+DEFAULT_RESULTS_DIR = pathlib.Path("results")
+
+
+def _parse_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(x) for x in text.split(",") if x.strip())
+
+
+def _parse_weights(text: str) -> tuple[float, float, float]:
+    """Parse ``--weights``: exactly a WA,WP,WL triple."""
+    weights = _parse_floats(text)
+    if len(weights) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--weights takes exactly three comma-separated values "
+            f"(w_area,w_power,w_latency), got {text!r}")
+    return weights
+
+
+def _parse_objectives(text: str) -> tuple:
+    """Parse ``--objectives``: "area,power,0.5:0.5:0" -> mixed spec tuple."""
+    specs: list = []
+    for item in (x.strip() for x in text.split(",") if x.strip()):
+        if item in ("area", "power"):
+            specs.append(item)
+            continue
+        weights = tuple(float(w) for w in item.split(":"))
+        if len(weights) != 3:
+            raise argparse.ArgumentTypeError(
+                f"objective {item!r} is neither area/power nor a "
+                f"w_area:w_power:w_latency triple")
+        specs.append(weights)
+    if not specs:
+        raise argparse.ArgumentTypeError("no objectives given")
+    return tuple(specs)
+
+
+def _search_from_args(args) -> SearchConfig:
+    return SearchConfig(max_depth=args.depth, max_candidates=args.candidates,
+                        max_iterations=args.iterations, seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser, *, passes: int) -> None:
+    parser.add_argument("-b", "--benchmark", required=True,
+                        choices=sorted(BENCHMARKS),
+                        help="registry benchmark to run on")
+    parser.add_argument("--passes", type=int, default=passes,
+                        help="profiling stimulus passes (default %(default)s)")
+    parser.add_argument("--stimulus-seed", type=int, default=7,
+                        help="stimulus RNG seed (default %(default)s)")
+    parser.add_argument("--results-dir", type=pathlib.Path,
+                        default=DEFAULT_RESULTS_DIR,
+                        help="report output directory (default %(default)s)")
+
+
+def _add_search(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search RNG seed (default %(default)s)")
+    parser.add_argument("--depth", type=int, default=5,
+                        help="max move-sequence depth (default %(default)s)")
+    parser.add_argument("--candidates", type=int, default=12,
+                        help="candidate moves sampled per depth "
+                             "(default %(default)s)")
+    parser.add_argument("--iterations", type=int, default=6,
+                        help="max search iterations (default %(default)s)")
+
+
+# -- synth ----------------------------------------------------------------------------
+
+
+def cmd_synth(args) -> int:
+    """One IMPACT flow: synthesize, summarize, optionally verify."""
+    from repro.explore import engine_for_benchmark
+
+    from repro.core.search import WeightedObjective
+
+    engine = engine_for_benchmark(args.benchmark, n_passes=args.passes,
+                                  seed=args.stimulus_seed)
+    mode = args.mode
+    if args.weights is not None:
+        mode = WeightedObjective.for_engine(engine, args.weights, args.laxity)
+    result = engine.run(mode=mode, laxity=args.laxity,
+                        search=_search_from_args(args))
+    summary = result.summary()
+    print(format_table([summary], title=f"repro synth {args.benchmark}"))
+
+    verified = None
+    if args.verify:
+        report = engine.verify(design=result.design)
+        verified = report.ok
+        print(f"conformance: {'OK' if report.ok else 'DIVERGED'} "
+              f"({len(engine.stimulus)} passes)")
+
+    written = write_report(
+        [summary], args.results_dir / f"synth_{args.benchmark}",
+        title=f"repro synth {args.benchmark}",
+        extra={"benchmark": args.benchmark, "laxity": args.laxity,
+               "enc_min": result.enc_min, "enc_budget": result.enc_budget,
+               "verified": verified})
+    print("reports: " + ", ".join(str(p) for p in written.values()))
+    return 0 if verified is not False else 1
+
+
+# -- explore --------------------------------------------------------------------------
+
+
+def cmd_explore(args) -> int:
+    """Sharded Pareto-frontier exploration plus frontier verification."""
+    from repro.explore import explore, verify_frontier
+
+    result = explore(
+        args.benchmark, objectives=args.objectives, laxities=args.laxities,
+        seeds=(args.seed,), shards=args.shards, n_passes=args.passes,
+        stimulus_seed=args.stimulus_seed, search=_search_from_args(args))
+    summary = result.summary()
+    rows = result.rows()
+    print(format_table(rows, title=(
+        f"repro explore {args.benchmark}: {len(rows)}-point Pareto frontier "
+        f"(area, power, latency)")))
+    print(f"\n{summary['jobs']} jobs on {summary['shards']} shard(s), "
+          f"{summary['evaluations']} evaluations, {summary['offered']} "
+          f"archive offers, hypervolume {summary['hypervolume']:.4g}, "
+          f"{result.wall_time_s:.2f}s")
+
+    verified = None
+    if args.verify:
+        reports = verify_frontier(result, use_iverilog=args.iverilog)
+        verified = [r.ok for r in reports]
+        print(f"conformance: {sum(verified)}/{len(verified)} frontier "
+              f"points agree across every execution model")
+
+    written = write_report(
+        rows, args.results_dir / f"explore_{args.benchmark}",
+        title=f"repro explore {args.benchmark}",
+        extra={"summary": summary, "jobs": result.jobs,
+               "verified": verified})
+    print("reports: " + ", ".join(str(p) for p in written.values()))
+    if verified is not None and not all(verified):
+        return 1
+    return 0
+
+
+# -- verify ---------------------------------------------------------------------------
+
+
+def cmd_verify(args) -> int:
+    """Differential conformance over one or every registry benchmark."""
+    from repro.verify.conformance import verify_benchmark
+
+    names = sorted(BENCHMARKS) if args.all else [args.benchmark]
+    if names == [None]:
+        print("repro verify: pass -b <benchmark> or --all", file=sys.stderr)
+        return 2
+    rows = []
+    ok = True
+    for name in names:
+        report = verify_benchmark(name, n_passes=args.passes,
+                                  seed=args.stimulus_seed,
+                                  use_iverilog=args.iverilog)
+        rows.append(report.summary())
+        ok = ok and report.ok
+    print(format_table(rows, title=f"repro verify ({args.passes} passes)"))
+    written = write_report(
+        rows, args.results_dir / "verify_cli",
+        title=f"repro verify ({args.passes} passes)",
+        extra={"ok": ok, "passes": args.passes})
+    print("reports: " + ", ".join(str(p) for p in written.values()))
+    return 0 if ok else 1
+
+
+# -- bench ----------------------------------------------------------------------------
+
+
+def cmd_bench(args) -> int:
+    """One Figure 13 laxity sweep with table + report emission."""
+    from repro.experiments.laxity import run_laxity_sweep
+    from repro.experiments.report import format_sweep
+
+    laxities = args.laxities or tuple(
+        round(1.0 + 2.0 * i / max(args.points - 1, 1), 2)
+        for i in range(args.points))
+    sweep = run_laxity_sweep(args.benchmark, laxities=laxities,
+                             n_passes=args.passes, seed=args.stimulus_seed,
+                             search=_search_from_args(args))
+    print(format_sweep(sweep))
+    written = write_report(
+        [p.row() for p in sweep.points],
+        args.results_dir / f"bench_{args.benchmark}",
+        title=f"repro bench {args.benchmark} (Figure 13 sweep)",
+        extra={"benchmark": args.benchmark,
+               "evaluations": sweep.evaluations,
+               "max_power_reduction_vs_base":
+                   sweep.max_power_reduction_vs_base(),
+               "max_power_reduction_vs_a": sweep.max_power_reduction_vs_a(),
+               "max_area_overhead": sweep.max_area_overhead(),
+               "mismatches": sweep.total_mismatches()})
+    print("reports: " + ", ".join(str(p) for p in written.values()))
+    return 0 if sweep.total_mismatches() == 0 else 1
+
+
+# -- list -----------------------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    """Print the benchmark registry."""
+    rows = [{"name": b.name, "clock_ns": b.clock_ns,
+             "description": b.description}
+            for b in (get_benchmark(n) for n in sorted(BENCHMARKS))]
+    print(format_table(rows, title="benchmark registry"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (also used by doc checks)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IMPACT low-power HLS: synthesis, design-space "
+                    "exploration, verification and benchmarking.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="run one IMPACT synthesis flow")
+    _add_common(p, passes=40)
+    _add_search(p)
+    p.add_argument("--mode", choices=("power", "area"), default="power",
+                   help="optimization objective (default %(default)s)")
+    p.add_argument("--weights", type=_parse_weights, default=None,
+                   metavar="WA,WP,WL",
+                   help="scalarized objective weights (overrides --mode)")
+    p.add_argument("--laxity", type=float, default=2.0,
+                   help="ENC budget over the minimum (default %(default)s)")
+    p.add_argument("--verify", action="store_true",
+                   help="conformance-check the synthesized design")
+    p.set_defaults(fn=cmd_synth)
+
+    p = sub.add_parser("explore",
+                       help="multi-objective Pareto-frontier exploration")
+    _add_common(p, passes=20)
+    _add_search(p)
+    p.add_argument("--shards", type=int, default=1,
+                   help="worker processes; the frontier is bit-identical "
+                        "for any value (default %(default)s)")
+    p.add_argument("--laxities", type=_parse_floats, default=DEFAULT_LAXITIES,
+                   metavar="L1,L2,...",
+                   help="laxity grid (default %(default)s)")
+    p.add_argument("--objectives", type=_parse_objectives,
+                   default=DEFAULT_OBJECTIVES,
+                   metavar="SPEC,...",
+                   help='comma list of "area", "power" or WA:WP:WL weight '
+                        'triples (default %(default)s)')
+    p.add_argument("--no-verify", dest="verify", action="store_false",
+                   help="skip conformance-checking the frontier")
+    p.add_argument("--iverilog", choices=("auto", "off", "require"),
+                   default="auto", help="external cosim oracle policy")
+    p.set_defaults(fn=cmd_explore, verify=True)
+
+    p = sub.add_parser("verify", help="differential conformance oracle chain")
+    p.add_argument("-b", "--benchmark", choices=sorted(BENCHMARKS),
+                   default=None)
+    p.add_argument("--all", action="store_true",
+                   help="verify every registry benchmark")
+    p.add_argument("--passes", type=int, default=100)
+    p.add_argument("--stimulus-seed", type=int, default=0)
+    p.add_argument("--iverilog", choices=("auto", "off", "require"),
+                   default="auto")
+    p.add_argument("--results-dir", type=pathlib.Path,
+                   default=DEFAULT_RESULTS_DIR)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("bench", help="Figure 13 laxity sweep + reports")
+    _add_common(p, passes=15)
+    _add_search(p)
+    p.add_argument("--points", type=int, default=5,
+                   help="laxity grid size over [1, 3] (default %(default)s)")
+    p.add_argument("--laxities", type=_parse_floats, default=None,
+                   metavar="L1,L2,...", help="explicit laxity grid")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("list", help="list the benchmark registry")
+    p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,8 @@ class SynthesisResult:
 
     design: DesignPoint
     initial: DesignPoint
-    mode: str
+    #: "power", "area", or the WeightedObjective the search minimized.
+    mode: object
     laxity: float
     enc_min: float
     enc_budget: float
@@ -67,9 +68,11 @@ class SynthesisResult:
         return self.design.enc
 
     def summary(self) -> dict:
+        """One JSON-serializable dict of the run's headline numbers."""
         total = self.cache_stats.get("total", {})
+        mode = getattr(self.mode, "label", self.mode)
         return {
-            "mode": self.mode,
+            "mode": mode,
             "laxity": self.laxity,
             "enc_min": round(self.enc_min, 2),
             "enc": round(self.design.enc, 2),
@@ -172,19 +175,30 @@ class SynthesisEngine:
 
     # -- the IMPACT flow ------------------------------------------------------------
 
-    def run(self, mode: str = "power", laxity: float = 1.0, *,
+    def run(self, mode="power", laxity: float = 1.0, *,
             search: SearchConfig | None = None,
             starts: list[DesignPoint] | None = None,
             area_cap: float | None = None,
-            parallel_starts: bool = True) -> SynthesisResult:
+            parallel_starts: bool = True,
+            observer=None) -> SynthesisResult:
         """Run the full IMPACT flow once (see :func:`repro.core.impact.synthesize`).
 
-        ``starts`` adds extra search starting points (the initial design is
-        always included and always defines ``enc_min``); the search runs
-        from each — concurrently when ``parallel_starts`` — and the best
-        final design wins, with ties broken in start order regardless of
+        ``mode`` is ``"power"``, ``"area"`` or a
+        :class:`~repro.core.search.WeightedObjective`.  ``starts`` adds
+        extra search starting points (the initial design is always
+        included and always defines ``enc_min``); the search runs from
+        each — concurrently when ``parallel_starts`` — and the best final
+        design wins, with ties broken in start order regardless of
         completion order.  Every start's evaluation count lands in the
         returned history, including the losers'.
+
+        ``observer`` is forwarded to every start's
+        :func:`~repro.core.search.iterative_improvement` as the archive
+        hook (called for each feasible visited design).  Pass
+        ``parallel_starts=False`` with an observer unless it is
+        thread-safe — concurrent starts would interleave their offers.
+
+        Returns a :class:`SynthesisResult`.
         """
         if laxity < 1.0:
             raise ConstraintError(f"laxity factor must be >= 1.0, got {laxity}")
@@ -205,7 +219,7 @@ class SynthesisEngine:
             if s.evaluate().legal and s.enc <= enc_budget + 1e-9
         ]
         results = self._search_starts(start_points, mode, enc_budget, search,
-                                      area_cap, parallel_starts)
+                                      area_cap, parallel_starts, observer)
 
         best_design: DesignPoint | None = None
         best_history: SearchHistory | None = None
@@ -233,7 +247,7 @@ class SynthesisEngine:
         )
 
     def _search_starts(self, start_points, mode, enc_budget, search, area_cap,
-                       parallel):
+                       parallel, observer=None):
         """One iterative-improvement search per start, results in start order."""
         if parallel and len(start_points) > 1:
             workers = self.max_workers or os.cpu_count() or 2
@@ -241,12 +255,12 @@ class SynthesisEngine:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(iterative_improvement, start, mode, enc_budget,
-                                search, area_cap=area_cap)
+                                search, area_cap=area_cap, observer=observer)
                     for start in start_points
                 ]
                 return [future.result() for future in futures]
         return [iterative_improvement(start, mode, enc_budget, search,
-                                      area_cap=area_cap)
+                                      area_cap=area_cap, observer=observer)
                 for start in start_points]
 
     def run_many(self, runs: Iterable[Mapping], *,

@@ -154,6 +154,16 @@ class ShareRegisters(Move):
         liveness = design.liveness()
         keep_carriers = design.binding.regs[self.keep].carriers
         absorb_carriers = design.binding.regs[self.absorb].carriers
+        # A register holds one typed view in the emitted RTL: merging a
+        # signed and an unsigned carrier would produce a design the HDL
+        # backend cannot lower, so it is illegal like an interference.
+        var_types = design.cdfg.var_types
+        signs = {var_types[c][1] for c in keep_carriers}
+        signs |= {var_types[c][1] for c in absorb_carriers}
+        if len(signs) > 1:
+            raise BindingError(
+                f"registers {self.keep}/{self.absorb}: carriers mix signed "
+                f"and unsigned views; not representable as one RTL register")
         for a in keep_carriers:
             for b in absorb_carriers:
                 if carriers_interfere(liveness, a, b):

@@ -1,6 +1,18 @@
-"""Plain-text rendering of experiment results (tables and ASCII series)."""
+"""Rendering and emission of experiment results.
+
+Plain-text tables and ASCII series for terminals, plus the report
+writers the ``python -m repro`` CLI uses: :func:`write_report` emits one
+row set as ``<base>.json`` / ``<base>.csv`` / ``<base>.md`` side by side
+(see ``docs/cli.md`` for where each subcommand writes under
+``results/``).
+"""
 
 from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
 
 from repro.experiments.laxity import LaxitySweep
 
@@ -35,6 +47,69 @@ def format_sweep(sweep: LaxitySweep) -> str:
         f"output mismatches              : {sweep.total_mismatches()}"
     )
     return table + "\n" + footer
+
+
+def format_markdown_table(rows: list[dict], title: str = "") -> str:
+    """Render dict rows as a GitHub-flavored markdown table.
+
+    Column order follows the first row (like :func:`format_table`);
+    missing cells render empty.  ``title`` becomes a leading heading.
+    """
+    lines = [f"## {title}", ""] if title else []
+    if not rows:
+        lines.append("*(empty)*")
+        return "\n".join(lines)
+    columns = list(rows[0])
+    lines.append("| " + " | ".join(str(c) for c in columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns)
+                     + " |")
+    return "\n".join(lines)
+
+
+def format_csv(rows: list[dict]) -> str:
+    """Render dict rows as CSV text (columns from the first row)."""
+    if not rows:
+        return ""
+    columns = list(rows[0])
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def write_report(rows: list[dict], base: pathlib.Path | str, *,
+                 title: str = "", extra: dict | None = None,
+                 formats: tuple[str, ...] = ("json", "csv", "md"),
+                 ) -> dict[str, pathlib.Path]:
+    """Emit one row set as JSON, CSV and markdown files side by side.
+
+    ``base`` is the extension-less output path (its directory is
+    created); ``extra`` adds top-level keys next to ``rows`` in the JSON
+    payload (e.g. a run summary).  Returns ``{format: written path}``.
+    """
+    base = pathlib.Path(base)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    written: dict[str, pathlib.Path] = {}
+    if "json" in formats:
+        payload = {"title": title, **(extra or {}), "rows": rows}
+        path = base.with_suffix(".json")
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        written["json"] = path
+    if "csv" in formats:
+        path = base.with_suffix(".csv")
+        path.write_text(format_csv(rows), encoding="utf-8")
+        written["csv"] = path
+    if "md" in formats:
+        path = base.with_suffix(".md")
+        path.write_text(format_markdown_table(rows, title=title) + "\n",
+                        encoding="utf-8")
+        written["md"] = path
+    return written
 
 
 def ascii_series(xs: list[float], series: dict[str, list[float]], width: int = 60,

@@ -1,0 +1,36 @@
+"""Multi-objective design-space exploration on top of the IMPACT flow.
+
+``explore()`` shards a grid of (objective x laxity x seed) synthesis
+searches across processes, feeds every feasible visited design into a
+Pareto archive, and merges the per-job archives into one deterministic
+(area, power, latency) frontier; ``verify_frontier()`` conformance-checks
+the design behind every frontier point.  See ``docs/cli.md`` for the
+``python -m repro explore`` surface and ``docs/architecture.md`` for how
+the explorer sits on the engine.
+"""
+
+from repro.explore.driver import (
+    DEFAULT_LAXITIES,
+    DEFAULT_OBJECTIVES,
+    ExploreJob,
+    ExploreResult,
+    engine_for_benchmark,
+    explore,
+    make_jobs,
+    verify_frontier,
+)
+from repro.explore.pareto import ParetoFront, ParetoPoint, dominates
+
+__all__ = [
+    "DEFAULT_LAXITIES",
+    "DEFAULT_OBJECTIVES",
+    "ExploreJob",
+    "ExploreResult",
+    "ParetoFront",
+    "ParetoPoint",
+    "dominates",
+    "engine_for_benchmark",
+    "explore",
+    "make_jobs",
+    "verify_frontier",
+]

@@ -19,9 +19,15 @@ def parse(source: str):
 
     This is the main user-facing entry point::
 
-        cdfg = repro.lang.parse(source_text)
+        cdfg = repro.parse(source_text)
 
-    Returns a :class:`repro.cdfg.graph.CDFG`.
+    ``source`` is one ``process`` definition in the behavioral language
+    (typed ports, ``var`` declarations, assignments, ``if``/``while`` —
+    see docs/tutorial.md); it is tokenized, parsed and semantically
+    checked before compilation.  Returns a
+    :class:`repro.cdfg.graph.CDFG`.  Raises
+    :class:`repro.errors.ReproError` subclasses on lexical, syntax or
+    type errors.
     """
     # Imported here to avoid a circular import at package load time
     # (repro.cdfg.builder needs the AST classes from this package).

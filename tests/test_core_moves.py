@@ -106,6 +106,33 @@ class TestShareRegisters:
         liveness = carrier_liveness(gcd_design)
         assert carriers_interfere(liveness, "x", "y")
 
+    def test_mixed_signedness_share_rejected(self):
+        # A bool (unsigned) and an int8 (signed) carrier cannot share one
+        # register: the HDL backend emits a single typed view per
+        # register, so the merge must be illegal even with disjoint
+        # lifetimes.
+        from repro.lang import parse
+
+        cdfg = parse("""
+        process p(a: int8, b: int8) -> (z: int8) {
+          var c: bool = a > b;
+          var t: int8 = 0;
+          if (c) {
+            t = a - b;
+          } else {
+            t = b - a;
+          }
+          z = t + 1;
+        }
+        """)
+        store = simulate(cdfg, [{"a": 3, "b": 4}, {"a": 7, "b": 2}])
+        design = DesignPoint.initial(cdfg, default_library(), store,
+                                     ScheduleOptions())
+        rc = design.binding.reg_of("c").id
+        rz = design.binding.reg_of("z").id
+        with pytest.raises(BindingError, match="signed"):
+            ShareRegisters(rc, rz).apply(design)
+
     def test_disjoint_lifetime_sharing_verifies(self):
         from repro.lang import parse
 

@@ -1,0 +1,128 @@
+"""Pareto dominance and front bookkeeping edge cases."""
+
+import pytest
+
+from repro.explore.pareto import (
+    ParetoFront,
+    ParetoPoint,
+    _hypervolume_2d,
+    dominates,
+)
+
+
+def P(area, power, latency, **meta):
+    return ParetoPoint(area, power, latency, meta=meta)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(P(1, 1, 1), P(2, 2, 2))
+        assert not dominates(P(2, 2, 2), P(1, 1, 1))
+
+    def test_better_in_one_equal_elsewhere(self):
+        assert dominates(P(1, 1, 1), P(1, 1, 2))
+        assert dominates(P(1, 0.5, 1), P(1, 1, 1))
+
+    def test_identical_points_do_not_dominate(self):
+        assert not dominates(P(1, 2, 3), P(1, 2, 3))
+
+    def test_incomparable_points(self):
+        # Better on one axis, worse on another: neither dominates.
+        assert not dominates(P(1, 3, 1), P(2, 2, 1))
+        assert not dominates(P(2, 2, 1), P(1, 3, 1))
+
+
+class TestParetoFront:
+    def test_empty_front(self):
+        front = ParetoFront()
+        assert len(front) == 0
+        assert front.points == []
+        assert front.rows() == []
+        assert front.hypervolume() == 0.0
+        assert front.hypervolume((1.0, 1.0, 1.0)) == 0.0
+
+    def test_single_point(self):
+        front = ParetoFront([P(1, 2, 3)])
+        assert len(front) == 1
+        assert front.points[0].objectives == (1, 2, 3)
+
+    def test_dominated_offer_rejected(self):
+        front = ParetoFront([P(1, 1, 1)])
+        assert not front.add(P(2, 2, 2))
+        assert len(front) == 1
+        assert front.offered == 2
+
+    def test_dominating_offer_evicts(self):
+        front = ParetoFront([P(2, 2, 2), P(3, 1, 3)])
+        assert front.add(P(1, 1, 1))  # dominates both
+        assert [p.objectives for p in front.points] == [(1, 1, 1)]
+
+    def test_incomparable_points_coexist(self):
+        front = ParetoFront([P(1, 3, 1), P(2, 2, 1), P(3, 1, 1)])
+        assert len(front) == 3
+
+    def test_duplicate_objectives_keep_first_offer(self):
+        front = ParetoFront()
+        assert front.add(P(1, 2, 3, src="first"))
+        assert not front.add(P(1, 2, 3, src="second"))
+        assert len(front) == 1
+        assert front.points[0].meta["src"] == "first"
+
+    def test_meta_excluded_from_dominance(self):
+        # Same objectives, different provenance: still a duplicate.
+        a = P(1, 1, 1, job=0)
+        b = P(1, 1, 1, job=5)
+        assert not dominates(a, b)
+        assert a == b
+
+    def test_single_objective_degeneracy(self):
+        # All points identical on two axes: the front collapses to the
+        # single best value on the remaining axis.
+        front = ParetoFront([P(a, 1.0, 1.0) for a in (5.0, 3.0, 4.0, 3.0)])
+        assert [p.objectives for p in front.points] == [(3.0, 1.0, 1.0)]
+
+    def test_stable_reported_order(self):
+        front = ParetoFront()
+        front.add(P(2, 2, 1))
+        front.add(P(1, 3, 1))
+        assert [p.objectives for p in front.points] == [(1, 3, 1), (2, 2, 1)]
+
+    def test_merge_preserves_first_offer_on_ties(self):
+        a = ParetoFront([P(1, 2, 3, src="a")])
+        b = ParetoFront([P(1, 2, 3, src="b"), P(0.5, 3, 3, src="b2")])
+        a.merge(b)
+        by_src = {p.meta["src"] for p in a.points}
+        assert by_src == {"a", "b2"}
+
+
+class TestHypervolume:
+    def test_2d_staircase(self):
+        # One point at the origin of a unit box.
+        assert _hypervolume_2d([(0.0, 0.0)], (1.0, 1.0)) == 1.0
+        # Two incomparable points: union of two rectangles minus overlap.
+        hv = _hypervolume_2d([(0.0, 0.5), (0.5, 0.0)], (1.0, 1.0))
+        assert hv == pytest.approx(0.75)
+
+    def test_3d_single_point_box(self):
+        front = ParetoFront([P(0.0, 0.0, 0.0)])
+        assert front.hypervolume((1.0, 1.0, 1.0)) == pytest.approx(1.0)
+
+    def test_3d_two_point_union(self):
+        front = ParetoFront([P(0.0, 0.0, 0.5), P(0.5, 0.5, 0.0)])
+        # Box A: 1*1*0.5 = 0.5; box B: 0.5*0.5*1 = 0.25; overlap
+        # [0.5,1]x[0.5,1]x[0.5,1] = 0.125.
+        assert front.hypervolume((1.0, 1.0, 1.0)) == pytest.approx(0.625)
+
+    def test_points_beyond_reference_contribute_nothing(self):
+        front = ParetoFront([P(2.0, 2.0, 2.0)])
+        assert front.hypervolume((1.0, 1.0, 1.0)) == 0.0
+
+    def test_dominated_point_adds_no_volume(self):
+        lone = ParetoFront([P(0.0, 0.0, 0.0)])
+        both = ParetoFront([P(0.0, 0.0, 0.0), P(0.5, 0.5, 0.5)])
+        ref = (1.0, 1.0, 1.0)
+        assert both.hypervolume(ref) == pytest.approx(lone.hypervolume(ref))
+
+    def test_default_reference_scales_with_front(self):
+        front = ParetoFront([P(1.0, 1.0, 1.0), P(2.0, 0.5, 1.0)])
+        assert front.hypervolume() > 0.0

@@ -50,8 +50,9 @@ from repro.sched import (
     wavesched,
 )
 from repro.benchmarks import BENCHMARKS, get_benchmark
+from repro.genprog import GenConfig, generate_program
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def __getattr__(name):
@@ -101,5 +102,7 @@ __all__ = [
     "replay",
     "BENCHMARKS",
     "get_benchmark",
+    "GenConfig",
+    "generate_program",
     "__version__",
 ]

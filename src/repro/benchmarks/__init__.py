@@ -1,12 +1,22 @@
-"""The paper's benchmark suite, reconstructed.
+"""The benchmark suite: the paper's six plus the synthetic corpus.
 
-Six behavioral descriptions (Section 4): the Loops example of Figure 1,
-GCD [22], the X.25 send process [9], a Blackjack dealer [10], Cordic [2]
-and Paulin [23].  Originals are unavailable; each module documents its
-reconstruction and ships a seeded stimulus generator plus a plain-Python
-reference model used in differential tests.
+Six reconstructed behavioral descriptions (Section 4): the Loops example
+of Figure 1, GCD [22], the X.25 send process [9], a Blackjack dealer
+[10], Cordic [2] and Paulin [23].  Originals are unavailable; each
+module documents its reconstruction and ships a seeded stimulus
+generator plus a plain-Python reference model used in differential
+tests.
+
+Alongside them, the ``synth_N`` family: pinned-seed random CFI programs
+from :mod:`repro.genprog.corpus`, whose reference model is the
+generator's direct AST evaluator (see docs/fuzzing.md).
 """
 
-from repro.benchmarks.registry import BENCHMARKS, Benchmark, get_benchmark
+from repro.benchmarks.registry import (
+    BENCHMARKS,
+    Benchmark,
+    CLASSIC_BENCHMARKS,
+    get_benchmark,
+)
 
-__all__ = ["BENCHMARKS", "Benchmark", "get_benchmark"]
+__all__ = ["BENCHMARKS", "Benchmark", "CLASSIC_BENCHMARKS", "get_benchmark"]

@@ -1,4 +1,12 @@
-"""Benchmark registry: name -> (source, stimulus, reference)."""
+"""Benchmark registry: name -> (source, stimulus, reference).
+
+Two families live here: the paper's six reconstructed benchmarks
+(Section 4) and the generated ``synth_N`` corpus from
+:mod:`repro.genprog.corpus` — pinned-seed random CFI programs whose
+reference model is the generator's AST evaluator.  Both are plain
+:class:`Benchmark` entries, so every consumer (``get_benchmark``, the
+CLI, the explorer, the conformance harness) treats them identically.
+"""
 
 from __future__ import annotations
 
@@ -48,6 +56,20 @@ BENCHMARKS: dict[str, Benchmark] = {
                         "Paulin differential-equation solver [23] (data-dominated)",
                         clock_ns=15.0),
 }
+
+
+#: The paper's reconstructed suite, before the synthetic corpus lands.
+CLASSIC_BENCHMARKS = tuple(BENCHMARKS)
+
+
+def _register_synthetic() -> None:
+    # Imported late: corpus needs the Benchmark class defined above.
+    from repro.genprog.corpus import synthetic_benchmarks
+
+    BENCHMARKS.update(synthetic_benchmarks())
+
+
+_register_synthetic()
 
 
 def get_benchmark(name: str) -> Benchmark:

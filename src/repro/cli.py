@@ -1,13 +1,15 @@
 """The ``python -m repro`` command-line interface.
 
-Four subcommands cover the production entry points (documented in
+Five subcommands cover the production entry points (documented in
 ``docs/cli.md``):
 
 * ``repro synth``   — one IMPACT synthesis run, summary + report files;
 * ``repro explore`` — the multi-objective Pareto-frontier explorer
   (sharded across processes, frontier verified by default);
 * ``repro verify``  — the differential-conformance oracle chain;
-* ``repro bench``   — a Figure 13 laxity sweep with report emission.
+* ``repro bench``   — a Figure 13 laxity sweep with report emission;
+* ``repro fuzz``    — random-program fuzzing through the full synthesize
+  + conformance chain (see docs/fuzzing.md), with shrunk reproducers.
 
 Every report lands under ``--results-dir`` (default ``results/``) as
 JSON + CSV + markdown via :func:`repro.experiments.report.write_report`.
@@ -60,6 +62,38 @@ def _parse_objectives(text: str) -> tuple:
     if not specs:
         raise argparse.ArgumentTypeError("no objectives given")
     return tuple(specs)
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _parse_laxities(text: str) -> tuple[float, ...]:
+    """Parse ``--laxities`` for fuzz: comma floats, each >= 1.0."""
+    laxities = _parse_floats(text)
+    if not laxities:
+        raise argparse.ArgumentTypeError("no laxities given")
+    for laxity in laxities:
+        if laxity < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"laxity factors must be >= 1.0, got {laxity:g}")
+    return laxities
+
+
+def _unit_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value:g}")
+    return value
 
 
 def _search_from_args(args) -> SearchConfig:
@@ -225,6 +259,67 @@ def cmd_bench(args) -> int:
     return 0 if sweep.total_mismatches() == 0 else 1
 
 
+# -- fuzz -----------------------------------------------------------------------------
+
+
+def cmd_fuzz(args) -> int:
+    """Random-program fuzzing through synthesis + the conformance chain."""
+    import dataclasses
+
+    from repro.genprog import GenConfig, program_from_source
+    from repro.genprog.fuzz import fuzz_program, fuzz_run
+
+    search = SearchConfig(max_depth=args.search_depth,
+                          max_candidates=args.search_candidates,
+                          max_iterations=args.search_iterations, seed=0)
+    gen = dataclasses.replace(GenConfig(), ops_budget=args.max_ops,
+                              max_depth=args.nesting,
+                              branch_density=args.branch_density,
+                              loop_density=args.loop_density)
+
+    if args.replay is not None:
+        if not args.replay.exists():
+            print(f"repro fuzz: reproducer {args.replay} not found",
+                  file=sys.stderr)
+            return 2
+        # The stimulus family derives from the generator seed, so replay
+        # with the failing row's `seed` to feed the reproducer the exact
+        # input vectors that exposed it.
+        program = program_from_source(
+            args.replay.read_text(encoding="utf-8"),
+            config=dataclasses.replace(gen, seed=args.seed))
+        verdict = fuzz_program(program, laxities=args.laxities,
+                               n_passes=args.passes, search=search,
+                               use_iverilog=args.iverilog)
+        print(format_table([verdict.row()],
+                           title=f"repro fuzz --replay {args.replay}"))
+        if verdict.detail:
+            print(verdict.detail)
+        return 0 if verdict.ok else 1
+
+    report = fuzz_run(args.count, args.seed, laxities=args.laxities,
+                      n_passes=args.passes, gen=gen, search=search,
+                      use_iverilog=args.iverilog,
+                      results_dir=args.results_dir,
+                      shrink_trials=args.shrink_trials)
+    rows = report.rows()
+    print(format_table(rows, title=(
+        f"repro fuzz: {report.n_ok}/{report.count} programs "
+        f"conformance-clean (seed {report.seed})")))
+    for verdict in report.verdicts:
+        if not verdict.ok:
+            print(f"\n{verdict.name} [{verdict.status}]: {verdict.detail}")
+            if verdict.reproducer:
+                print(f"  shrunk reproducer: {verdict.reproducer} "
+                      f"(re-run: python -m repro fuzz --replay "
+                      f"{verdict.reproducer} --seed {verdict.seed})")
+    written = write_report(rows, args.results_dir / "fuzz",
+                           title=f"repro fuzz (seed {report.seed})",
+                           extra=report.summary())
+    print("reports: " + ", ".join(str(p) for p in written.values()))
+    return 0 if report.ok else 1
+
+
 # -- list -----------------------------------------------------------------------------
 
 
@@ -301,6 +396,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--laxities", type=_parse_floats, default=None,
                    metavar="L1,L2,...", help="explicit laxity grid")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz", help="fuzz random programs through the whole stack")
+    p.add_argument("--count", type=_positive_int, default=10,
+                   help="programs to generate (default %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fuzz run seed; program seeds derive from it "
+                        "(default %(default)s)")
+    p.add_argument("--laxities", type=_parse_laxities, default=(1.0, 2.0),
+                   metavar="L1,L2,...",
+                   help="laxity factors (each >= 1.0) every program is "
+                        "synthesized at (default 1.0,2.0)")
+    p.add_argument("--passes", type=_positive_int, default=10,
+                   help="stimulus passes per program (default %(default)s)")
+    p.add_argument("--max-ops", type=_positive_int, default=22,
+                   help="generator statement budget (default %(default)s)")
+    p.add_argument("--nesting", type=_positive_int, default=3,
+                   help="max region nesting depth (default %(default)s)")
+    p.add_argument("--branch-density", type=_unit_float, default=0.30,
+                   help="if/else probability per slot (default %(default)s)")
+    p.add_argument("--loop-density", type=_unit_float, default=0.25,
+                   help="loop probability per slot (default %(default)s)")
+    p.add_argument("--search-depth", type=_positive_int, default=3,
+                   help="search move depth per synthesis (default %(default)s)")
+    p.add_argument("--search-candidates", type=_positive_int, default=8,
+                   help="candidates per search depth (default %(default)s)")
+    p.add_argument("--search-iterations", type=_positive_int, default=4,
+                   help="search iterations per synthesis (default %(default)s)")
+    p.add_argument("--shrink-trials", type=_positive_int, default=200,
+                   help="shrinker trial budget per failure (default %(default)s)")
+    p.add_argument("--iverilog", choices=("auto", "off", "require"),
+                   default="off",
+                   help="external cosim oracle policy (default %(default)s; "
+                        "off keeps results/fuzz.json machine-independent)")
+    p.add_argument("--replay", type=pathlib.Path, default=None,
+                   metavar="FILE",
+                   help="re-run the chain on a saved reproducer source "
+                        "instead of generating programs; pass the failing "
+                        "row's seed via --seed to replay its exact stimulus")
+    p.add_argument("--results-dir", type=pathlib.Path,
+                   default=DEFAULT_RESULTS_DIR,
+                   help="report output directory (default %(default)s)")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("list", help="list the benchmark registry")
     p.set_defaults(fn=cmd_list)

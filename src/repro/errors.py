@@ -79,3 +79,9 @@ class HDLError(ReproError):
 
 class ConformanceError(ReproError):
     """Differential cosimulation found disagreeing execution models."""
+
+
+class GenerationError(ReproError):
+    """A generated program failed its round-trip semantic invariant
+    (emitted source re-parses/compiles to something that disagrees with
+    the generator's reference evaluator)."""

@@ -1,0 +1,75 @@
+"""The pinned-seed synthetic benchmark corpus (``synth_N`` family).
+
+Four generated control-flow-intensive programs with committed seeds and
+shape configs, registered into :data:`repro.benchmarks.BENCHMARKS` next
+to the paper's six — so ``get_benchmark``, ``python -m repro
+synth/explore/verify/bench`` and the conformance CLI all work on them
+unchanged.  Each entry's reference model is the generator's direct AST
+evaluator, giving the differential tests an oracle that never touched
+the CDFG pipeline.
+
+The seeds are pinned, not arbitrary: changing one changes the program,
+its reference traces and every report that names it, so treat a seed
+bump like deleting and adding a benchmark.  ``docs/fuzzing.md``
+documents how these were chosen (diverse region shapes, full oracle
+chain green at 100 stimulus passes).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.genprog.config import GenConfig
+
+#: name -> (config, clock_ns, short shape description).  Shapes are
+#: deliberately spread: branch-heavy, loop-heavy, wide/flat, and deep.
+SYNTH_SPECS: dict[str, tuple[GenConfig, float, str]] = {
+    "synth_0": (
+        GenConfig(seed=7, branch_density=0.45, loop_density=0.15,
+                  ops_budget=20),
+        10.0, "generated: branch-heavy nested conditionals"),
+    "synth_1": (
+        GenConfig(seed=11, branch_density=0.15, loop_density=0.45,
+                  ops_budget=20, max_for_bound=5),
+        10.0, "generated: loop-heavy (nested for/while countdowns)"),
+    "synth_2": (
+        GenConfig(seed=5, n_inputs=4, n_outputs=3, ops_budget=26,
+                  max_depth=2),
+        12.0, "generated: wide multi-output, mixed signed/unsigned"),
+    "synth_3": (
+        GenConfig(seed=8, max_depth=4, ops_budget=24,
+                  branch_density=0.35, loop_density=0.30),
+        10.0, "generated: deep region nesting"),
+}
+
+
+@lru_cache(maxsize=None)
+def _program(name: str):
+    from repro.genprog.generator import generate_program
+
+    config, _clock, _desc = SYNTH_SPECS[name]
+    # check=False: the corpus is registered at `import repro` time, so
+    # generation must stay sub-millisecond and must never raise — the
+    # round-trip invariant for these pinned programs is enforced by the
+    # test suite (tests/test_genprog.py::TestCorpus) instead, where a
+    # frontend regression fails one test rather than poisoning every
+    # import of the package.
+    return generate_program(config, name=name, check=False)
+
+
+def synthetic_benchmarks() -> dict:
+    """Build the ``synth_N`` registry entries (generated on first use)."""
+    from repro.benchmarks.registry import Benchmark
+
+    entries = {}
+    for name, (_config, clock_ns, description) in SYNTH_SPECS.items():
+        program = _program(name)
+        entries[name] = Benchmark(
+            name=name,
+            source=program.source,
+            stimulus=program.stimulus,
+            reference=program.reference,
+            description=description,
+            clock_ns=clock_ns,
+        )
+    return entries

@@ -1,0 +1,112 @@
+"""Pretty-printer from the behavioral AST back to source text.
+
+The inverse of :func:`repro.lang.parser.parse_source` up to line numbers
+and redundant parentheses: ``parse_source(emit_source(p))`` is
+structurally identical to ``p`` (enforced by
+:func:`strip_positions` equality in the generator's round-trip check).
+Sub-expressions are fully parenthesized so emission never has to reason
+about precedence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.lang import ast_nodes as ast
+
+INDENT = "  "
+
+
+def emit_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        if expr.value < 0:
+            # The grammar has no negative literals; generators must use
+            # UnaryOp("-", IntLit(n)) so the text round-trips structurally.
+            raise ExperimentError(
+                f"cannot emit negative literal {expr.value}; wrap in UnaryOp")
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op}{emit_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({emit_expr(expr.left)} {expr.op} {emit_expr(expr.right)})"
+    raise ExperimentError(f"cannot emit expression {type(expr).__name__}")
+
+
+def _emit_stmt(stmt: ast.Stmt, depth: int, lines: list[str]) -> None:
+    pad = INDENT * depth
+    if isinstance(stmt, ast.VarDecl):
+        text = f"{pad}var {stmt.name}"
+        if stmt.declared_type is not None:
+            text += f": {stmt.declared_type}"
+        if stmt.init is not None:
+            text += f" = {emit_expr(stmt.init)}"
+        lines.append(text + ";")
+    elif isinstance(stmt, ast.Assign):
+        lines.append(f"{pad}{stmt.name} = {emit_expr(stmt.value)};")
+    elif isinstance(stmt, ast.If):
+        lines.append(f"{pad}if ({emit_expr(stmt.cond)}) {{")
+        _emit_body(stmt.then_body, depth + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            _emit_body(stmt.else_body, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.For):
+        init = f"{stmt.init.name} = {emit_expr(stmt.init.value)}"
+        update = _emit_for_update(stmt.update)
+        lines.append(f"{pad}for ({init}; {emit_expr(stmt.cond)}; {update}) {{")
+        _emit_body(stmt.body, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.While):
+        lines.append(f"{pad}while ({emit_expr(stmt.cond)}) {{")
+        _emit_body(stmt.body, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    else:
+        raise ExperimentError(f"cannot emit statement {type(stmt).__name__}")
+
+
+def _emit_for_update(update: ast.Assign) -> str:
+    """``i = i + 1`` prints as ``i++`` (what the parser sugar produces)."""
+    value = update.value
+    if (isinstance(value, ast.BinaryOp) and value.op in ("+", "-")
+            and isinstance(value.left, ast.VarRef)
+            and value.left.name == update.name
+            and isinstance(value.right, ast.IntLit) and value.right.value == 1):
+        return update.name + ("++" if value.op == "+" else "--")
+    return f"{update.name} = {emit_expr(value)}"
+
+
+def _emit_body(body: tuple[ast.Stmt, ...], depth: int, lines: list[str]) -> None:
+    for stmt in body:
+        _emit_stmt(stmt, depth, lines)
+
+
+def emit_source(process: ast.Process) -> str:
+    """Render a process AST as parseable behavioral source text."""
+    params = ", ".join(f"{p.name}: {p.type}" for p in process.inputs)
+    outs = ", ".join(f"{p.name}: {p.type}" for p in process.outputs)
+    lines = [f"process {process.name}({params}) -> ({outs}) {{"]
+    _emit_body(process.body, 1, lines)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def strip_positions(node):
+    """A line-number-free structural key for AST comparison.
+
+    Two ASTs are semantically the same program iff their stripped keys
+    are equal; the generator uses this to assert that parsing its own
+    emission reproduces the AST it emitted.
+    """
+    if isinstance(node, (ast.Expr, ast.Stmt, ast.Process, ast.Param, ast.Type)):
+        items = [(type(node).__name__,)]
+        for name in node.__dataclass_fields__:
+            if name == "line":
+                continue
+            items.append((name, strip_positions(getattr(node, name))))
+        return tuple(items)
+    if isinstance(node, tuple):
+        return tuple(strip_positions(item) for item in node)
+    return node

@@ -1,0 +1,224 @@
+"""Direct AST evaluation — the generator's independent semantic oracle.
+
+:func:`evaluate_process` executes a process AST with a plain variable
+environment, mirroring the *composed* semantics of the real pipeline
+(``typecheck`` width rules + ``cdfg.builder`` node typing + the
+interpreter's per-node wrapping) without ever building a CDFG.  Diffing
+its outputs against :func:`repro.cdfg.interpreter.simulate` on the same
+stimulus checks the whole emission → parse → CDFG-build → interpret
+chain for semantic drift; the generator runs that diff on every program
+it produces (the round-trip invariant), and the fuzz driver re-runs it
+over the full fuzz stimulus.
+
+The three wrapping rules being mirrored (see ``cdfg/builder.py``):
+
+* every operator node wraps its raw result to ``result_type`` /
+  ``unary_result_type`` of its operand types;
+* **except** the top-level operator of an assignment, which the builder
+  re-types to the target variable's declared (width, signed) — the raw
+  result wraps straight to the variable type, with no intermediate
+  ``result_type`` wrap;
+* constant-constant subtrees fold *exactly* (no intermediate wrap) and
+  carry ``literal_type`` of the folded value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InterpreterError
+from repro.lang import ast_nodes as ast
+from repro.lang.typecheck import (
+    check_process,
+    literal_type,
+    result_type,
+    unary_result_type,
+)
+from repro.utils.bitwidth import mask_for_width, wrap_to_width
+
+#: Safety cap on iterations of a single loop entry (mirrors the CDFG
+#: interpreter's cap; generated loops are bounded far below either).
+MAX_LOOP_ITERATIONS = 100_000
+
+
+def _wrap(value: int, vtype: ast.Type) -> int:
+    if vtype.signed:
+        return wrap_to_width(value, vtype.width)
+    return value & mask_for_width(vtype.width)
+
+
+def _compute(op: str, a: int, b: int) -> int:
+    """Raw (unwrapped) binary-operator result, as the interpreter computes it."""
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "<<":
+        return a << (b & 63)
+    if op == ">>":
+        return a >> (b & 63)
+    if op == "<":
+        return int(a < b)
+    if op == ">":
+        return int(a > b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    raise InterpreterError(f"unknown binary operator {op!r}")
+
+
+@dataclass(frozen=True)
+class _Val:
+    """One evaluated expression: wrapped value, type, const-foldedness,
+    and the raw pre-wrap result (what an assignment would re-wrap)."""
+
+    value: int
+    type: ast.Type
+    const: bool
+    raw: int
+
+
+class _Evaluator:
+    def __init__(self, process: ast.Process,
+                 max_loop_iterations: int = MAX_LOOP_ITERATIONS):
+        self._process = process
+        self._types = check_process(process).var_types
+        self._max_iter = max_loop_iterations
+        self._env: dict[str, int] = {}
+
+    def run(self, inputs: dict[str, int]) -> dict[str, int]:
+        self._env = {}
+        for param in self._process.inputs:
+            if param.name not in inputs:
+                raise InterpreterError(f"missing input {param.name!r}")
+            self._env[param.name] = _wrap(inputs[param.name], param.type)
+        self._exec_body(self._process.body)
+        outputs: dict[str, int] = {}
+        for param in self._process.outputs:
+            outputs[param.name] = _wrap(self._env[param.name], param.type)
+        return outputs
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_body(self, body: tuple[ast.Stmt, ...]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._assign(stmt.name, stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt.name, stmt.value)
+        elif isinstance(stmt, ast.If):
+            if self._eval(stmt.cond).value:
+                self._exec_body(stmt.then_body)
+            else:
+                self._exec_body(stmt.else_body)
+        elif isinstance(stmt, ast.For):
+            self._exec_stmt(stmt.init)
+            iterations = 0
+            while self._eval(stmt.cond).value:
+                iterations += 1
+                if iterations > self._max_iter:
+                    raise InterpreterError(
+                        f"for loop at line {stmt.line} exceeded "
+                        f"{self._max_iter} iterations")
+                self._exec_body(stmt.body)
+                self._exec_stmt(stmt.update)
+        elif isinstance(stmt, ast.While):
+            iterations = 0
+            while self._eval(stmt.cond).value:
+                iterations += 1
+                if iterations > self._max_iter:
+                    raise InterpreterError(
+                        f"while loop at line {stmt.line} exceeded "
+                        f"{self._max_iter} iterations")
+                self._exec_body(stmt.body)
+        else:
+            raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+    def _assign(self, name: str, value: ast.Expr) -> None:
+        vtype = self._types[name]
+        result = self._eval(value)
+        if isinstance(value, (ast.BinaryOp, ast.UnaryOp)) and not result.const:
+            # The builder re-types the top op node to the variable's type:
+            # its raw result wraps straight to (width, signed).
+            self._env[name] = _wrap(result.raw, vtype)
+        else:
+            self._env[name] = _wrap(result.value, vtype)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr) -> _Val:
+        if isinstance(expr, ast.IntLit):
+            return _Val(expr.value, literal_type(expr.value), True, expr.value)
+        if isinstance(expr, ast.BoolLit):
+            value = int(expr.value)
+            return _Val(value, ast.Type(1, signed=False), True, value)
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in self._env:
+                raise InterpreterError(
+                    f"read of unassigned variable {expr.name!r}")
+            value = self._env[expr.name]
+            return _Val(value, self._types[expr.name], False, value)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr)
+        raise InterpreterError(f"unknown expression {type(expr).__name__}")
+
+    def _eval_unary(self, expr: ast.UnaryOp) -> _Val:
+        operand = self._eval(expr.operand)
+        if expr.op == "-":
+            if operand.const:
+                value = -operand.value
+                return _Val(value, literal_type(value), True, value)
+            rtype = unary_result_type("-", operand.type)
+            raw = 0 - operand.value
+            return _Val(_wrap(raw, rtype), rtype, False, raw)
+        if expr.op == "!":
+            # The builder always materializes a 1-bit LNOT node (no fold).
+            raw = int(not operand.value)
+            return _Val(raw, ast.Type(1, signed=False), False, raw)
+        raise InterpreterError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_binary(self, expr: ast.BinaryOp) -> _Val:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        if left.const and right.const:
+            foldable = expr.op not in ("<<", ">>") or 0 <= right.value < 64
+            if foldable:
+                value = _compute(expr.op, left.value, right.value)
+                return _Val(value, literal_type(value), True, value)
+        rtype = result_type(expr.op, left.type, right.type)
+        raw = _compute(expr.op, left.value, right.value)
+        return _Val(_wrap(raw, rtype), rtype, False, raw)
+
+
+def evaluate_process(process: ast.Process, inputs: dict[str, int], *,
+                     max_loop_iterations: int = MAX_LOOP_ITERATIONS,
+                     ) -> dict[str, int]:
+    """Execute one pass of a process AST; returns its output values.
+
+    Raises :class:`InterpreterError` on missing inputs, reads of
+    never-assigned variables, or a loop exceeding the iteration cap.
+    """
+    return _Evaluator(process, max_loop_iterations).run(inputs)

@@ -1,0 +1,265 @@
+"""The fuzz pipeline: generate -> synthesize -> conformance -> shrink.
+
+:func:`fuzz_run` drives ``count`` generated programs through the whole
+stack: each is compiled by the real frontend, cross-checked against the
+AST evaluator over the fuzz stimulus, synthesized at every requested
+laxity, and every synthesized design is pushed through the differential
+conformance oracle chain (interpreter <-> replay <-> gatesim <-> netsim,
+plus iverilog when enabled).  Any failure — generation invariant,
+evaluator disagreement, synthesis error, or conformance divergence — is
+shrunk to a minimal reproducer program that still fails the same stage,
+and the reproducer source is written next to the report.
+
+Everything is deterministic in ``(seed, knobs)``: program seeds derive
+from the run seed, searches are seeded, and the report rows carry no
+wall-clock data — ``results/fuzz.json`` is bit-identical across runs
+with the same arguments (a CI-enforced property).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import GenerationError, ReproError
+from repro.genprog.config import GenConfig
+from repro.genprog.emit import emit_source
+from repro.genprog.generator import (
+    GeneratedProgram,
+    check_roundtrip,
+    generate_program,
+)
+from repro.genprog.shrink import shrink_process
+
+#: Laxity factors each program is synthesized at (ISSUE: 2-3 points).
+DEFAULT_LAXITIES: tuple[float, ...] = (1.0, 2.0)
+
+#: Multiplier deriving per-program seeds from the run seed (a large odd
+#: constant so nearby run seeds produce disjoint program families).
+SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class ProgramVerdict:
+    """Per-program fuzz outcome (JSON-serializable via :meth:`row`)."""
+
+    name: str
+    seed: int
+    status: str                      # "ok" | "generate" | "semantic" |
+    #                                  "synthesis" | "divergence"
+    n_statements: int = 0
+    detail: str = ""
+    #: laxity -> "ok" | "diverged(N)" | "error: ..." per synthesis run.
+    laxities: dict[float, str] = field(default_factory=dict)
+    #: Repo-relative path of the shrunk reproducer source, if any.
+    reproducer: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def row(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "status": self.status,
+            "statements": self.n_statements,
+            "laxities": ",".join(f"{lax:g}:{verdict}"
+                                 for lax, verdict in
+                                 sorted(self.laxities.items())),
+            "detail": self.detail,
+            "reproducer": self.reproducer or "",
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    count: int
+    seed: int
+    laxities: tuple[float, ...]
+    n_passes: int
+    verdicts: list[ProgramVerdict]
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(v.ok for v in self.verdicts)
+
+    def rows(self) -> list[dict]:
+        return [v.row() for v in self.verdicts]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "seed": self.seed,
+            "laxities": list(self.laxities),
+            "n_passes": self.n_passes,
+            "ok": self.ok,
+            "n_ok": self.n_ok,
+            "reproducers": [v.reproducer for v in self.verdicts
+                            if v.reproducer],
+        }
+
+
+def _search_config(args_search):
+    from repro.core.search import SearchConfig
+
+    if args_search is not None:
+        return args_search
+    return SearchConfig(max_depth=3, max_candidates=8, max_iterations=4,
+                        seed=0)
+
+
+def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
+                   search, use_iverilog: str, *,
+                   stop_on_failure: bool = False,
+                   ) -> tuple[dict[float, str], str | None, str]:
+    """Run synth+conformance at every laxity; returns (verdicts, stage, detail).
+
+    ``stage`` is None when everything agreed, else "synthesis" or
+    "divergence"; ``detail`` describes the first failure.
+    ``stop_on_failure`` skips the remaining laxities once a failure is
+    recorded — the shrinker's predicate only needs the first one.
+    """
+    from repro.core.engine import SynthesisEngine
+    from repro.lang import parse
+    from repro.sched.engine import ScheduleOptions
+
+    verdicts: dict[float, str] = {}
+    stage: str | None = None
+    detail = ""
+    cdfg = parse(program.source)
+    stimulus = program.stimulus(n_passes, seed=0)
+    engine = SynthesisEngine(cdfg, stimulus,
+                             options=ScheduleOptions(clock_ns=10.0))
+    for laxity in laxities:
+        try:
+            result = engine.run(mode="power", laxity=laxity, search=search)
+            report = engine.verify(design=result.design,
+                                   use_iverilog=use_iverilog)
+        except ReproError as exc:
+            verdicts[laxity] = f"error: {type(exc).__name__}"
+            if stage is None:
+                stage, detail = "synthesis", f"laxity {laxity:g}: {exc}"
+            continue
+        if report.ok:
+            verdicts[laxity] = "ok"
+        else:
+            verdicts[laxity] = f"diverged({len(report.divergences)})"
+            if stage is None:
+                stage = "divergence"
+                detail = f"laxity {laxity:g}: {report.divergences[0]}"
+        if stage is not None and stop_on_failure:
+            break
+    return verdicts, stage, detail
+
+
+def _still_fails(process, config: GenConfig, laxities, n_passes: int,
+                 search, use_iverilog: str) -> bool:
+    """Shrink predicate: the candidate still fails somewhere in the chain.
+
+    The round-trip check runs over the *same* stimulus (n_passes, seed
+    0) that detected the original failure — a drift that only manifests
+    on specific input vectors must stay visible while shrinking.
+    """
+    candidate = GeneratedProgram(name=process.name, config=config,
+                                 process=process,
+                                 source=emit_source(process))
+    try:
+        check_roundtrip(candidate, n_passes=n_passes, seed=0)
+    except GenerationError:
+        return True  # still a frontend-semantics failure: keep it
+    except ReproError:
+        return False
+    try:
+        _verdicts, stage, _detail = _chain_failure(
+            candidate, laxities, n_passes, search, use_iverilog,
+            stop_on_failure=True)
+    except ReproError:
+        return False
+    return stage is not None
+
+
+def _shrink_reproducer(program: GeneratedProgram, laxities, n_passes: int,
+                       search, use_iverilog: str, results_dir: Path,
+                       max_trials: int) -> str:
+    """Minimize a failing program and write its source; returns the path."""
+    small = shrink_process(
+        program.process,
+        lambda proc: _still_fails(proc, program.config, laxities, n_passes,
+                                  search, use_iverilog),
+        max_trials=max_trials)
+    path = results_dir / f"fuzz_repro_{program.name}.src"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(emit_source(small), encoding="utf-8")
+    return str(path)
+
+
+def fuzz_program(program: GeneratedProgram, *,
+                 laxities=DEFAULT_LAXITIES, n_passes: int = 10,
+                 search=None, use_iverilog: str = "off") -> ProgramVerdict:
+    """Fuzz one already-generated program (also the --replay entry point)."""
+    search = _search_config(search)
+    verdict = ProgramVerdict(name=program.name, seed=program.config.seed,
+                             status="ok", n_statements=program.n_statements)
+    try:
+        check_roundtrip(program, n_passes=n_passes, seed=0)
+    except GenerationError as exc:
+        verdict.status, verdict.detail = "semantic", str(exc)
+        return verdict
+    verdicts, stage, detail = _chain_failure(program, laxities, n_passes,
+                                             search, use_iverilog)
+    verdict.laxities = verdicts
+    if stage is not None:
+        verdict.status, verdict.detail = stage, detail
+    return verdict
+
+
+def fuzz_run(count: int, seed: int, *, laxities=DEFAULT_LAXITIES,
+             n_passes: int = 10, gen: GenConfig | None = None,
+             search=None, use_iverilog: str = "off",
+             results_dir: Path | str = "results",
+             shrink_trials: int = 200) -> FuzzReport:
+    """Generate and fuzz ``count`` programs; shrink and save any failure.
+
+    Deterministic in all arguments: the i-th program's generator seed is
+    ``seed * SEED_STRIDE + i`` and every downstream stage is seeded.
+    """
+    results_dir = Path(results_dir)
+    template = (gen or GenConfig()).validated()
+    search = _search_config(search)
+    verdicts: list[ProgramVerdict] = []
+    for index in range(count):
+        program_seed = seed * SEED_STRIDE + index
+        config = dataclasses.replace(template, seed=program_seed)
+        name = f"fuzz{index}"
+        try:
+            program = generate_program(config, name=name)
+        except GenerationError as exc:
+            # The generator's own invariant tripped: the emitted source
+            # is itself the bug reproducer — shrink and record it.
+            program = generate_program(config, name=name, check=False)
+            verdict = ProgramVerdict(
+                name=name, seed=program_seed, status="generate",
+                n_statements=program.n_statements, detail=str(exc))
+            verdict.reproducer = _shrink_reproducer(
+                program, laxities, n_passes, search, use_iverilog,
+                results_dir, shrink_trials)
+            verdicts.append(verdict)
+            continue
+        verdict = fuzz_program(program, laxities=laxities,
+                               n_passes=n_passes, search=search,
+                               use_iverilog=use_iverilog)
+        if not verdict.ok:
+            verdict.reproducer = _shrink_reproducer(
+                program, laxities, n_passes, search, use_iverilog,
+                results_dir, shrink_trials)
+        verdicts.append(verdict)
+    return FuzzReport(count=count, seed=seed, laxities=tuple(laxities),
+                      n_passes=n_passes, verdicts=verdicts)

@@ -1,0 +1,145 @@
+"""Greedy structural shrinker for failing generated programs.
+
+Given a process AST and a predicate ("this program still fails"),
+:func:`shrink_process` repeatedly applies semantics-shrinking edits —
+delete a statement, replace an ``if`` by one arm, unroll a loop to its
+body, clamp a loop bound to 1, replace an expression by one operand or a
+small literal — keeping an edit only when the edited program is still
+*valid* (parses, type-checks and compiles) **and** still satisfies the
+predicate.  The result is the smallest reproducer the trial budget
+finds, in a deterministic order, which is what the fuzz driver attaches
+to a failing verdict instead of a 20-statement random blob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.genprog.emit import emit_source
+from repro.lang import ast_nodes as ast
+from repro.lang.frontend import parse_process
+
+#: Default cap on predicate evaluations per shrink run.
+MAX_TRIALS = 300
+
+
+def is_valid(process: ast.Process) -> bool:
+    """A candidate must still parse, type-check and compile to a CDFG."""
+    from repro.cdfg.builder import build_cdfg
+
+    try:
+        parsed = parse_process(emit_source(process))
+        build_cdfg(parsed).validate()
+    except ReproError:
+        return False
+    return True
+
+
+def _replace_body(stmts: tuple[ast.Stmt, ...], index: int,
+                  replacement: tuple[ast.Stmt, ...]) -> tuple[ast.Stmt, ...]:
+    return stmts[:index] + replacement + stmts[index + 1:]
+
+
+def _with_body(stmt: ast.Stmt, field_name: str,
+               body: tuple[ast.Stmt, ...]) -> ast.Stmt:
+    return dataclasses.replace(stmt, **{field_name: body})
+
+
+def _statement_edits(stmts: tuple[ast.Stmt, ...],
+                     ) -> Iterator[tuple[ast.Stmt, ...]]:
+    """Every single-edit variant of one statement tuple (outermost first)."""
+    for idx, stmt in enumerate(stmts):
+        # 1. Drop the statement entirely.
+        yield _replace_body(stmts, idx, ())
+        if isinstance(stmt, ast.If):
+            # 2. Replace the conditional by either arm.
+            yield _replace_body(stmts, idx, stmt.then_body)
+            if stmt.else_body:
+                yield _replace_body(stmts, idx, stmt.else_body)
+                yield _replace_body(
+                    stmts, idx, (_with_body(stmt, "else_body", ()),))
+        elif isinstance(stmt, ast.For):
+            # 3. Unroll to init + one body copy, or clamp the bound to 1.
+            yield _replace_body(stmts, idx, (stmt.init,) + stmt.body)
+            if (isinstance(stmt.cond, ast.BinaryOp)
+                    and isinstance(stmt.cond.right, ast.IntLit)
+                    and stmt.cond.right.value > 1):
+                clamped = dataclasses.replace(
+                    stmt, cond=dataclasses.replace(
+                        stmt.cond, right=ast.IntLit(line=0, value=1)))
+                yield _replace_body(stmts, idx, (clamped,))
+        elif isinstance(stmt, ast.While):
+            yield _replace_body(stmts, idx, stmt.body)
+        elif isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+            for init in _expr_edits(stmt.init):
+                yield _replace_body(
+                    stmts, idx, (dataclasses.replace(stmt, init=init),))
+        elif isinstance(stmt, ast.Assign):
+            for value in _expr_edits(stmt.value):
+                yield _replace_body(
+                    stmts, idx, (dataclasses.replace(stmt, value=value),))
+        # 4. Recurse into compound bodies.
+        if isinstance(stmt, ast.If):
+            for body in _statement_edits(stmt.then_body):
+                yield _replace_body(
+                    stmts, idx, (_with_body(stmt, "then_body", body),))
+            for body in _statement_edits(stmt.else_body):
+                yield _replace_body(
+                    stmts, idx, (_with_body(stmt, "else_body", body),))
+        elif isinstance(stmt, (ast.For, ast.While)):
+            for body in _statement_edits(stmt.body):
+                yield _replace_body(stmts, idx, (_with_body(stmt, "body", body),))
+
+
+def _expr_edits(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Smaller variants of one expression (operands first, then literals)."""
+    if isinstance(expr, ast.BinaryOp):
+        yield expr.left
+        yield expr.right
+        for left in _expr_edits(expr.left):
+            yield dataclasses.replace(expr, left=left)
+        for right in _expr_edits(expr.right):
+            yield dataclasses.replace(expr, right=right)
+    elif isinstance(expr, ast.UnaryOp):
+        yield expr.operand
+    elif isinstance(expr, ast.IntLit) and expr.value > 1:
+        yield ast.IntLit(line=0, value=1)
+        yield ast.IntLit(line=0, value=0)
+
+
+def shrink_process(process: ast.Process,
+                   predicate: Callable[[ast.Process], bool], *,
+                   max_trials: int = MAX_TRIALS) -> ast.Process:
+    """Minimize ``process`` while ``predicate`` holds.
+
+    ``predicate`` receives a *valid* candidate process and returns True
+    when the failure of interest still reproduces.  The original process
+    is returned unchanged when the predicate does not hold for it (the
+    failure is not standalone-reproducible) or the budget is exhausted
+    immediately.  Deterministic: candidates are enumerated in a fixed
+    order and the first accepted edit restarts the pass.
+    """
+    trials = 0
+
+    def holds(candidate: ast.Process) -> bool:
+        nonlocal trials
+        if trials >= max_trials:
+            return False
+        trials += 1
+        return is_valid(candidate) and bool(predicate(candidate))
+
+    if not holds(process):
+        return process
+    current = process
+    improved = True
+    while improved and trials < max_trials:
+        improved = False
+        for body in _statement_edits(current.body):
+            candidate = dataclasses.replace(current, body=body)
+            if holds(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

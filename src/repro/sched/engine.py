@@ -205,10 +205,33 @@ class _Engine:
                 self._weak_readers.setdefault(writer, set()).add(reader)
                 break
 
+    def _ancestor_loop_conds(self, region) -> set[int]:
+        """Condition nodes of every loop region enclosing ``region``."""
+        conds: set[int] = set()
+        current = region.parent
+        while current is not None:
+            parent = self.cdfg.region(current)
+            if isinstance(parent, LoopRegion):
+                conds.add(parent.cond_node)
+            current = parent.parent
+        return conds
+
     def _build_region_deps(self, region) -> list[tuple[str, int]]:
         cdfg = self.cdfg
         deps: list[tuple[str, int]] = []
+        # A region's ops are control-guarded by every enclosing loop's
+        # condition, but that guard is never an *entry* dependency: the
+        # region task is only reached once the enclosing iteration is
+        # already executing (kernel entry or a scheduled test), and in a
+        # hoisted kernel the in-flight cond evaluation is the *next*
+        # iteration's — waiting on it deadlocks against the write-after-
+        # read ordering of reads inside this region (found by the fuzz
+        # generator: a while loop nested in a for, body reading the
+        # iterator).
+        vacuous = self._ancestor_loop_conds(region)
         for producer in producers_outside(cdfg, region.id):
+            if producer in vacuous:
+                continue
             deps.extend(self._dep_of_producer(producer))
         subtree = region_subtree(cdfg, region.id)
         inside = {n.id for n in cdfg.nodes.values() if n.region in subtree}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.benchmarks import BENCHMARKS, get_benchmark
+from repro.benchmarks import BENCHMARKS, CLASSIC_BENCHMARKS, get_benchmark
 from repro.cdfg.analysis import loops_of
 from repro.cdfg.interpreter import simulate
 from repro.cdfg.node import OpKind
@@ -17,10 +17,16 @@ ALL_NAMES = sorted(BENCHMARKS)
 
 
 class TestRegistry:
-    def test_six_benchmarks(self):
-        assert len(BENCHMARKS) == 6
-        assert set(BENCHMARKS) == {"loops", "gcd", "x25_send", "dealer",
-                                   "cordic", "paulin"}
+    def test_classic_six_present(self):
+        assert set(CLASSIC_BENCHMARKS) == {"loops", "gcd", "x25_send",
+                                           "dealer", "cordic", "paulin"}
+
+    def test_synthetic_corpus_registered(self):
+        from repro.genprog.corpus import SYNTH_SPECS
+
+        synth = {n for n in BENCHMARKS if n.startswith("synth_")}
+        assert synth == set(SYNTH_SPECS)
+        assert len(BENCHMARKS) == 6 + len(SYNTH_SPECS)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ExperimentError):

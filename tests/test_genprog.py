@@ -1,0 +1,286 @@
+"""Property suite for the random program generator, shrinker and fuzz CLI."""
+
+import json
+
+import pytest
+
+from repro.cdfg.builder import build_cdfg
+from repro.cdfg.interpreter import simulate
+from repro.errors import ExperimentError, GenerationError
+from repro.genprog import (
+    GenConfig,
+    check_roundtrip,
+    emit_source,
+    evaluate_process,
+    generate_program,
+    program_from_source,
+    shrink_process,
+    strip_positions,
+)
+from repro.lang import ast_nodes as ast
+from repro.lang.frontend import parse_process
+from repro.lang.tokens import tokenize
+
+SEEDS = list(range(25))
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_always_tokenizes_parses_typechecks(self, seed):
+        program = generate_program(GenConfig(seed=seed), check=False)
+        assert tokenize(program.source)
+        process = parse_process(program.source)  # parse + typecheck
+        cdfg = build_cdfg(process)
+        cdfg.validate()
+        assert cdfg.fu_nodes(), "generated program with no functional ops"
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_roundtrip_invariant_holds(self, seed):
+        # generate_program(check=True) raises GenerationError on any
+        # emission/parse/CDFG/interpreter drift; run it explicitly too.
+        program = generate_program(GenConfig(seed=seed))
+        check_roundtrip(program, n_passes=4, seed=99)
+
+    def test_bit_reproducible_per_seed(self):
+        a = generate_program(GenConfig(seed=13))
+        b = generate_program(GenConfig(seed=13))
+        assert a.source == b.source
+        assert strip_positions(a.process) == strip_positions(b.process)
+        assert a.stimulus(7, seed=3) == b.stimulus(7, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert (generate_program(GenConfig(seed=0)).source
+                != generate_program(GenConfig(seed=1)).source)
+
+    def test_stimulus_seed_changes_values(self):
+        program = generate_program(GenConfig(seed=2))
+        assert program.stimulus(5, seed=3) != program.stimulus(5, seed=4)
+
+    def test_stimulus_respects_input_ranges(self):
+        program = generate_program(GenConfig(seed=4))
+        types = {p.name: p.type for p in program.process.inputs}
+        for inputs in program.stimulus(50, seed=0):
+            for name, value in inputs.items():
+                vtype = types[name]
+                if vtype.signed:
+                    assert -(1 << (vtype.width - 1)) <= value \
+                        < (1 << (vtype.width - 1))
+                else:
+                    assert 0 <= value < (1 << vtype.width)
+
+    def test_parse_of_emission_is_structurally_identical(self):
+        program = generate_program(GenConfig(seed=6))
+        reparsed = parse_process(program.source)
+        assert strip_positions(reparsed) == strip_positions(program.process)
+
+    def test_multi_output_and_mixed_signedness(self):
+        program = generate_program(GenConfig(seed=9, n_inputs=3, n_outputs=2))
+        assert len(program.process.outputs) == 2
+        assert len({p.type.signed for p in program.process.inputs}) == 2
+
+    def test_evaluator_matches_interpreter(self):
+        program = generate_program(GenConfig(seed=17))
+        cdfg = build_cdfg(parse_process(program.source))
+        stimulus = program.stimulus(12, seed=5)
+        store = simulate(cdfg, stimulus)
+        for idx, inputs in enumerate(stimulus):
+            expected = evaluate_process(program.process, inputs)
+            for name, value in expected.items():
+                assert int(store.outputs[name][idx]) == value
+
+    def test_config_validation_rejects_nonsense(self):
+        with pytest.raises(ExperimentError):
+            GenConfig(n_inputs=0).validated()
+        with pytest.raises(ExperimentError):
+            GenConfig(branch_density=1.5).validated()
+        with pytest.raises(ExperimentError):
+            GenConfig(max_while_bits=1).validated()
+
+    def test_while_loops_are_bounded_countdowns(self):
+        # Every generated while condition is `counter > 0` with the
+        # counter an unsigned variable — the termination guarantee.
+        for seed in SEEDS[:12]:
+            program = generate_program(GenConfig(seed=seed, loop_density=0.5),
+                                       check=False)
+            for stmt in ast.walk_statements(program.process.body):
+                if isinstance(stmt, ast.While):
+                    assert isinstance(stmt.cond, ast.BinaryOp)
+                    assert stmt.cond.op == ">"
+                    assert isinstance(stmt.cond.left, ast.VarRef)
+                    assert isinstance(stmt.cond.right, ast.IntLit)
+                    assert stmt.cond.right.value == 0
+
+
+class TestRoundtripInvariant:
+    def test_detects_semantic_drift(self):
+        # A program whose recorded AST disagrees with its source text
+        # must be rejected — the generator-level invariant.
+        program = generate_program(GenConfig(seed=1))
+        import dataclasses
+
+        out_name = program.process.outputs[0].name
+        drifted_body = program.process.body[:-len(program.process.outputs)] \
+            + tuple(
+                dataclasses.replace(
+                    stmt, value=ast.BinaryOp(line=0, op="+", left=stmt.value,
+                                             right=ast.IntLit(line=0, value=1)))
+                if isinstance(stmt, ast.Assign) and stmt.name == out_name
+                else stmt
+                for stmt in program.process.body[-len(program.process.outputs):])
+        drifted = dataclasses.replace(
+            program, process=dataclasses.replace(program.process,
+                                                 body=drifted_body))
+        with pytest.raises(GenerationError):
+            check_roundtrip(drifted)
+
+
+class TestShrinker:
+    def _program_with_while(self):
+        for seed in range(30):
+            program = generate_program(GenConfig(seed=seed), check=False)
+            if any(isinstance(s, ast.While)
+                   for s in ast.walk_statements(program.process.body)):
+                return program
+        pytest.fail("no while-bearing program in the first 30 seeds")
+
+    @staticmethod
+    def _has_while(process):
+        return any(isinstance(s, ast.While)
+                   for s in ast.walk_statements(process.body))
+
+    def test_shrunk_output_still_fails_predicate(self):
+        program = self._program_with_while()
+        small = shrink_process(program.process, self._has_while,
+                               max_trials=250)
+        assert self._has_while(small), "shrinker lost the failure"
+        # Shrunk output is still a valid program...
+        reparsed = parse_process(emit_source(small))
+        build_cdfg(reparsed).validate()
+        # ...and no larger than the original.
+        n_before = sum(1 for _ in ast.walk_statements(program.process.body))
+        n_after = sum(1 for _ in ast.walk_statements(small.body))
+        assert n_after <= n_before
+        assert n_after < 10, f"shrinker barely reduced: {n_after} statements"
+
+    def test_non_reproducing_predicate_returns_original(self):
+        program = generate_program(GenConfig(seed=0), check=False)
+        small = shrink_process(program.process, lambda _p: False)
+        assert small is program.process
+
+    def test_shrink_is_deterministic(self):
+        program = self._program_with_while()
+        one = shrink_process(program.process, self._has_while, max_trials=150)
+        two = shrink_process(program.process, self._has_while, max_trials=150)
+        assert strip_positions(one) == strip_positions(two)
+
+
+class TestFuzzRun:
+    def test_small_run_clean_and_deterministic(self, tmp_path):
+        from repro.genprog.fuzz import fuzz_run
+
+        kwargs = dict(laxities=(1.0,), n_passes=4,
+                      gen=GenConfig(ops_budget=10),
+                      results_dir=tmp_path)
+        one = fuzz_run(2, 0, **kwargs)
+        assert one.ok and one.n_ok == 2
+        two = fuzz_run(2, 0, **kwargs)
+        assert [v.row() for v in one.verdicts] == [v.row() for v in two.verdicts]
+
+    def test_failure_is_shrunk_to_reproducer(self, tmp_path, monkeypatch):
+        import repro.genprog.fuzz as fuzz_mod
+
+        # Force the semantic invariant to fail for every program: the
+        # driver must record the failure and emit a shrunk reproducer.
+        def broken_roundtrip(_program, **_kwargs):
+            raise GenerationError("forced failure")
+
+        monkeypatch.setattr(fuzz_mod, "check_roundtrip", broken_roundtrip)
+        report = fuzz_mod.fuzz_run(1, 5, laxities=(1.0,), n_passes=3,
+                                   gen=GenConfig(ops_budget=8),
+                                   results_dir=tmp_path, shrink_trials=40)
+        assert not report.ok
+        verdict = report.verdicts[0]
+        assert verdict.status == "semantic"
+        assert verdict.reproducer is not None
+        source = (tmp_path / f"fuzz_repro_{verdict.name}.src").read_text()
+        # The reproducer is itself a valid program...
+        build_cdfg(parse_process(source)).validate()
+        # ...and much smaller than a typical generated one.
+        assert source.count(";") <= 12
+
+
+class TestFuzzCLI:
+    def test_subcommand_writes_reports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["fuzz", "--count", "1", "--seed", "0", "--passes", "4",
+                     "--laxities", "1.0", "--max-ops", "8",
+                     "--results-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "fuzz.json").read_text())
+        assert payload["ok"] is True
+        assert payload["count"] == 1
+        assert payload["rows"][0]["status"] == "ok"
+        assert (tmp_path / "fuzz.csv").exists()
+        assert (tmp_path / "fuzz.md").exists()
+
+    def test_replay_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = generate_program(GenConfig(seed=3, ops_budget=8))
+        path = tmp_path / "repro.src"
+        path.write_text(program.source)
+        assert main(["fuzz", "--replay", str(path), "--passes", "4",
+                     "--laxities", "1.0"]) == 0
+
+    @pytest.mark.parametrize("argv", [
+        ["fuzz", "--count", "0"],
+        ["fuzz", "--count", "-3"],
+        ["fuzz", "--count", "x"],
+        ["fuzz", "--passes", "0"],
+        ["fuzz", "--laxities", "0.5"],
+        ["fuzz", "--laxities", ""],
+        ["fuzz", "--branch-density", "1.5"],
+        ["fuzz", "--max-ops", "0"],
+    ])
+    def test_bad_arguments_exit_2(self, argv, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_missing_replay_file_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--replay", str(tmp_path / "nope.src")]) == 2
+
+
+class TestCorpus:
+    """The pinned synth_N programs skip validation at import time; this
+    is where their round-trip invariant is actually enforced."""
+
+    def test_every_pinned_program_roundtrips(self):
+        from repro.genprog.corpus import SYNTH_SPECS, _program
+
+        for name in SYNTH_SPECS:
+            check_roundtrip(_program(name), n_passes=8, seed=0)
+
+    def test_corpus_is_registered_and_reachable(self):
+        from repro.benchmarks import get_benchmark
+        from repro.genprog.corpus import SYNTH_SPECS
+
+        for name in SYNTH_SPECS:
+            bench = get_benchmark(name)
+            assert bench.stimulus(3, seed=0) == bench.stimulus(3, seed=0)
+            inputs = bench.stimulus(1, seed=0)[0]
+            assert isinstance(bench.reference(**inputs), dict)
+
+
+class TestProgramFromSource:
+    def test_wraps_external_source(self):
+        program = generate_program(GenConfig(seed=2))
+        wrapped = program_from_source(program.source)
+        assert strip_positions(wrapped.process) == \
+            strip_positions(program.process)
+        assert wrapped.reference(**wrapped.stimulus(1, seed=0)[0])

@@ -49,13 +49,26 @@ if os.environ.get("HEADLINE_SMOKE"):
 
 BENCH_LOG = pathlib.Path(__file__).resolve().parent.parent / "BENCH_headline.json"
 
+#: Every pipeline stage with an incremental fast path.  Emitted explicitly
+#: (zeros included) in ``incremental_hits`` so trend tooling sees a stage
+#: losing its incremental coverage as a 0, not as a missing key.
+PIPELINE_STAGES = ("arch_build", "power_estimate", "replay", "schedule",
+                   "trace_merge")
+
+#: The checked-in trajectory keeps only this many most-recent records.
+MAX_RECORDS = 50
+
 
 def append_run_record(record: dict) -> None:
-    """Append one run record to the checked-in perf trajectory."""
+    """Append one run record to the checked-in perf trajectory.
+
+    The records list is capped at the most recent :data:`MAX_RECORDS`
+    entries so the checked-in file stays reviewable.
+    """
     log = {"records": []}
     if BENCH_LOG.exists():
         log = json.loads(BENCH_LOG.read_text(encoding="utf-8"))
-    log["records"].append(record)
+    log["records"] = (log.get("records", []) + [record])[-MAX_RECORDS:]
     BENCH_LOG.write_text(json.dumps(log, indent=1, sort_keys=True) + "\n",
                          encoding="utf-8")
 
@@ -108,9 +121,8 @@ def bench_headline(benchmark):
                           + totals["replay_hits"] + totals["replay_misses"])
     sched_replay_computes = totals["sched_misses"] + totals["replay_misses"]
     profile = totals["profile"]
-    incremental_hits = {stage: stats["incremental"]
-                        for stage, stats in profile.items()
-                        if stats.get("incremental")}
+    incremental_hits = {stage: profile.get(stage, {}).get("incremental", 0)
+                        for stage in PIPELINE_STAGES}
     metrics = {
         "bench": "headline",
         "benchmarks": list(NAMES),

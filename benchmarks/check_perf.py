@@ -2,12 +2,15 @@
 
 Compares the freshly measured headline run (``results/headline.json``,
 written by ``bench_headline.py``) against the checked-in perf trajectory
-(``BENCH_headline.json``): the baseline is the most recent *earlier*
-record covering the same benchmark set, and the gate fails when the
-current wall time exceeds ``--max-ratio`` (default 1.25, i.e. a >25 %
-regression).  Runs with no comparable baseline pass with a notice, so
-the first record on a new benchmark set seeds the trajectory instead of
-failing it.
+(``BENCH_headline.json``): the baseline is the **median of the last 3**
+earlier records matching the current run's mode (same ``smoke`` flag and
+benchmark set), and the gate fails when the current wall time exceeds
+``--max-ratio`` times that median (default 1.25, i.e. a >25 %
+regression).  A single-record comparison flakes on noisy runners; the
+median absorbs one outlier calibration run.  When the baseline file has
+no records matching the current mode, the gate fails with a clear
+message naming the mode — run the bench once in that mode to seed the
+trajectory (the CI job's calibration run does exactly this).
 
 Wall time is machine-dependent; the default ratio leaves headroom for
 runner jitter while still catching the order-of-magnitude mistakes
@@ -25,19 +28,31 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+#: How many recent matching records the baseline median is taken over.
+BASELINE_WINDOW = 3
 
-def find_baseline(records: list[dict], current: dict) -> dict | None:
-    """Most recent earlier record over the same benchmark set."""
+
+def find_baselines(records: list[dict], current: dict,
+                   window: int = BASELINE_WINDOW) -> list[dict]:
+    """The most recent earlier records matching the current run's mode.
+
+    A record matches when it covers the same benchmark set under the same
+    ``smoke`` flag — comparing a smoke run against a full run (or vice
+    versa) would measure the mode switch, not a regression.
+    """
     matches = [
         r for r in records
-        if r.get("benchmarks") == current.get("benchmarks")
+        if bool(r.get("smoke")) == bool(current.get("smoke"))
+        and r.get("benchmarks") == current.get("benchmarks")
         and r.get("recorded_at", "") < current.get("recorded_at", "")
+        and "wall_time_s" in r
     ]
-    return matches[-1] if matches else None
+    return matches[-window:]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -53,19 +68,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"perf gate: no baseline file {baseline_path}; passing (seed run)")
         return 0
     records = json.loads(baseline_path.read_text(encoding="utf-8")).get("records", [])
-    baseline = find_baseline(records, current)
-    if baseline is None:
-        print(f"perf gate: no earlier record for benchmarks "
-              f"{current.get('benchmarks')}; passing (seed run)")
-        return 0
+    baselines = find_baselines(records, current)
+    if not baselines:
+        print(f"perf gate: {baseline_path.name} has no records matching "
+              f"smoke={bool(current.get('smoke'))} benchmarks="
+              f"{current.get('benchmarks')} — run bench_headline.py once in "
+              "this mode to seed the trajectory before gating")
+        return 1
 
     wall = current["wall_time_s"]
-    base = baseline["wall_time_s"]
+    base = statistics.median(r["wall_time_s"] for r in baselines)
     ratio = wall / base if base else float("inf")
     verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
-    print(f"perf gate: current {wall:.2f}s vs baseline {base:.2f}s "
-          f"({baseline['recorded_at']}) -> {ratio:.2f}x [{verdict}, "
-          f"limit {args.max_ratio:.2f}x]")
+    window = ", ".join(f"{r['wall_time_s']:.2f}s" for r in baselines)
+    print(f"perf gate: current {wall:.2f}s vs median {base:.2f}s of last "
+          f"{len(baselines)} matching records [{window}] -> {ratio:.2f}x "
+          f"[{verdict}, limit {args.max_ratio:.2f}x]")
     if verdict == "REGRESSION":
         print("perf gate: headline wall time regressed by more than "
               f"{(args.max_ratio - 1.0):.0%} — see results/profile.json for "

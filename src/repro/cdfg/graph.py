@@ -41,6 +41,8 @@ class CDFG:
 
     _in_edges: dict[int, dict[int, Edge]] = field(default_factory=dict, repr=False)
     _out_edges: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
+    #: Memoized :meth:`in_edges` lists (data ports, sorted), per node.
+    _data_in: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
     _next_node_id: int = 0
     _next_region_id: int = 0
 
@@ -78,6 +80,7 @@ class CDFG:
         port_map[edge.dst_port] = edge
         self._out_edges.setdefault(edge.src, []).append(edge)
         self.edges.append(edge)
+        self._data_in.pop(edge.dst, None)
         return edge
 
     def add_region(self, region: Region) -> Region:
@@ -116,9 +119,19 @@ class CDFG:
                 f"node {self.nodes[node_id].name} has no edge on port {port}") from None
 
     def in_edges(self, node_id: int) -> list[Edge]:
-        """Data input edges of a node, sorted by port (control port excluded)."""
-        ports = self._in_edges.get(node_id, {})
-        return [ports[p] for p in sorted(ports) if p != CONTROL_PORT]
+        """Data input edges of a node, sorted by port (control port excluded).
+
+        Memoized per node — this accessor sits on the inner loops of
+        scheduling, replay, architecture wiring and bit-level simulation,
+        and the port map only changes through :meth:`add_edge` (which
+        invalidates the entry).  Callers must not mutate the list.
+        """
+        cached = self._data_in.get(node_id)
+        if cached is None:
+            ports = self._in_edges.get(node_id, {})
+            cached = [ports[p] for p in sorted(ports) if p != CONTROL_PORT]
+            self._data_in[node_id] = cached
+        return cached
 
     def control_edge(self, node_id: int) -> Edge | None:
         return self._in_edges.get(node_id, {}).get(CONTROL_PORT)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 
 class OpKind(enum.Enum):
@@ -132,16 +133,20 @@ class Node:
     const_shift: bool = False
     line: int = 0
 
-    @property
+    @cached_property
     def needs_fu(self) -> bool:
-        """True if this node must be bound to a functional unit."""
+        """True if this node must be bound to a functional unit.
+
+        Cached: ``kind``/``const_shift`` are fixed at construction, and
+        this sits on the inner loops of binding and power estimation.
+        """
         if self.kind in FU_KINDS:
             return not (self.kind in (OpKind.SHL, OpKind.SHR) and self.const_shift)
         return False
 
-    @property
+    @cached_property
     def is_schedulable(self) -> bool:
-        """True if the node occupies a slot in some STG state."""
+        """True if the node occupies a slot in some STG state (cached)."""
         if self.kind in STRUCTURAL_KINDS:
             return False
         return True

@@ -244,6 +244,24 @@ def cmd_bench(args) -> int:
                              n_passes=args.passes, seed=args.stimulus_seed,
                              search=_search_from_args(args))
     print(format_sweep(sweep))
+
+    # Per-stage incremental rates: how often each pipeline stage took its
+    # delta fast path instead of a full recomputation during this sweep.
+    stage_rows = []
+    for stage in sorted(sweep.profile):
+        stats = sweep.profile[stage]
+        calls, hits = stats["calls"], stats["incremental"]
+        stage_rows.append({
+            "stage": stage,
+            "calls": calls,
+            "incremental": hits,
+            "incremental_rate": f"{hits / calls:.1%}" if calls else "n/a",
+            "seconds": round(stats["seconds"], 3),
+        })
+    if stage_rows:
+        print(format_table(stage_rows, title="pipeline stages (incremental "
+                                             "fast-path hit rates)"))
+
     written = write_report(
         [p.row() for p in sweep.points],
         args.results_dir / f"bench_{args.benchmark}",
@@ -254,8 +272,17 @@ def cmd_bench(args) -> int:
                    sweep.max_power_reduction_vs_base(),
                "max_power_reduction_vs_a": sweep.max_power_reduction_vs_a(),
                "max_area_overhead": sweep.max_area_overhead(),
-               "mismatches": sweep.total_mismatches()})
-    print("reports: " + ", ".join(str(p) for p in written.values()))
+               "mismatches": sweep.total_mismatches(),
+               "incremental_rates": {
+                   r["stage"]: r["incremental_rate"] for r in stage_rows}})
+    written_stages = write_report(
+        stage_rows,
+        args.results_dir / f"bench_{args.benchmark}_stages",
+        title=f"repro bench {args.benchmark} — pipeline stage "
+              "incremental rates",
+        extra={"benchmark": args.benchmark})
+    print("reports: " + ", ".join(
+        str(p) for p in list(written.values()) + list(written_stages.values())))
     return 0 if sweep.total_mismatches() == 0 else 1
 
 

@@ -62,6 +62,10 @@ class Binding:
         self.carrier_to_reg: dict[str, int] = {}
         self._next_fu = 0
         self._next_reg = 0
+        # Lazily computed content signatures; every mutating method clears
+        # this (all edits flow through them), so a signature is computed at
+        # most once per binding state.
+        self._sig_memo: dict[str, tuple] = {}
 
     # -- construction ----------------------------------------------------------
 
@@ -79,6 +83,7 @@ class Binding:
         return binding
 
     def _add_fu(self, module: ModuleSpec, ops: set[int]) -> FUInstance:
+        self._sig_memo.clear()
         fu = FUInstance(id=self._next_fu, module=module, ops=set(ops))
         fu.width = max(op_width(self.cdfg, op) for op in ops)
         self._next_fu += 1
@@ -88,6 +93,7 @@ class Binding:
         return fu
 
     def _add_reg(self, width: int, carriers: set[str]) -> RegInstance:
+        self._sig_memo.clear()
         reg = RegInstance(id=self._next_reg, width=width, carriers=set(carriers))
         self._next_reg += 1
         self.regs[reg.id] = reg
@@ -144,6 +150,9 @@ class Binding:
         traces for the same CDFG, options and trace store; the memo tables
         in :mod:`repro.core.cache` key on it.
         """
+        got = self._sig_memo.get("full")
+        if got is not None:
+            return got
         fus = tuple(
             (fu_id, fu.module.name, fu.width, tuple(sorted(fu.ops)))
             for fu_id, fu in sorted(self.fus.items())
@@ -152,7 +161,9 @@ class Binding:
             (reg_id, reg.width, tuple(sorted(reg.carriers)))
             for reg_id, reg in sorted(self.regs.items())
         )
-        return (fus, regs)
+        got = (fus, regs)
+        self._sig_memo["full"] = got
+        return got
 
     def merge_signature(self) -> tuple:
         """Content signature of exactly what trace merging reads (hashable).
@@ -164,6 +175,9 @@ class Binding:
         share one merged-trace object.  Instance ids are included: they
         key streams and datapath ports.
         """
+        got = self._sig_memo.get("merge")
+        if got is not None:
+            return got
         fus = tuple(
             (fu_id, fu.width, tuple(sorted(fu.ops)))
             for fu_id, fu in sorted(self.fus.items())
@@ -172,7 +186,9 @@ class Binding:
             (reg_id, reg.width, tuple(sorted(reg.carriers)))
             for reg_id, reg in sorted(self.regs.items())
         )
-        return (fus, regs)
+        got = (fus, regs)
+        self._sig_memo["merge"] = got
+        return got
 
     def schedule_signature(self) -> tuple:
         """Id-free signature of exactly what scheduling reads (hashable).
@@ -185,6 +201,9 @@ class Binding:
         construction re-resolves units from its own binding).  Bindings
         that differ only in id numbering therefore share one memoized STG.
         """
+        got = self._sig_memo.get("schedule")
+        if got is not None:
+            return got
         fus = tuple(sorted(
             (fu.module.name, fu.width, tuple(sorted(fu.ops)))
             for fu in self.fus.values()
@@ -193,7 +212,9 @@ class Binding:
             (reg.width, tuple(sorted(reg.carriers)))
             for reg in self.regs.values()
         ))
-        return (fus, regs)
+        got = (fus, regs)
+        self._sig_memo["schedule"] = got
+        return got
 
     def validate(self) -> None:
         """Every FU op must be bound to a module that implements it."""
@@ -223,6 +244,7 @@ class Binding:
         """Move every op of ``absorb`` onto ``keep`` (resource sharing)."""
         if keep == absorb:
             raise BindingError("cannot merge an FU with itself")
+        self._sig_memo.clear()
         fu_keep = self.fus[keep]
         fu_absorb = self.fus.pop(absorb)
         fu_keep.ops |= fu_absorb.ops
@@ -244,6 +266,7 @@ class Binding:
             raise BindingError("split must move a strict non-empty subset of ops")
         if not ops_out <= fu.ops:
             raise BindingError("split ops are not all on the source FU")
+        self._sig_memo.clear()
         fu.ops -= ops_out
         fu.width = max(op_width(self.cdfg, op) for op in fu.ops)
         return self._add_fu(fu.module, ops_out)
@@ -255,12 +278,14 @@ class Binding:
         if not module.implements_all(kinds):
             raise BindingError(
                 f"module {module.name} cannot implement {sorted(k.value for k in kinds)}")
+        self._sig_memo.clear()
         fu.module = module
 
     def merge_regs(self, keep: int, absorb: int) -> None:
         """Store ``absorb``'s variables in ``keep`` (register sharing)."""
         if keep == absorb:
             raise BindingError("cannot merge a register with itself")
+        self._sig_memo.clear()
         reg_keep = self.regs[keep]
         reg_absorb = self.regs.pop(absorb)
         reg_keep.carriers |= reg_absorb.carriers
@@ -275,6 +300,7 @@ class Binding:
             raise BindingError("split must move a strict non-empty subset of carriers")
         if not carriers_out <= reg.carriers:
             raise BindingError("split carriers are not all in the source register")
+        self._sig_memo.clear()
         reg.carriers -= carriers_out
         reg.width = max(self.cdfg.var_types[c][0] for c in reg.carriers)
         width = max(self.cdfg.var_types[c][0] for c in carriers_out)

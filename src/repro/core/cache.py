@@ -10,7 +10,17 @@ keys each stage on a content signature of exactly its inputs:
 * **schedule** — (CDFG id, binding signature, schedule options);
 * **replay**   — (trace-store id, CDFG id, STG signature);
 * **traces**   — (trace-store id, CDFG id, binding signature, STG
-  signature, clock period).
+  signature, clock period);
+* **design**   — (CDFG id, trace-store id, options, binding signature,
+  STG signature, mux tree policy) -> the whole derived
+  :class:`~repro.core.design.DesignPoint`.  The search revisits
+  candidates constantly (the same move from the same point in a later
+  iteration, or the same binding reached along two move orders), and a
+  revisited point's architecture, merged traces and power estimate are
+  already materialized — a hit skips the entire evaluation pipeline.
+  Rescheduling derivations drop the STG term: the schedule is itself a
+  function of (CDFG, binding, options), so the binding signature alone
+  determines the point.
 
 All cached values are immutable once published (STG states, replay arrays
 and merged traces are never mutated after construction — per-architecture
@@ -92,7 +102,7 @@ class MemoTable:
 
 
 class SynthesisCache:
-    """The three memo tables of the synthesis pipeline, plus counters.
+    """The four memo tables of the synthesis pipeline, plus counters.
 
     One instance is owned by a :class:`~repro.core.engine.SynthesisEngine`
     (or created ad hoc by :func:`~repro.core.impact.synthesize`) and
@@ -105,10 +115,11 @@ class SynthesisCache:
         self.schedule = MemoTable("schedule", enabled)
         self.replay = MemoTable("replay", enabled)
         self.traces = MemoTable("traces", enabled)
+        self.designs = MemoTable("design", enabled)
 
     @property
     def tables(self) -> tuple[MemoTable, ...]:
-        return (self.schedule, self.replay, self.traces)
+        return (self.schedule, self.replay, self.traces, self.designs)
 
     def total_hits(self) -> int:
         return sum(t.stats.hits for t in self.tables)

@@ -191,25 +191,78 @@ class DesignPoint:
 
         ``dirty`` is the applying move's declaration of what it touched;
         for non-rescheduling moves it enables the incremental evaluation
-        path.  Passing no dirty set (or a rescheduling one) falls back to
-        full evaluation.
+        path.  For rescheduling moves a dirty set with ``reschedule``
+        (see :meth:`DirtySet.for_reschedule`) enables *incremental
+        rescheduling*: the scheduler replays this point's recorded
+        fragment scripts where the binding edit left their fingerprints
+        intact, and replay reuses this point's per-pass traces for passes
+        avoiding re-scheduled states — both bit-identical to the full
+        path.  Passing no dirty set falls back to full evaluation.
         """
+        memo = self.cache.designs if self.cache is not None else None
         if reschedule:
-            stg = schedule(self.cdfg, binding, self.options, cache=self.cache)
-            rep = replay(stg, self.cdfg, self.store, cache=self.cache)
-            dirty = None
+            # The schedule is a function of (CDFG, binding, options), so
+            # the binding signature alone keys the derived point — a hit
+            # skips scheduling and replay entirely.  A disabled memo
+            # still counts the derivation as a miss, keeping cached and
+            # uncached miss counters comparable.
+            if memo is not None:
+                key = (id(self.cdfg), id(self.store), self.options,
+                       binding.signature(), self.tree_policy, True)
+                return memo.get_or_compute(
+                    key, lambda: self._derive_rescheduled(binding, dirty))
+            return self._derive_rescheduled(binding, dirty)
+        # A non-rescheduling derivation keeps this point's STG, which is
+        # a product of its move history, not of ``binding`` — the key
+        # needs the STG signature too.
+        if memo is not None:
+            key = (id(self.cdfg), id(self.store), self.options,
+                   binding.signature(), self.tree_policy, False,
+                   self.stg.signature())
+            return memo.get_or_compute(
+                key, lambda: self._derive_rebound(binding, dirty))
+        return self._derive_rebound(binding, dirty)
+
+    def _derive_rescheduled(self, binding: Binding,
+                            dirty: DirtySet | None) -> "DesignPoint":
+        use_parent = (self.incremental and dirty is not None
+                      and dirty.reschedule)
+        stg = schedule(self.cdfg, binding, self.options, cache=self.cache,
+                       parent=self.stg if use_parent else None)
+        rep = replay(stg, self.cdfg, self.store, cache=self.cache,
+                     parent=(self.stg, self.rep) if use_parent else None)
+        # A rescheduling move usually perturbs only unit assignment,
+        # not timing: when the new STG is replay-equivalent to the
+        # parent's (same states, durations, op placements and
+        # transitions — only ``op.fu`` may differ), every lifetime
+        # is unchanged and the named units are the only dirty ones,
+        # so the architecture/traces/power can be *derived* exactly
+        # as for a non-rescheduling move instead of rebuilt.
+        if (use_parent and
+                stg.replay_signature() == self.stg.replay_signature()):
+            dirty = DirtySet(fu_ids=dirty.fu_ids, reg_ids=dirty.reg_ids,
+                             port_keys=dirty.port_keys)
         else:
-            stg = self.stg
-            rep = self.rep
+            dirty = None
         derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
                               binding, stg, rep, self.tree_policy,
                               cache=self.cache, parent=self, dirty=dirty,
                               incremental=self.incremental)
-        if reschedule:
-            derived.check_register_sharing()
-        else:
-            # Liveness depends only on (CDFG, STG), both shared.
+        if dirty is not None:
+            # Replay-equivalent STG: liveness is a function of the
+            # STG's replay content, so the parent's solve is exact.
             derived._liveness = self._liveness
+        derived.check_register_sharing()
+        return derived
+
+    def _derive_rebound(self, binding: Binding,
+                        dirty: DirtySet | None) -> "DesignPoint":
+        derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
+                              binding, self.stg, self.rep, self.tree_policy,
+                              cache=self.cache, parent=self, dirty=dirty,
+                              incremental=self.incremental)
+        # Liveness depends only on (CDFG, STG), both shared.
+        derived._liveness = self._liveness
         return derived
 
     def check_register_sharing(self) -> None:
@@ -233,6 +286,19 @@ class DesignPoint:
     def with_tree_policy(self, port_key: tuple) -> "DesignPoint":
         """Derive a new point with one more Huffman-restructured mux tree."""
         policy = self.tree_policy | {port_key}
+        memo = self.cache.designs if self.cache is not None else None
+        if memo is not None:
+            # Same key space as the non-rescheduling binding derivation:
+            # (binding, STG, policy) determine the point either way.
+            key = (id(self.cdfg), id(self.store), self.options,
+                   self.binding.signature(), policy, False,
+                   self.stg.signature())
+            return memo.get_or_compute(
+                key, lambda: self._derive_policy(policy, port_key))
+        return self._derive_policy(policy, port_key)
+
+    def _derive_policy(self, policy: frozenset,
+                       port_key: tuple) -> "DesignPoint":
         derived = DesignPoint(self.cdfg, self.library, self.store, self.options,
                               self.binding, self.stg, self.rep, policy,
                               cache=self.cache, parent=self,

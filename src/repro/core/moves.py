@@ -75,13 +75,17 @@ class ShareFU(Move):
         return ("share_fu", self.keep, self.absorb, self.module_name)
 
     def affected(self, design: DesignPoint) -> DirtySet:
-        return DirtySet.full()  # re-schedules: every port and lifetime moves
+        # Re-schedules — every port and lifetime may move — but only the
+        # merged units' regions actually change, so the schedule/replay
+        # layer can reuse the parent's untouched fragments and passes.
+        return DirtySet.for_reschedule(self.keep, self.absorb)
 
     def apply(self, design: DesignPoint) -> DesignPoint:
         binding = design.binding.clone()
         module = design.library.get(self.module_name)
         binding.merge_fus(self.keep, self.absorb, module)
-        return design.with_binding(binding, reschedule=True)
+        return design.with_binding(binding, reschedule=True,
+                                   dirty=self.affected(design))
 
 
 @dataclass(frozen=True)
@@ -131,7 +135,9 @@ class SubstituteModule(Move):
         if new_delay > old_delay and candidate.arch.check_timing():
             # Slower module broke a state's cycle window: re-schedule
             # (the paper re-schedules exactly on cycle-time violations).
-            candidate = design.with_binding(binding, reschedule=True)
+            candidate = design.with_binding(
+                binding, reschedule=True,
+                dirty=DirtySet.for_reschedule(self.fu))
         return candidate
 
 
@@ -224,9 +230,10 @@ def generate_moves(design: DesignPoint) -> list[Move]:
     library = design.library
 
     fu_ids = sorted(binding.fus)
+    kind_sets = {fu_id: binding.fus[fu_id].kinds(cdfg) for fu_id in fu_ids}
     for i, a in enumerate(fu_ids):
         for b in fu_ids[i + 1:]:
-            kinds = binding.fus[a].kinds(cdfg) | binding.fus[b].kinds(cdfg)
+            kinds = kind_sets[a] | kind_sets[b]
             width = max(binding.fus[a].width, binding.fus[b].width)
             candidates = library.candidates(kinds)
             if not candidates:
@@ -240,7 +247,7 @@ def generate_moves(design: DesignPoint) -> list[Move]:
         if len(fu.ops) >= 2:
             for op in sorted(fu.ops):
                 moves.append(SplitFU(fu_id, op))
-        kinds = fu.kinds(cdfg)
+        kinds = kind_sets[fu_id]
         for alt in library.alternatives(fu.module, kinds):
             moves.append(SubstituteModule(fu_id, alt.name))
 

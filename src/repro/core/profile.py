@@ -25,6 +25,18 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class StageToken:
+    """Mutable marker yielded by :meth:`Profiler.stage`.
+
+    Stages that only discover mid-flight whether they took the
+    incremental path (schedule fragment replay, per-pass replay reuse)
+    set ``incremental`` on the token before the block exits.
+    """
+
+    incremental: bool = False
+
+
+@dataclass
 class StageStats:
     """Accumulated timing of one pipeline stage."""
 
@@ -52,10 +64,17 @@ class Profiler:
 
     @contextmanager
     def stage(self, name: str, incremental: bool = False):
-        """Time one stage execution (``incremental`` marks a delta path)."""
+        """Time one stage execution (``incremental`` marks a delta path).
+
+        Yields a :class:`StageToken`; a stage that only knows *after* the
+        fact whether it short-circuited (e.g. schedule fragment replay)
+        may set ``token.incremental`` inside the block instead of passing
+        the flag up front.
+        """
+        token = StageToken(incremental=incremental)
         t0 = time.perf_counter()
         try:
-            yield
+            yield token
         finally:
             elapsed = time.perf_counter() - t0
             with self._lock:
@@ -64,7 +83,7 @@ class Profiler:
                     stats = self._stages[name] = StageStats()
                 stats.calls += 1
                 stats.seconds += elapsed
-                if incremental:
+                if token.incremental:
                     stats.incremental += 1
 
     # -- windows ---------------------------------------------------------------

@@ -24,7 +24,7 @@ from repro.benchmarks import get_benchmark
 from repro.core.design import equal_throughput_vdd
 from repro.core.engine import SynthesisEngine, SynthesisResult
 from repro.core.search import SearchConfig
-from repro.gatesim import simulate_architecture
+from repro.gatesim import rescale_result, simulate_architecture
 from repro.sched.engine import ScheduleOptions
 
 #: The paper's laxity grid (Figure 13 x-axis).
@@ -144,6 +144,12 @@ def run_laxity_sweep(
     profile_window = PROFILER.snapshot()
     prev_area = None
     prev_power = None
+    # One 5 V gatesim measurement per distinct architecture for the whole
+    # sweep: warm starts make consecutive laxity points converge on the
+    # same designs, and every other supply point is an exact Vdd^2
+    # rescaling of the 5 V run (see :func:`rescale_result`).  Entries pin
+    # the architecture object so an ``id()`` is never reused while cached.
+    sim_cache: dict[int, tuple[object, object]] = {}
     for laxity in laxities:
         # Warm-starting from the previous laxity point keeps the curves
         # monotone (any design feasible at L is feasible at L' > L); the
@@ -162,15 +168,28 @@ def run_laxity_sweep(
         prev_power = power_res.design
         sweep.evaluations += (area_res.history.evaluations
                               + power_res.history.evaluations)
-        sweep.points.append(_measure_point(laxity, area_res, power_res, stimulus))
+        sweep.points.append(_measure_point(laxity, area_res, power_res,
+                                           stimulus, sim_cache))
     sweep.cache_stats = engine.cache.stats()
     sweep.profile = PROFILER.window(profile_window)
     return sweep
 
 
+def _sim_5v(arch, stimulus, expected, sim_cache: dict):
+    """The 5 V measurement of one architecture, memoized per sweep."""
+    entry = sim_cache.get(id(arch))
+    if entry is None or entry[0] is not arch:
+        entry = (arch, simulate_architecture(arch, stimulus,
+                                             expected_outputs=expected,
+                                             vdd=5.0))
+        sim_cache[id(arch)] = entry
+    return entry[1]
+
+
 def _measure_point(laxity: float, area_res: SynthesisResult,
                    power_res: SynthesisResult,
-                   stimulus: list[dict[str, int]]) -> LaxityPoint:
+                   stimulus: list[dict[str, int]],
+                   sim_cache: dict) -> LaxityPoint:
     store = area_res.store
     a_eval = area_res.design.evaluate()
     i_eval = power_res.design.evaluate()
@@ -181,12 +200,11 @@ def _measure_point(laxity: float, area_res: SynthesisResult,
     a_vdd = equal_throughput_vdd(a_eval, budget)
     i_vdd = equal_throughput_vdd(i_eval, budget)
 
-    base = simulate_architecture(area_res.design.arch, stimulus,
-                                 expected_outputs=store.outputs, vdd=5.0)
-    a_meas = simulate_architecture(area_res.design.arch, stimulus,
-                                   expected_outputs=store.outputs, vdd=a_vdd)
-    i_meas = simulate_architecture(power_res.design.arch, stimulus,
-                                   expected_outputs=store.outputs, vdd=i_vdd)
+    base = _sim_5v(area_res.design.arch, stimulus, store.outputs, sim_cache)
+    a_meas = rescale_result(base, a_vdd)
+    i_meas = rescale_result(
+        _sim_5v(power_res.design.arch, stimulus, store.outputs, sim_cache),
+        i_vdd)
 
     # Equal-throughput comparison: every design gets `budget` cycles of
     # real time per pass, so powers are energies-per-pass over a shared

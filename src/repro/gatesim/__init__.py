@@ -11,6 +11,10 @@ propagation, controller state bits, clock load, and arrival-skew glitches —
 and reports power with a per-component breakdown.
 """
 
-from repro.gatesim.simulator import GateSimResult, simulate_architecture
+from repro.gatesim.simulator import (
+    GateSimResult,
+    rescale_result,
+    simulate_architecture,
+)
 
-__all__ = ["GateSimResult", "simulate_architecture"]
+__all__ = ["GateSimResult", "rescale_result", "simulate_architecture"]

@@ -62,10 +62,48 @@ class GateSimResult:
     #: the conformance harness diffs this against the HDL netlist's FSM
     #: trace when cycle counts diverge.
     state_seq: list[list[int]] | None = None
+    #: Switched capacitance per component, before the ``Vdd^2`` scaling —
+    #: the Vdd-independent half of the measurement (see
+    #: :func:`rescale_result`).
+    raw_breakdown: dict[str, float] | None = None
+    #: Simulated time in ns (total cycles x clock period).
+    time_ns: float = 0.0
 
     @property
     def enc(self) -> float:
         return float(self.cycles.mean()) if self.cycles.size else 0.0
+
+
+def rescale_result(result: GateSimResult, vdd: float) -> GateSimResult:
+    """Re-measure a simulated design at another supply voltage — for free.
+
+    Switching activity is a function of the data, not of the supply:
+    ``Vdd`` enters the measurement only as the ``Vdd^2`` factor on every
+    switched-capacitance term.  The simulator therefore accumulates raw
+    capacitance and applies ``Vdd^2`` once at the end — which makes this
+    rescaling *bit-identical* to re-running :func:`simulate_architecture`
+    at ``vdd``: both compute ``raw x Vdd^2 / time`` from the same raw
+    sums.  Cycle counts, outputs and mismatches are shared unchanged.
+    """
+    if result.raw_breakdown is None:
+        raise ArchitectureError("result carries no raw breakdown; re-simulate")
+    v2 = vdd * vdd
+    time_ns = result.time_ns
+    if time_ns > 0:
+        breakdown = {k: v * v2 / time_ns for k, v in result.raw_breakdown.items()}
+    else:
+        breakdown = {k: 0.0 for k in result.raw_breakdown}
+    return GateSimResult(
+        power_mw=breakdown["total"],
+        breakdown=breakdown,
+        cycles=result.cycles,
+        total_cycles=result.total_cycles,
+        output_mismatches=result.output_mismatches,
+        outputs=result.outputs,
+        state_seq=result.state_seq,
+        raw_breakdown=result.raw_breakdown,
+        time_ns=time_ns,
+    )
 
 
 class _TreeState:
@@ -92,7 +130,7 @@ class _TreeState:
         if self.port.tree is None:
             return 0
         toggles = 0
-        pattern = to_unsigned(value, width)
+        pattern = value & ((1 << width) - 1)
         for node in self.paths[source]:
             old = self.node_values.get(node, 0)
             toggles += (old ^ pattern).bit_count()
@@ -149,10 +187,20 @@ class _GateSim:
             for sid, state in arch.stg.states.items()
         }
         self._reg_widths = {r.id: r.width for r in arch.binding.regs.values()}
+        # Precomputed all-ones masks: ``x & mask`` is to_unsigned() with
+        # the per-call width lookup and function dispatch hoisted out of
+        # the toggle-counting inner loops.
+        self._reg_masks = {r: (1 << w) - 1 for r, w in self._reg_widths.items()}
+        self._tmp_masks = {n: (1 << w) - 1
+                           for n, w in arch.datapath.tmp_regs.items()}
+        self._fu_masks = {f.id: (1 << f.width) - 1
+                          for f in arch.binding.fus.values()}
+        #: Per-state execution plans, built lazily (see :meth:`_plan_state`).
+        self._state_plan: dict[int, list] = {}
         total_reg_bits = sum(self._reg_widths.values()) + \
             sum(arch.datapath.tmp_regs.values())
-        self._clock_energy_per_cycle = (
-            total_reg_bits * REGISTER_CLOCK_CAP_PER_BIT * self.v2)
+        self._clock_cap_per_cycle = (
+            total_reg_bits * REGISTER_CLOCK_CAP_PER_BIT)
 
     # -- value plumbing ------------------------------------------------------------
 
@@ -178,38 +226,68 @@ class _GateSim:
 
     # -- per-state execution ----------------------------------------------------------
 
-    def _execute_state(self, state_id: int, chain_values: dict,
-                       pins: dict[str, int]) -> dict[str, int]:
+    def _plan_state(self, state_id: int) -> list:
+        """Resolve everything value-independent about a state's ops once.
+
+        Source resolution (:func:`edge_source`), unit/register bindings
+        and mux-tree lookups depend only on (architecture, state) — not
+        on the data — so each visited state is planned on first visit
+        and every later visit replays the plan against live values.
+        """
         arch = self.arch
         cdfg = arch.cdfg
-        pending_reg: dict[int, tuple[int, int]] = {}
-        pending_tmp: dict[int, int] = {}
-
+        plan = []
         for sched_op in self._ordered_ops[state_id]:
             node = cdfg.node(sched_op.node)
-            ins = []
-            sample_ports = []
+            fu = arch.binding.fu_of(node.id) if node.needs_fu else None
+            srcs = []
             for k, edge in enumerate(cdfg.in_edges(node.id)):
                 source = edge_source(arch, edge, state_id)
-                value = self._source_value(source, chain_values, pins)
-                ins.append(value)
-                if node.needs_fu:
-                    sample_ports.append((("fu_in", arch.binding.fu_of(node.id).id, k),
-                                         source, value, edge.width))
-            out = _wrap(Interpreter._compute(node, tuple(ins)), node.width, node.signed)
-            chain_values[node.id] = out
-            if node.needs_fu:
-                fu = arch.binding.fu_of(node.id)
-                chain_values[("fu_chain", fu.id)] = out
-                self._account_fu(fu, node, ins, out, sched_op)
-                for key, source, value, width in sample_ports:
-                    tree = self.trees.get(key)
-                    if tree is not None:
-                        toggles = tree.sample(source, value, width)
-                        self.energy.muxes += toggles * MUX_CAP_PER_BIT * self.v2
-
+                ftree = self.trees.get(("fu_in", fu.id, k)) if fu is not None \
+                    else None
+                srcs.append((source, edge.width, ftree))
+            reg = None
+            reg_driver = None
+            is_tmp = False
             if node.carrier is not None:
                 reg = arch.binding.reg_of(node.carrier)
+                tree = self.trees.get(("reg_in", reg.id))
+                if tree is not None:
+                    port = arch.datapath.port(("reg_in", reg.id))
+                    reg_driver = (tree, port.drivers[(node.id, state_id)])
+            else:
+                is_tmp = node.id in arch.datapath.tmp_regs
+            plan.append((sched_op, node, fu, srcs, reg, reg_driver, is_tmp))
+        return plan
+
+    def _execute_state(self, state_id: int, chain_values: dict,
+                       pins: dict[str, int]) -> dict[str, int]:
+        pending_reg: dict[int, tuple[int, int]] = {}
+        pending_tmp: dict[int, int] = {}
+        plan = self._state_plan.get(state_id)
+        if plan is None:
+            plan = self._plan_state(state_id)
+            self._state_plan[state_id] = plan
+
+        source_value = self._source_value
+        for sched_op, node, fu, srcs, reg, reg_driver, is_tmp in plan:
+            ins = []
+            sample_ports = []
+            for source, width, ftree in srcs:
+                value = source_value(source, chain_values, pins)
+                ins.append(value)
+                if ftree is not None:
+                    sample_ports.append((ftree, source, value, width))
+            out = _wrap(Interpreter._compute(node, tuple(ins)), node.width, node.signed)
+            chain_values[node.id] = out
+            if fu is not None:
+                chain_values[("fu_chain", fu.id)] = out
+                self._account_fu(fu, node, ins, out, sched_op)
+                for ftree, source, value, width in sample_ports:
+                    toggles = ftree.sample(source, value, width)
+                    self.energy.muxes += toggles * MUX_CAP_PER_BIT
+
+            if reg is not None:
                 previous = pending_reg.get(reg.id)
                 if previous is not None and previous[0] != out:
                     raise ArchitectureError(
@@ -217,62 +295,58 @@ class _GateSim:
                         f"with conflicting values (nodes {previous[1]} and "
                         f"{node.id}) — illegal register sharing")
                 pending_reg[reg.id] = (out, node.id)
-                key = ("reg_in", reg.id)
-                tree = self.trees.get(key)
-                if tree is not None:
-                    port = arch.datapath.port(key)
-                    source = port.drivers[(node.id, state_id)]
+                if reg_driver is not None:
+                    tree, source = reg_driver
                     toggles = tree.sample(source, out, reg.width)
-                    self.energy.muxes += toggles * MUX_CAP_PER_BIT * self.v2
-            elif node.id in arch.datapath.tmp_regs:
+                    self.energy.muxes += toggles * MUX_CAP_PER_BIT
+            elif is_tmp:
                 pending_tmp[node.id] = out
 
         # Commit register writes at state end.
         for reg_id, (value, _writer) in pending_reg.items():
             old = self.regs[reg_id]
-            width = self._reg_widths[reg_id]
-            toggles = (to_unsigned(old, width) ^ to_unsigned(value, width)).bit_count()
-            self.energy.registers += toggles * REGISTER_CAP_PER_BIT * self.v2
+            toggles = ((old ^ value) & self._reg_masks[reg_id]).bit_count()
+            self.energy.registers += toggles * REGISTER_CAP_PER_BIT
             self.regs[reg_id] = value
         for node_id, value in pending_tmp.items():
-            width = self.arch.datapath.tmp_regs[node_id]
             old = self.tmps[node_id]
-            toggles = (to_unsigned(old, width) ^ to_unsigned(value, width)).bit_count()
-            self.energy.registers += toggles * REGISTER_CAP_PER_BIT * self.v2
+            toggles = ((old ^ value) & self._tmp_masks[node_id]).bit_count()
+            self.energy.registers += toggles * REGISTER_CAP_PER_BIT
             self.tmps[node_id] = value
         return chain_values
 
     def _account_fu(self, fu, node, ins: list[int], out: int, sched_op) -> None:
         width = fu.width
+        mask = self._fu_masks[fu.id]
+        # Port values are held as unsigned bit patterns (already masked),
+        # so re-presenting a held value toggles nothing, as before.
         ports = self.fu_ports[fu.id]
         toggles_in = 0
         for k in range(2):
-            value = ins[k] if k < len(ins) else ports[k]
-            toggles_in += (to_unsigned(ports[k], width)
-                           ^ to_unsigned(value, width)).bit_count()
-            ports[k] = value
-        toggles_out = (to_unsigned(ports[2], width)
-                       ^ to_unsigned(out, width)).bit_count()
-        ports[2] = out
+            pattern = (ins[k] & mask) if k < len(ins) else ports[k]
+            toggles_in += (ports[k] ^ pattern).bit_count()
+            ports[k] = pattern
+        out_pattern = out & mask
+        toggles_out = (ports[2] ^ out_pattern).bit_count()
+        ports[2] = out_pattern
 
         internal = 0.0
         if node.kind in (OpKind.ADD, OpKind.SUB):
             a = ins[0] if len(ins) > 0 else 0
             b = ins[1] if len(ins) > 1 else 0
-            carry = to_unsigned(a + b, width) ^ to_unsigned(a, width) ^ to_unsigned(b, width)
+            carry = ((a + b) & mask) ^ (a & mask) ^ (b & mask)
             old_carry = self.fu_carry[fu.id]
             internal = 0.5 * (old_carry ^ carry).bit_count() / width
             self.fu_carry[fu.id] = carry
         elif node.kind is OpKind.MUL:
-            a = to_unsigned(ins[0], width)
-            b = to_unsigned(ins[1], width)
-            internal = (a.bit_count() + b.bit_count()) / (2.0 * width)
+            internal = ((ins[0] & mask).bit_count()
+                        + (ins[1] & mask).bit_count()) / (2.0 * width)
 
         port_activity = (toggles_in + 2.0 * toggles_out) / (4.0 * width)
         activity = FU_PORT_WEIGHT * port_activity + FU_INTERNAL_WEIGHT * internal
         glitch = skew_glitch_factor(max(0.0, sched_op.start))
         cap = scale_capacitance(fu.module, width)
-        self.energy.fus += cap * self.v2 * activity * glitch
+        self.energy.fus += cap * activity * glitch
 
     # -- controller -------------------------------------------------------------------
 
@@ -283,7 +357,7 @@ class _GateSim:
         ctrl = self.arch.controller
         self.energy.controller += (
             toggles * CAP_PER_STATE_BIT
-            + 0.25 * ctrl.n_outputs * CAP_PER_OUTPUT) * self.v2
+            + 0.25 * ctrl.n_outputs * CAP_PER_OUTPUT)
 
     # -- main loop ----------------------------------------------------------------------
 
@@ -309,12 +383,12 @@ class _GateSim:
                 old = self.regs[reg.id]
                 toggles = (to_unsigned(old, reg.width)
                            ^ to_unsigned(value, reg.width)).bit_count()
-                self.energy.registers += toggles * REGISTER_CAP_PER_BIT * self.v2
+                self.energy.registers += toggles * REGISTER_CAP_PER_BIT
                 self.regs[reg.id] = value
                 tree = self.trees.get(("reg_in", reg.id))
                 if tree is not None:
                     self.energy.muxes += tree.sample(("pin", node.carrier), value,
-                                                     reg.width) * MUX_CAP_PER_BIT * self.v2
+                                                     reg.width) * MUX_CAP_PER_BIT
 
             state_id = stg.start
             cycles = 0
@@ -330,7 +404,7 @@ class _GateSim:
                 self._execute_state(state_id, chain_values, pins)
                 self._account_controller(state_id)
                 self.energy.controller += 0.0
-                self.energy.registers += self._clock_energy_per_cycle * duration
+                self.energy.registers += self._clock_cap_per_cycle * duration
 
                 next_state = self._next_state(state_id, chain_values)
                 state_id = next_state
@@ -359,16 +433,24 @@ class _GateSim:
 
         total_cycles = int(np.sum(cycles_per_pass))
         time_ns = total_cycles * arch.clock_ns
-        breakdown = self.energy.breakdown()
-        power = breakdown["total"] / time_ns if time_ns > 0 else 0.0
+        # The accumulator holds switched capacitance; Vdd^2 scales it to
+        # energy here, in one place, so :func:`rescale_result` can derive
+        # any other supply point bit-identically from ``raw_breakdown``.
+        raw = self.energy.breakdown()
+        if time_ns > 0:
+            breakdown = {k: v * self.v2 / time_ns for k, v in raw.items()}
+        else:
+            breakdown = {k: 0.0 for k in raw}
         return GateSimResult(
-            power_mw=power,
-            breakdown={k: v / time_ns for k, v in breakdown.items()},
+            power_mw=breakdown["total"],
+            breakdown=breakdown,
             cycles=np.array(cycles_per_pass, dtype=np.int64),
             total_cycles=total_cycles,
             output_mismatches=mismatches,
             outputs={k: np.array(v, dtype=np.int64) for k, v in outputs.items()},
             state_seq=state_seq,
+            raw_breakdown=raw,
+            time_ns=time_ns,
         )
 
     def _next_state(self, state_id: int, chain_values: dict) -> int:

@@ -17,6 +17,7 @@ class ModuleLibrary:
         self._by_name = {m.name: m for m in self._modules}
         if len(self._by_name) != len(self._modules):
             raise LibraryError("duplicate module names in library")
+        self._cand_memo: dict[frozenset, list[ModuleSpec]] = {}
 
     def __iter__(self):
         return iter(self._modules)
@@ -31,9 +32,16 @@ class ModuleLibrary:
             raise LibraryError(f"no module named {name!r}") from None
 
     def candidates(self, kinds: frozenset[OpKind] | set[OpKind]) -> list[ModuleSpec]:
-        """Modules implementing every op kind in ``kinds``."""
+        """Modules implementing every op kind in ``kinds``, memoized.
+
+        The library is immutable, so each distinct kind set is scanned
+        once; callers must not mutate the returned list.
+        """
         kinds = frozenset(kinds)
-        found = [m for m in self._modules if m.implements_all(kinds)]
+        found = self._cand_memo.get(kinds)
+        if found is None:
+            found = [m for m in self._modules if m.implements_all(kinds)]
+            self._cand_memo[kinds] = found
         return found
 
     def fastest(self, kinds: frozenset[OpKind] | set[OpKind], width: int) -> ModuleSpec:

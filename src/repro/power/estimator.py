@@ -202,8 +202,8 @@ def _estimate(arch: Architecture, traces: UnitTraces, vdd: float,
                 and port.key in reuse._port_energy):
             energy = reuse._port_energy[port.key]
         else:
-            annotated = port.tree.with_stats({key: (a, p) for key, a, p in stats})
-            activity = annotated.tree_activity()
+            activity = port.tree.activity_with(
+                {key: (a, p) for key, a, p in stats})
             energy = activity * port.width * MUX_CAP_PER_BIT * v2 * samples
         estimate._port_energy[port.key] = energy
         estimate.per_port[port.key] = energy / time_ns

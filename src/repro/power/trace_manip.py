@@ -216,6 +216,14 @@ class _Merger:
             return FUStream(
                 fu.id, fu.width, (np.zeros(0, np.int64), np.zeros(0, np.int64)),
                 np.zeros(0, np.int64), 0.0)
+        if len(parts) == 1:
+            # Single-op unit (the common case under the fully-parallel
+            # start): replay emits occurrences in strictly increasing
+            # cycle order, so the lexsort is the identity and every
+            # input column is fully valid — the stream is the trace.
+            _op, occ, _cycles, starts = parts[0]
+            chained = float((starts > 0.0).mean()) if starts.size else 0.0
+            return FUStream(fu.id, fu.width, tuple(occ.ins), occ.out, chained)
         cycles = np.concatenate([p[2] for p in parts])
         starts = np.concatenate([p[3] for p in parts])
         order = np.lexsort((starts, cycles))

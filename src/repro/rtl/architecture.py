@@ -59,6 +59,7 @@ class Architecture:
     chain_overhead: float = CHAIN_OVERHEAD
     _state_paths: dict[int, float] = field(default_factory=dict, repr=False)
     _durations: dict[int, int] = field(default_factory=dict, repr=False)
+    _area: float | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         # Per-architecture state durations: the scheduler's estimates are
@@ -86,12 +87,20 @@ class Architecture:
         """
         import math
 
+        ceil = math.ceil
+        paths = self._state_paths
+        durations = self._durations
+        clock = self.clock_ns
         changed = False
-        for state in self.stg.states.values():
-            path = self.state_critical_path(state.id)
-            needed = max(1, math.ceil(path / self.clock_ns - 1e-9))
-            if needed != self._durations[state.id]:
-                self._durations[state.id] = needed
+        for sid in self.stg.states:
+            path = paths.get(sid)
+            if path is None:
+                path = self.state_critical_path(sid)
+            needed = ceil(path / clock - 1e-9)
+            if needed < 1:
+                needed = 1
+            if needed != durations[sid]:
+                durations[sid] = needed
                 changed = True
         return changed
 
@@ -168,9 +177,14 @@ class Architecture:
     def check_timing(self) -> list[TimingViolation]:
         """All states whose real path exceeds their cycle window."""
         violations: list[TimingViolation] = []
+        paths = self._state_paths
+        durations = self._durations
+        clock = self.clock_ns
         for state in self.stg.states.values():
-            budget = self.state_duration(state.id) * self.clock_ns
-            path = self.state_critical_path(state.id)
+            budget = durations[state.id] * clock
+            path = paths.get(state.id)
+            if path is None:
+                path = self.state_critical_path(state.id)
             if path > budget + 1e-6:
                 worst = max(state.ops, key=lambda op: op.end, default=None)
                 violations.append(TimingViolation(
@@ -181,11 +195,18 @@ class Architecture:
     def worst_slack_ratio(self) -> float:
         """min over states of (cycle window / real critical path)."""
         worst = float("inf")
+        paths = self._state_paths
+        durations = self._durations
+        clock = self.clock_ns
         for state in self.stg.states.values():
-            path = self.state_critical_path(state.id)
+            path = paths.get(state.id)
+            if path is None:
+                path = self.state_critical_path(state.id)
             if path <= 0.0:
                 continue
-            worst = min(worst, self.state_duration(state.id) * self.clock_ns / path)
+            ratio = durations[state.id] * clock / path
+            if ratio < worst:
+                worst = ratio
         return worst
 
     def scaled_vdd(self) -> float:
@@ -217,6 +238,11 @@ class Architecture:
     # -- area ---------------------------------------------------------------------
 
     def area(self) -> float:
+        # Binding and datapath structure are fixed once the architecture is
+        # built (tree restructuring goes through set_tree, which resets
+        # this), so the sum is computed once per object.
+        if self._area is not None:
+            return self._area
         total = 0.0
         for fu in self.binding.fus.values():
             total += scale_area(fu.module, fu.width)
@@ -227,7 +253,8 @@ class Architecture:
         for port in self.datapath.ports.values():
             total += port.n_muxes() * port.width * MUX_AREA_PER_BIT
         total += self.controller.area()
-        return total * WIRING_OVERHEAD
+        self._area = total * WIRING_OVERHEAD
+        return self._area
 
     def area_breakdown(self) -> dict[str, float]:
         fus = sum(scale_area(fu.module, fu.width) for fu in self.binding.fus.values())
@@ -263,6 +290,7 @@ class Architecture:
             raise ArchitectureError(f"tree sources do not match port {key!r}")
         port = self.datapath.clone_port(key)
         port.tree = tree
+        self._area = None
         if invalidate:
             self.invalidate_timing(sorted(port.driver_states()))
 

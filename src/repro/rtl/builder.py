@@ -79,12 +79,12 @@ def edge_source(arch: Architecture, edge: Edge, state_id: int) -> SourceKey:
         return ("const", src.value)
     if edge.carried:
         if (edge.dst in _loop_test_nodes(arch, edge.loop)
-                and edge.src in set(arch.stg.states[state_id].node_ids())):
+                and edge.src in _state_nodes(arch, state_id)):
             return producer_signal(arch, edge.src, state_id)
         return ("reg", arch.binding.reg_of(src.carrier).id)
     if src.kind in (OpKind.SELECT, OpKind.ENDLOOP, OpKind.INPUT):
         return ("reg", arch.binding.reg_of(src.carrier).id)
-    if edge.src in set(arch.stg.states[state_id].node_ids()):
+    if edge.src in _state_nodes(arch, state_id):
         return producer_signal(arch, edge.src, state_id)
     if src.carrier is not None:
         return ("reg", arch.binding.reg_of(src.carrier).id)
@@ -92,6 +92,23 @@ def edge_source(arch: Architecture, edge: Edge, state_id: int) -> SourceKey:
         raise ArchitectureError(
             f"temporary {src.name} crosses states but has no register")
     return ("tmp", edge.src)
+
+
+def _state_nodes(arch: Architecture, state_id: int) -> set[int]:
+    """Set of node ids scheduled in a state, memoized per architecture.
+
+    Keyed on the architecture (not the STG) so derived points sharing an
+    STG also share the sets via :class:`_ArchBuilder`'s cache hand-off.
+    """
+    cache = getattr(arch, "_state_node_cache", None)
+    if cache is None:
+        cache = {}
+        arch._state_node_cache = cache
+    nodes = cache.get(state_id)
+    if nodes is None:
+        nodes = set(arch.stg.states[state_id].node_ids())
+        cache[state_id] = nodes
+    return nodes
 
 
 def _loop_test_nodes(arch: Architecture, loop_id: int) -> set[int]:
@@ -134,6 +151,9 @@ class _ArchBuilder:
         self.rebuilt: set[PortKey] = set()
         self._dirty_states: set[int] = set()
         self._dirty_ports: frozenset[PortKey] = frozenset()
+        #: Per-key dirty decision, memoized: the dirty set is fixed for
+        #: the build, and every key recurs once per driving (state, op).
+        self._dirty_memo: dict[PortKey, bool] = {}
         if parent is not None:
             self._dirty_ports = affected_ports(parent, dirty)
 
@@ -154,6 +174,10 @@ class _ArchBuilder:
             cached_tests = getattr(self.parent, "_test_node_cache", None)
             if cached_tests is not None:
                 self.arch._test_node_cache = cached_tests
+            # Same STG object: the per-state node sets transfer verbatim.
+            cached_nodes = getattr(self.parent, "_state_node_cache", None)
+            if cached_nodes is not None:
+                self.arch._state_node_cache = cached_nodes
         self._wire_fu_inputs()
         self._wire_register_inputs()
         self._finalize_trees()
@@ -178,20 +202,23 @@ class _ArchBuilder:
             self.datapath.ports[key].build_default_tree()
 
     def _port_dirty(self, key: PortKey) -> bool:
-        return key in self._dirty_ports or port_key_dirty(key, self.dirty)
+        got = self._dirty_memo.get(key)
+        if got is None:
+            got = key in self._dirty_ports or port_key_dirty(key, self.dirty)
+            self._dirty_memo[key] = got
+        return got
 
     def _wire(self, key: PortKey, width: int, consumer: int, state_id: int,
-              resolve) -> None:
-        """Route one driver: resolve it for dirty ports, share otherwise."""
-        if self.parent is None or self._port_dirty(key):
-            self.datapath.add_driver(key, width, consumer, state_id, resolve())
-            if self.parent is not None:
-                self.rebuilt.add(key)
-                self._dirty_states.add(state_id)
-            return
+              source: SourceKey) -> None:
+        """Route one already-resolved driver on a derive's dirty path."""
+        self.datapath.add_driver(key, width, consumer, state_id, source)
+        self.rebuilt.add(key)
+        self._dirty_states.add(state_id)
+
+    def _share(self, key: PortKey) -> None:
+        """Adopt the parent's port wholesale on first encounter (the
+        dict-insertion position matches the full build's)."""
         if key not in self.datapath.ports:
-            # First encounter: adopt the parent's port wholesale (the
-            # dict-insertion position matches the full build's).
             self.datapath.ports[key] = self.parent.datapath.ports[key]
 
     # -- temporaries ------------------------------------------------------------
@@ -234,35 +261,67 @@ class _ArchBuilder:
     # -- wiring ------------------------------------------------------------------
 
     def _wire_fu_inputs(self) -> None:
+        cdfg = self.cdfg
+        fu_of = self.binding.fu_of
+        add_driver = self.datapath.add_driver
+        full = self.parent is None
         for state in self.stg.states.values():
+            sid = state.id
             for op in state.ops:
-                node = self.cdfg.node(op.node)
+                node = cdfg.node(op.node)
                 if not node.needs_fu:
                     continue
-                fu = self.binding.fu_of(op.node)
-                for k, edge in enumerate(self.cdfg.in_edges(op.node)):
-                    self._wire(("fu_in", fu.id, k), edge.width, op.node,
-                               state.id,
-                               lambda e=edge, s=state.id: self._resolve_edge(e, s))
+                fu_id = fu_of(op.node).id
+                for k, edge in enumerate(cdfg.in_edges(op.node)):
+                    key = ("fu_in", fu_id, k)
+                    if full:
+                        add_driver(key, edge.width, op.node, sid,
+                                   self._resolve_edge(edge, sid))
+                    elif self._port_dirty(key):
+                        self._wire(key, edge.width, op.node, sid,
+                                   self._resolve_edge(edge, sid))
+                    else:
+                        self._share(key)
 
     def _wire_register_inputs(self) -> None:
         cdfg = self.cdfg
+        reg_of = self.binding.reg_of
+        add_driver = self.datapath.add_driver
+        tmp_regs = self.datapath.tmp_regs
+        full = self.parent is None
         for state in self.stg.states.values():
+            sid = state.id
             for op in state.ops:
                 node = cdfg.node(op.node)
                 if node.carrier is not None:
-                    reg = self.binding.reg_of(node.carrier)
-                    self._wire(("reg_in", reg.id), reg.width, op.node, state.id,
-                               lambda n=op.node, s=state.id: self._producer_signal(n, s))
-                elif op.node in self.datapath.tmp_regs:
-                    self._wire(("tmp_in", op.node), node.width, op.node, state.id,
-                               lambda n=op.node, s=state.id: self._producer_signal(n, s))
+                    reg = reg_of(node.carrier)
+                    key = ("reg_in", reg.id)
+                    width = reg.width
+                elif op.node in tmp_regs:
+                    key = ("tmp_in", op.node)
+                    width = node.width
+                else:
+                    continue
+                if full:
+                    add_driver(key, width, op.node, sid,
+                               self._producer_signal(op.node, sid))
+                elif self._port_dirty(key):
+                    self._wire(key, width, op.node, sid,
+                               self._producer_signal(op.node, sid))
+                else:
+                    self._share(key)
         # Primary inputs load their variable registers at pass start.
+        start = self.stg.start
         for node_id in cdfg.input_nodes:
             node = cdfg.node(node_id)
-            reg = self.binding.reg_of(node.carrier)
-            self._wire(("reg_in", reg.id), reg.width, node_id, self.stg.start,
-                       lambda n=node: ("pin", n.carrier))
+            reg = reg_of(node.carrier)
+            key = ("reg_in", reg.id)
+            if full:
+                add_driver(key, reg.width, node_id, start, ("pin", node.carrier))
+            elif self._port_dirty(key):
+                self._wire(key, reg.width, node_id, start, ("pin", node.carrier))
+            else:
+                self._share(key)
 
     # -- controller -------------------------------------------------------------------
 

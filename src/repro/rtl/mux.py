@@ -123,6 +123,29 @@ class MuxTree:
         node_activity = ap / p if p > 0.0 else 0.0
         return left_sum + right_sum + node_activity, ap, p
 
+    def activity_with(self, stats: dict[object, tuple[float, float]]) -> float:
+        """Equation (7) under externally supplied per-key (a_i, p_i).
+
+        Equivalent to ``with_stats(stats).tree_activity()`` — the same
+        recursion over the same shape with the same float-addition order
+        — without allocating the annotated tree (the power estimator
+        calls this once per port per design point).
+        """
+
+        def walk(shape: TreeShape) -> tuple[float, float, float]:
+            if isinstance(shape, MuxSource):
+                activity, prob = stats.get(shape.key, (0.0, 0.0))
+                return 0.0, activity * prob, prob
+            left_sum, left_ap, left_p = walk(shape[0])
+            right_sum, right_ap, right_p = walk(shape[1])
+            ap = left_ap + right_ap
+            p = left_p + right_p
+            node_activity = ap / p if p > 0.0 else 0.0
+            return left_sum + right_sum + node_activity, ap, p
+
+        total, _ap, _p = walk(self._shape)
+        return total
+
 
 def balanced_tree(sources: list[MuxSource]) -> MuxTree:
     """Build the default balanced tree (pairing adjacent sources level by

@@ -42,7 +42,6 @@ from dataclasses import dataclass, field
 from repro.errors import ScheduleError
 from repro.cdfg.analysis import (
     mutually_exclusive,
-    node_heights,
     producers_outside,
     region_nodes,
     region_subtree,
@@ -87,16 +86,20 @@ class _Cursor:
     state: State | None = None
 
 
-class _Engine:
-    def __init__(self, cdfg: CDFG, binding: Binding, options: ScheduleOptions):
+class _SchedAnalysis:
+    """The binding-independent half of the engine's setup, shared per CDFG.
+
+    Strong/weak dependencies, write-after-write order, region entry
+    dependencies and the topological skeleton depend only on the CDFG —
+    not on the binding — so one instance is computed per CDFG (cached on
+    the graph object) and shared read-only by every engine run.  The
+    iterative-improvement search schedules the same CDFG hundreds of
+    times under different bindings; sharing this analysis removes the
+    dominant constant cost from each of those runs.
+    """
+
+    def __init__(self, cdfg: CDFG):
         self.cdfg = cdfg
-        self.binding = binding
-        self.options = options
-        self.stg = STG()
-        self.done_nodes: set[int] = set()
-        self.done_regions: set[int] = set()
-        self.delays = binding.delays()
-        self.heights = node_heights(cdfg, self.delays)
         self._strong: dict[int, list[tuple[str, int]]] = {}
         self._weak_readers: dict[int, set[int]] = {}
         self._carried_in: dict[int, list] = {}
@@ -104,13 +107,61 @@ class _Engine:
         self._region_deps: dict[int, list[tuple[str, int]]] = {}
         self._writers_by_carrier: dict[str, list[int]] = {}
         self._test_nodes: dict[int, set[int]] = {}
-        self._kernel_ctx: frozenset[int] = frozenset()
-        self._placed: dict[int, dict[int, float]] = {}
-        self._fu_occupancy: dict[int, dict[int, list[int]]] = {}
-        self._carrier_writes: dict[int, dict[str, list[int]]] = {}
+        #: Per-region-ids static data for fragment fingerprinting
+        #: (see :mod:`repro.sched.plan`).
+        self.fragment_static: dict[tuple, tuple] = {}
+        #: Structure-only region digests, shared across every engine run on
+        #: this CDFG: task pools per block, schedulable-node sets per
+        #: region subtree, loop read/write carrier sets.
+        self.block_tasks: dict[int, list[tuple[str, int]]] = {}
+        self.region_task_nodes: dict[int, frozenset] = {}
+        self.loop_rw: dict[int, tuple[frozenset, frozenset]] = {}
         self._analyze()
+        self._build_topo()
+        # Public read-only views (consumed by repro.sched.plan).
+        self.strong = self._strong
+        self.weak_readers = self._weak_readers
+        self.carried_in = self._carried_in
+        self.region_deps = self._region_deps
 
-    # ------------------------------------------------------------------ setup
+    def dep_of_producer(self, src: int) -> list[tuple[str, int]]:
+        return self._dep_of_producer(src)
+
+    @classmethod
+    def of(cls, cdfg: CDFG) -> "_SchedAnalysis":
+        analysis = cdfg.__dict__.get("_sched_analysis")
+        if analysis is None:
+            analysis = cls(cdfg)
+            cdfg._sched_analysis = analysis
+        return analysis
+
+    def _build_topo(self) -> None:
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.cdfg.nodes)
+        for edge in self.cdfg.edges:
+            if not edge.carried:
+                graph.add_edge(edge.src, edge.dst)
+        self._topo_reversed = list(reversed(list(nx.topological_sort(graph))))
+        self._successors = {n: list(graph.successors(n)) for n in graph.nodes}
+
+    def heights_for(self, delays: dict[int, float]) -> dict[int, float]:
+        """Longest-path-to-sink heights under ``delays``.
+
+        Identical numbers to :func:`~repro.cdfg.analysis.node_heights`
+        (same traversal over a cached topological order), without
+        rebuilding the graph per scheduling run.
+        """
+        heights: dict[int, float] = {}
+        for node_id in self._topo_reversed:
+            best = 0.0
+            for succ in self._successors[node_id]:
+                h = heights[succ]
+                if h > best:
+                    best = h
+            heights[node_id] = delays.get(node_id, 0.0) + best
+        return heights
 
     def _analyze(self) -> None:
         cdfg = self.cdfg
@@ -255,6 +306,61 @@ class _Engine:
                     deps.append((kind, target))
         return deps
 
+
+def _collect_block_tasks(cdfg: CDFG, block: BlockRegion) -> list[tuple[str, int]]:
+    tasks: list[tuple[str, int]] = []
+    for item in block.items:
+        if isinstance(item, OpsItem):
+            tasks.extend(("op", n) for n in item.nodes)
+        elif isinstance(item, SubRegionItem):
+            region = cdfg.region(item.region)
+            if isinstance(region, (IfRegion, LoopRegion)):
+                tasks.append(("region", region.id))
+            else:
+                tasks.extend(_collect_block_tasks(cdfg, cdfg.block(item.region)))
+    return tasks
+
+
+class _Engine:
+    def __init__(self, cdfg: CDFG, binding: Binding, options: ScheduleOptions,
+                 plan_in: dict | None = None):
+        self.cdfg = cdfg
+        self.binding = binding
+        self.options = options
+        self.stg = STG()
+        self.done_nodes: set[int] = set()
+        self.done_regions: set[int] = set()
+        self.delays = binding.delays()
+        self.analysis = _SchedAnalysis.of(cdfg)
+        self.heights = self.analysis.heights_for(self.delays)
+        # Read-only views of the shared per-CDFG analysis.
+        self._strong = self.analysis._strong
+        self._weak_readers = self.analysis._weak_readers
+        self._carried_in = self.analysis._carried_in
+        self._node_region_owner = self.analysis._node_region_owner
+        self._region_deps = self.analysis._region_deps
+        self._writers_by_carrier = self.analysis._writers_by_carrier
+        self._test_nodes = self.analysis._test_nodes
+        self._kernel_ctx: frozenset[int] = frozenset()
+        self._placed: dict[int, dict[int, float]] = {}
+        self._fu_occupancy: dict[int, dict[int, list[int]]] = {}
+        self._carrier_writes: dict[int, dict[str, list[int]]] = {}
+        #: Fragment scripts of the parent schedule this run may replay
+        #: (None on a from-scratch run) and the scripts this run records.
+        self._plan_in = plan_in
+        self._plan_out: dict = {}
+        self.replayed_fragments = 0
+        # Estimated mux depths are pure functions of (binding, CDFG),
+        # both fixed for the engine's lifetime.
+        self._in_mux_memo: dict[int, float] = {}
+        self._out_mux_memo: dict[int, float] = {}
+
+    def _dep_of_producer(self, src: int) -> list[tuple[str, int]]:
+        return self.analysis._dep_of_producer(src)
+
+    def _ancestor_loop_conds(self, region) -> set[int]:
+        return self.analysis._ancestor_loop_conds(region)
+
     # ------------------------------------------------------------- readiness
 
     def _dep_satisfied(self, dep: tuple[str, int]) -> bool:
@@ -312,21 +418,29 @@ class _Engine:
     def _est_input_mux(self, fu_id: int | None) -> float:
         if fu_id is None:
             return 0.0
-        n_ops = len(self.binding.fus[fu_id].ops)
-        if n_ops <= 1:
-            return 0.0
-        return math.ceil(math.log2(n_ops)) * self.options.mux_delay_ns
+        got = self._in_mux_memo.get(fu_id)
+        if got is None:
+            n_ops = len(self.binding.fus[fu_id].ops)
+            got = 0.0 if n_ops <= 1 else \
+                math.ceil(math.log2(n_ops)) * self.options.mux_delay_ns
+            self._in_mux_memo[fu_id] = got
+        return got
 
     def _est_output_mux(self, node_id: int) -> float:
+        got = self._out_mux_memo.get(node_id)
+        if got is not None:
+            return got
         carrier = self.cdfg.node(node_id).carrier
         if carrier is None:
-            return 0.0
-        writers = [w for w in self._writers_by_carrier.get(carrier, [])
-                   if self.cdfg.node(w).is_schedulable or
-                   self.cdfg.node(w).kind is OpKind.INPUT]
-        if len(writers) <= 1:
-            return 0.0
-        return math.ceil(math.log2(len(writers))) * self.options.mux_delay_ns
+            got = 0.0
+        else:
+            writers = [w for w in self._writers_by_carrier.get(carrier, [])
+                       if self.cdfg.node(w).is_schedulable or
+                       self.cdfg.node(w).kind is OpKind.INPUT]
+            got = 0.0 if len(writers) <= 1 else \
+                math.ceil(math.log2(len(writers))) * self.options.mux_delay_ns
+        self._out_mux_memo[node_id] = got
+        return got
 
     def _try_place(self, cursor: _Cursor, node_id: int) -> bool:
         node = self.cdfg.node(node_id)
@@ -389,23 +503,26 @@ class _Engine:
 
     # ------------------------------------------------------------ task pools
 
-    @staticmethod
-    def _block_tasks(cdfg: CDFG, block: BlockRegion) -> list[tuple[str, int]]:
-        tasks: list[tuple[str, int]] = []
-        for item in block.items:
-            if isinstance(item, OpsItem):
-                tasks.extend(("op", n) for n in item.nodes)
-            elif isinstance(item, SubRegionItem):
-                region = cdfg.region(item.region)
-                if isinstance(region, (IfRegion, LoopRegion)):
-                    tasks.append(("region", region.id))
-                else:
-                    tasks.extend(_Engine._block_tasks(cdfg, cdfg.block(item.region)))
+    def _block_tasks(self, cdfg: CDFG, block: BlockRegion) -> list[tuple[str, int]]:
+        """Task pool of a block — pure CDFG structure, memoized per graph.
+
+        Callers never mutate the returned list (they copy or iterate), so
+        one shared object per block is safe.
+        """
+        cache = self.analysis.block_tasks
+        tasks = cache.get(block.id)
+        if tasks is None:
+            tasks = cache[block.id] = _collect_block_tasks(cdfg, block)
         return tasks
 
-    def _region_task_nodes(self, region_id: int) -> set[int]:
+    def _region_task_nodes(self, region_id: int) -> frozenset:
         """All schedulable nodes in a region subtree (for done-masking)."""
-        return {n for n in region_nodes(self.cdfg, region_id, recursive=True)}
+        cache = self.analysis.region_task_nodes
+        nodes = cache.get(region_id)
+        if nodes is None:
+            nodes = cache[region_id] = frozenset(
+                region_nodes(self.cdfg, region_id, recursive=True))
+        return nodes
 
     # ------------------------------------------------------------- main loop
 
@@ -427,6 +544,7 @@ class _Engine:
             for src, conds in cursor.sources:
                 self.stg.add_transition(src, done.id, conds)
         stg.validate()
+        stg._plan = self._plan_out
         return stg
 
     def _schedule_tasks(self, tasks: list[tuple[str, int]], cursor: _Cursor,
@@ -440,21 +558,45 @@ class _Engine:
         optional_pool = [n for n in optionals if n not in self.done_nodes]
         placed_optionals: list[int] = []
 
+        # Readiness is monotone within one invocation: the done sets only
+        # net-grow between the points this loop observes them (nested arm
+        # or kernel scheduling shrinks them temporarily, but restores a
+        # superset before returning).  Once ready, always ready — so a
+        # positive answer is memoized and never re-derived.
+        ready: set[int] = set()
+        op_ready = self._op_ready
+
+        def is_ready(node_id: int) -> bool:
+            if node_id in ready:
+                return True
+            if op_ready(node_id):
+                ready.add(node_id)
+                return True
+            return False
+
         while pending_ops or pending_regions:
             # 1. pack ready required ops (and optionals) into the open state.
+            # Placement failure is permanent while the open state lasts:
+            # occupancy, register writes and chained starts only grow, and
+            # the state's cycle window is fixed once it holds an op — so a
+            # node that failed to place is skipped, not retried.
             progressed = True
+            failed: set[int] = set()
             while progressed:
                 progressed = False
-                candidates = [n for n in pending_ops if self._op_ready(n)]
+                candidates = [n for n in pending_ops
+                              if n not in failed and is_ready(n)]
                 candidates.sort(key=lambda n: (-self.heights.get(n, 0.0), n))
                 for node_id in candidates:
                     if self._try_place(cursor, node_id):
                         pending_ops.remove(node_id)
                         progressed = True
                         break
+                    failed.add(node_id)
                 else:
                     # No required op fit; try optionals (lower priority).
-                    opt = [n for n in optional_pool if self._op_ready(n)]
+                    opt = [n for n in optional_pool
+                           if n not in failed and is_ready(n)]
                     opt.sort(key=lambda n: (-self.heights.get(n, 0.0), n))
                     for node_id in opt:
                         if self._try_place(cursor, node_id):
@@ -462,13 +604,14 @@ class _Engine:
                             placed_optionals.append(node_id)
                             progressed = True
                             break
+                        failed.add(node_id)
 
             if not pending_ops and not pending_regions:
                 break
 
             # 2. a ready region?
             ready_regions = [r for r in pending_regions if self._region_ready(r)]
-            ready_ops_exist = any(self._op_ready(n) for n in pending_ops)
+            ready_ops_exist = any(is_ready(n) for n in pending_ops)
 
             enter_region = False
             if ready_regions:
@@ -485,7 +628,9 @@ class _Engine:
                     extra = [n for n in pending_ops + optional_pool
                              if n not in self.done_nodes]
                 if isinstance(region, IfRegion):
-                    cursor = self._schedule_if(region, cursor, extra)
+                    cursor = self._run_fragment(
+                        "if", (region.id,), cursor, extra,
+                        lambda c: self._schedule_if(region, c, extra))
                     scheduled_regions = [region.id]
                 else:
                     fused: list[LoopRegion] = [region]
@@ -495,7 +640,9 @@ class _Engine:
                             if (isinstance(other, LoopRegion) and len(fused) < 2
                                     and self._fusable(fused[0], other)):
                                 fused.append(other)
-                    cursor = self._schedule_loops(fused, cursor, extra)
+                    cursor = self._run_fragment(
+                        "loops", tuple(loop.id for loop in fused), cursor, extra,
+                        lambda c: self._schedule_loops(fused, c, extra))
                     scheduled_regions = [loop.id for loop in fused]
                 for rid in scheduled_regions:
                     pending_regions.remove(rid)
@@ -525,6 +672,39 @@ class _Engine:
             unmet = [d for d in self._region_deps[region_id] if not self._dep_satisfied(d)]
             lines.append(f"  region {region_id}: deps={unmet}")
         raise ScheduleError("\n".join(lines))
+
+    # ------------------------------------------------------------- fragments
+
+    def _run_fragment(self, kind: str, region_ids: tuple, cursor: _Cursor,
+                      extra: list[int], execute) -> _Cursor:
+        """Schedule one region fragment, replaying a recorded script if legal.
+
+        The fingerprint digests everything the fragment execution can
+        read (see :mod:`repro.sched.plan`); on a match against the parent
+        plan the recorded effects are re-applied verbatim — bit-identical
+        to genuine execution — and the greedy packing is skipped.  Either
+        way the (new or copied) script is recorded into this run's plan
+        so the *next* derivation can replay against this schedule.
+        """
+        from repro.sched.plan import (
+            _Recording, extract_script, fragment_fingerprint, replay_script)
+
+        fingerprint = fragment_fingerprint(self, kind, region_ids, cursor, extra)
+        if self._plan_in is not None:
+            script = self._plan_in.get(fingerprint)
+            if script is not None:
+                exit_state, exit_sources = replay_script(self, script, cursor)
+                self.replayed_fragments += 1
+                self._plan_out[fingerprint] = script
+                out = _Cursor(sources=list(exit_sources))
+                out.state = exit_state
+                return out
+        recording = _Recording(self, cursor)
+        exit_cursor = execute(cursor)
+        script = extract_script(self, recording, exit_cursor)
+        if script is not None:
+            self._plan_out[fingerprint] = script
+        return exit_cursor
 
     # ------------------------------------------------------------ conditionals
 
@@ -588,8 +768,12 @@ class _Engine:
 
     # ---------------------------------------------------------------- loops
 
-    def _loop_rw_sets(self, loop: LoopRegion) -> tuple[set[str], set[str]]:
+    def _loop_rw_sets(self, loop: LoopRegion) -> tuple[frozenset, frozenset]:
         """(carriers written inside, carriers read from outside) of a loop."""
+        cache = self.analysis.loop_rw
+        got = cache.get(loop.id)
+        if got is not None:
+            return got
         cdfg = self.cdfg
         subtree = region_subtree(cdfg, loop.id)
         inside = {n.id for n in cdfg.nodes.values() if n.region in subtree}
@@ -606,7 +790,8 @@ class _Engine:
                 src = cdfg.node(cv.init_src)
                 if src.carrier is not None:
                     reads.add(src.carrier)
-        return writes, reads
+        got = cache[loop.id] = (frozenset(writes), frozenset(reads))
+        return got
 
     def _fusable(self, a: LoopRegion, b: LoopRegion) -> bool:
         writes_a, reads_a = self._loop_rw_sets(a)
@@ -757,7 +942,7 @@ class _Engine:
 
 
 def schedule(cdfg: CDFG, binding: Binding, options: ScheduleOptions | None = None,
-             cache=None) -> STG:
+             cache=None, parent: STG | None = None) -> STG:
     """Schedule a CDFG under a binding; returns a validated STG.
 
     ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`;
@@ -766,14 +951,25 @@ def schedule(cdfg: CDFG, binding: Binding, options: ScheduleOptions | None = Non
     the STG is immutable once returned, so a cached STG is shared between
     the design points that would have scheduled identically (see
     :meth:`~repro.core.binding.Binding.schedule_signature`).
+
+    ``parent`` is the STG of the design point the new binding derives
+    from; its recorded fragment plan lets the engine *replay* every
+    region whose scheduling inputs did not change and re-run the greedy
+    packing only inside genuinely affected regions.  The result is
+    bit-identical to a from-scratch run (state ids included) — the plan
+    is a pure accelerator, so the memo key is unchanged.
     """
     from repro.core.profile import PROFILER
 
     options = options or ScheduleOptions()
 
     def compute() -> STG:
-        with PROFILER.stage("schedule"):
-            return _Engine(cdfg, binding, options).run()
+        plan = getattr(parent, "_plan", None) if parent is not None else None
+        with PROFILER.stage("schedule") as token:
+            engine = _Engine(cdfg, binding, options, plan_in=plan)
+            stg = engine.run()
+            token.incremental = engine.replayed_fragments > 0
+            return stg
 
     if cache is None:
         return compute()

@@ -1,0 +1,320 @@
+"""Fragment plans: recorded region schedules for incremental rescheduling.
+
+The wavesched engine schedules the region tree top-down; every invocation
+of ``_schedule_if`` / ``_schedule_loops`` is a *fragment* — a contiguous
+burst of state creations, op placements and transitions whose outcome is a
+deterministic function of
+
+* the CDFG and the schedule options (fixed per engine family),
+* the entry cursor (the open state's packed content, or the fork sources'
+  guards and aliasing pattern),
+* the binding context of every node the fragment may place (delay,
+  critical-path height, functional unit, unit op-count, register), and
+* the readiness bits of every outside dependency it consults.
+
+A :class:`FragmentScript` records the fragment's effects *relative* to its
+entry (created states by index, entry sources by position), keyed by a
+fingerprint of exactly those inputs.  A later scheduling run — typically
+the same CDFG under a binding edited by a rescheduling move — replays the
+script through its own state counter whenever the fingerprint matches,
+skipping the greedy packing entirely.  Because replay allocates state ids
+from the engine's own sequential counter and re-adds ops and transitions
+in recorded order, the resulting STG is *bit-identical* to a from-scratch
+run: same state ids, same op order, same transition list order.  Regions
+whose fingerprint changed (a merged unit, a slower module, a different
+entry shape) re-execute genuinely — and their nested clean sub-fragments
+still replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdfg.analysis import region_nodes, region_subtree
+from repro.cdfg.regions import IfRegion
+from repro.sched.stg import ScheduledOp
+
+#: A state reference inside a script: ("new", i) — the i-th state the
+#: fragment created; ("entry",) — the entry cursor's open state;
+#: ("src", k) — the state of the entry cursor's k-th fork source.
+Ref = tuple
+
+
+@dataclass(frozen=True)
+class FragmentScript:
+    """One fragment's recorded effects, relative to its entry cursor."""
+
+    n_states: int
+    #: Final duration per created state, by creation index.
+    durations: tuple
+    #: Final duration of the entry state (None when the entry had none).
+    entry_duration: int | None
+    #: Per-state op lists: (ref, ((node, fu, start, end), ...)) in
+    #: placement order — the order is part of the STG signature.
+    state_ops: tuple
+    #: (src_ref, dst_index, conds) in creation order.
+    transitions: tuple
+    #: Exit cursor: either an open state ref, or fork sources.
+    exit_state: Ref | None
+    exit_sources: tuple
+    #: Nodes/regions the fragment marked done (includes vacuous markings
+    #: of arm subtrees — identical under any same-fingerprint execution).
+    done_nodes: frozenset
+    done_regions: frozenset
+
+
+class _Recording:
+    """Counters captured at fragment entry, for post-hoc script extraction."""
+
+    __slots__ = ("n0", "t0", "entry_state_id", "entry_ops0", "src_states",
+                 "done_nodes0", "done_regions0")
+
+    def __init__(self, engine, cursor):
+        self.n0 = engine.stg._next_id
+        self.t0 = len(engine.stg.transitions)
+        if cursor.state is not None:
+            self.entry_state_id = cursor.state.id
+            self.entry_ops0 = len(cursor.state.ops)
+            self.src_states = ()
+        else:
+            self.entry_state_id = None
+            self.entry_ops0 = 0
+            self.src_states = tuple(s for s, _ in cursor.sources)
+        self.done_nodes0 = frozenset(engine.done_nodes)
+        self.done_regions0 = frozenset(engine.done_regions)
+
+
+# ----------------------------------------------------------------- fingerprint
+
+
+def _fragment_static(engine, region_ids: tuple) -> tuple:
+    """(involved static nodes sorted, dependency spec) — cached per CDFG."""
+    cache = engine.analysis.fragment_static
+    got = cache.get(region_ids)
+    if got is not None:
+        return got
+    cdfg = engine.cdfg
+    analysis = engine.analysis
+    nodes: set[int] = set()
+    regions: set[int] = set()
+    for rid in region_ids:
+        nodes |= set(region_nodes(cdfg, rid, recursive=True))
+        regions |= region_subtree(cdfg, rid)
+    spec: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
+
+    def add(kind: str, target: int) -> None:
+        item = (kind, target)
+        if item not in seen:
+            seen.add(item)
+            spec.append(item)
+
+    for n in sorted(nodes):
+        _node_dep_spec(analysis, n, add)
+    for rid in sorted(regions):
+        for dep in analysis.region_deps.get(rid, ()):
+            add(*dep)
+        region = cdfg.region(rid)
+        if isinstance(region, IfRegion):
+            add("node", region.cond_node)
+    got = (tuple(sorted(nodes)), tuple(spec))
+    cache[region_ids] = got
+    return got
+
+
+def _node_dep_spec(analysis, n: int, add) -> None:
+    """Every (kind, target) readiness bit node ``n`` may consult."""
+    for dep in analysis.strong.get(n, ()):
+        add(*dep)
+    for reader in sorted(analysis.weak_readers.get(n, ())):
+        add("node", reader)
+    for edge in analysis.carried_in.get(n, ()):
+        for dep in analysis.dep_of_producer(edge.src):
+            add(*dep)
+
+
+def fragment_fingerprint(engine, kind: str, region_ids: tuple, cursor,
+                         extra: list) -> tuple:
+    """Hashable digest of everything a fragment execution can read."""
+    cdfg = engine.cdfg
+    binding = engine.binding
+    static_nodes, spec = _fragment_static(engine, region_ids)
+
+    if cursor.state is not None:
+        state = cursor.state
+        entry = ("state", state.duration,
+                 tuple((op.node, op.fu, op.start, op.end) for op in state.ops),
+                 tuple(_reg_of(engine, op.node) for op in state.ops))
+    else:
+        first: dict[int, int] = {}
+        alias = tuple(first.setdefault(s, i)
+                      for i, (s, _) in enumerate(cursor.sources))
+        guards = tuple(tuple(sorted(g)) for _, g in cursor.sources)
+        entry = ("sources", alias, guards)
+
+    extra = tuple(extra)
+    delays = engine.delays
+    heights = engine.heights
+    ctx = []
+    for n in static_nodes + extra:
+        node = cdfg.node(n)
+        fu_id = None
+        n_fu_ops = 0
+        if node.needs_fu:
+            fu = binding.fu_of(n)
+            if fu is not None:
+                fu_id = fu.id
+                n_fu_ops = len(fu.ops)
+        ctx.append((delays.get(n, 0.0), heights.get(n, 0.0), fu_id, n_fu_ops,
+                    _reg_of(engine, n)))
+
+    done_nodes = engine.done_nodes
+    done_regions = engine.done_regions
+    bits = [(t in done_nodes) if k == "node" else (t in done_regions)
+            for k, t in spec]
+    if extra:
+        extra_spec: list[tuple[str, int]] = []
+        analysis = engine.analysis
+        for n in extra:
+            _node_dep_spec(analysis, n, lambda k, t: extra_spec.append((k, t)))
+        bits.extend((t in done_nodes) if k == "node" else (t in done_regions)
+                    for k, t in extra_spec)
+
+    return (kind, region_ids, tuple(sorted(engine._kernel_ctx)), entry, extra,
+            tuple(ctx), tuple(bits))
+
+
+def _reg_of(engine, node_id: int) -> int | None:
+    carrier = engine.cdfg.node(node_id).carrier
+    if carrier is None:
+        return None
+    return engine.binding.reg_of(carrier).id
+
+
+# ----------------------------------------------------------- record / replay
+
+
+def extract_script(engine, rec: _Recording, exit_cursor) -> FragmentScript | None:
+    """Build the relative script of a just-executed fragment.
+
+    Returns None when the effects cannot be expressed relative to the
+    entry (a transition from an unknown state) — the fragment simply is
+    not cached then; correctness never depends on recording succeeding.
+    """
+    stg = engine.stg
+    created = list(range(rec.n0, stg._next_id))
+    index = {sid: i for i, sid in enumerate(created)}
+
+    # One lookup table instead of a three-way scan per reference; the
+    # setdefault order preserves the created > entry > first-src
+    # precedence (created ids are fresh, so only src/entry can collide).
+    ref_map: dict[int, Ref] = {sid: ("new", i) for i, sid in enumerate(created)}
+    if rec.entry_state_id is not None:
+        ref_map.setdefault(rec.entry_state_id, ("entry",))
+    for k, s in enumerate(rec.src_states):
+        ref_map.setdefault(s, ("src", k))
+    ref_of = ref_map.get
+
+    state_ops = []
+    for i, sid in enumerate(created):
+        ops = stg.states[sid].ops
+        if ops:
+            state_ops.append((("new", i),
+                              tuple((o.node, o.fu, o.start, o.end) for o in ops)))
+    entry_duration = None
+    if rec.entry_state_id is not None:
+        entry_state = stg.states[rec.entry_state_id]
+        entry_duration = entry_state.duration
+        new_ops = entry_state.ops[rec.entry_ops0:]
+        if new_ops:
+            state_ops.append((("entry",),
+                              tuple((o.node, o.fu, o.start, o.end) for o in new_ops)))
+
+    transitions = []
+    for t in stg.transitions[rec.t0:]:
+        src = ref_of(t.src)
+        dst = index.get(t.dst)
+        if src is None or dst is None:
+            return None
+        transitions.append((src, dst, t.conds))
+
+    if exit_cursor.state is not None:
+        exit_state = ref_of(exit_cursor.state.id)
+        if exit_state is None:
+            return None
+        exit_sources: tuple = ()
+    else:
+        exit_state = None
+        sources = []
+        for s, conds in exit_cursor.sources:
+            ref = ref_of(s)
+            if ref is None:
+                return None
+            sources.append((ref, conds))
+        exit_sources = tuple(sources)
+
+    return FragmentScript(
+        n_states=len(created),
+        durations=tuple(stg.states[sid].duration for sid in created),
+        entry_duration=entry_duration,
+        state_ops=tuple(state_ops),
+        transitions=tuple(transitions),
+        exit_state=exit_state,
+        exit_sources=exit_sources,
+        done_nodes=frozenset(engine.done_nodes) - rec.done_nodes0,
+        done_regions=frozenset(engine.done_regions) - rec.done_regions0,
+    )
+
+
+def replay_script(engine, script: FragmentScript, cursor):
+    """Re-apply a recorded fragment at the current engine position.
+
+    Creates states through the engine's own sequential counter and
+    re-adds ops/transitions in recorded order, so the resulting STG is
+    bit-identical to what genuine execution would have produced under the
+    matching fingerprint.  Returns ``(exit_state, exit_sources)`` for the
+    engine to rebuild its cursor from.
+    """
+    stg = engine.stg
+    created = [stg.new_state() for _ in range(script.n_states)]
+    for state, duration in zip(created, script.durations):
+        state.duration = duration
+    if script.entry_duration is not None:
+        cursor.state.duration = script.entry_duration
+
+    def state_of(ref: Ref):
+        if ref[0] == "new":
+            return created[ref[1]]
+        return cursor.state  # ("entry",)
+
+    def id_of(ref: Ref) -> int:
+        if ref[0] == "src":
+            return cursor.sources[ref[1]][0]
+        return state_of(ref).id
+
+    cdfg = engine.cdfg
+    binding = engine.binding
+    for ref, ops in script.state_ops:
+        state = state_of(ref)
+        placed = engine._placed.setdefault(state.id, {})
+        for node, fu, start, end in ops:
+            state.ops.append(ScheduledOp(node=node, fu=fu, start=start, end=end))
+            placed[node] = end
+            if fu is not None:
+                engine._fu_occupancy.setdefault(state.id, {}).setdefault(
+                    fu, []).append(node)
+            carrier = cdfg.node(node).carrier
+            if carrier is not None:
+                reg = binding.reg_of(carrier).id
+                engine._carrier_writes.setdefault(state.id, {}).setdefault(
+                    reg, []).append(node)
+
+    for src_ref, dst, conds in script.transitions:
+        stg.add_transition(id_of(src_ref), created[dst].id, conds)
+
+    engine.done_nodes |= script.done_nodes
+    engine.done_regions |= script.done_regions
+
+    if script.exit_state is not None:
+        return state_of(script.exit_state), ()
+    return None, tuple((id_of(ref), conds) for ref, conds in script.exit_sources)

@@ -99,7 +99,7 @@ class ReplayResult:
 
 
 def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True,
-           cache=None) -> ReplayResult:
+           cache=None, parent=None) -> ReplayResult:
     """Execute the STG over every profiled pass (see module docstring).
 
     ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`;
@@ -108,111 +108,563 @@ def replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True,
     binding, so design points that re-bind without re-scheduling, and
     distinct bindings whose schedules coincide up to unit assignment,
     share one :class:`ReplayResult`.
+
+    ``parent`` is an optional ``(parent_stg, parent_result)`` pair from a
+    previously replayed schedule over the *same* store: passes whose
+    visited states are untouched by the reschedule reuse the parent's
+    arrays wholesale, and only passes through re-scheduled states are
+    re-simulated (see :func:`_replay_incremental`).  The result is
+    bit-identical to a full replay, so the memo key is unchanged.
     """
     if cache is None:
-        return _replay(stg, cdfg, store, check)
+        return _replay(stg, cdfg, store, check, parent)
     key = (id(store), id(cdfg), stg.replay_signature(), check)
     return cache.replay.get_or_compute(
-        key, lambda: _replay(stg, cdfg, store, check))
+        key, lambda: _replay(stg, cdfg, store, check, parent))
 
 
-def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
+def _replay(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True,
+            parent=None) -> ReplayResult:
     from repro.core.profile import PROFILER
 
-    with PROFILER.stage("replay"):
+    with PROFILER.stage("replay") as token:
+        if parent is not None:
+            result = _replay_incremental(stg, cdfg, store, check,
+                                         parent[0], parent[1])
+            if result is not None:
+                token.incremental = True
+                return result
         return _replay_impl(stg, cdfg, store, check)
 
 
-def _replay_impl(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
-    pointers: dict[int, int] = {n: 0 for n in store.occurrences}
-    last_val: dict[int, int] = {}
-    for node in cdfg.nodes.values():
-        if node.kind is OpKind.CONST:
-            last_val[node.id] = node.value
-
-    op_cycle: dict[int, list[int]] = {n: [] for n in store.occurrences}
-    op_start: dict[int, list[float]] = {n: [] for n in store.occurrences}
-    op_state: dict[int, list[int]] = {n: [] for n in store.occurrences}
-    state_visits: dict[int, int] = {}
-    cycles_per_pass: list[int] = []
-    state_seq: list[np.ndarray] = []
-    global_cycle = 0
-
-    # Pre-sort state op lists by chaining order once.
-    ordered_ops = {
-        sid: sorted(state.ops, key=lambda op: (op.start, op.node))
+def _ordered_ops(stg: STG) -> dict[int, list]:
+    """Per-state (node, start) pairs pre-sorted by chaining order."""
+    return {
+        sid: [(op.node, op.start)
+              for op in sorted(state.ops, key=lambda op: (op.start, op.node))]
         for sid, state in stg.states.items()
     }
 
-    for pass_idx in range(store.n_passes):
-        for node_id in cdfg.input_nodes:
-            occ = store.occurrences.get(node_id)
-            if occ is None:
-                continue
-            ptr = pointers[node_id]
-            if ptr >= len(occ) or occ.pass_idx[ptr] != pass_idx:
+
+def _occ_lists(store: TraceStore) -> dict[int, tuple]:
+    """Occurrence streams as plain lists: ``(pass_idx, out, length)``.
+
+    Python-int indexing into lists is several times faster than numpy
+    scalar access, and the per-visit loop of :func:`_walk_pass` touches
+    every occurrence once — the one-time ``tolist`` pays for itself on
+    the first pass.
+    """
+    return {n: (occ.pass_idx.tolist(), occ.out.tolist(), len(occ))
+            for n, occ in store.occurrences.items()}
+
+
+def _walk_pass(stg: STG, cdfg: CDFG, occ_lists: dict, pass_idx: int,
+               global_cycle: int, pointers: dict, last_val: dict,
+               ordered_ops: dict, op_cycle: dict, op_start: dict,
+               op_state: dict, state_visits: dict):
+    """Simulate one stimulus pass; the unit shared by full and incremental
+    replay.  Mutates ``pointers``/``last_val``/the per-node output lists
+    in place and returns ``(cycles, visited, global_cycle)``.
+    """
+    for node_id in cdfg.input_nodes:
+        entry = occ_lists.get(node_id)
+        if entry is None:
+            continue
+        occ_pass, occ_out, n_occ = entry
+        ptr = pointers[node_id]
+        if ptr >= n_occ or occ_pass[ptr] != pass_idx:
+            raise ScheduleError(
+                f"input {cdfg.node(node_id).name}: occurrence stream out of sync "
+                f"at pass {pass_idx}")
+        last_val[node_id] = occ_out[ptr]
+        pointers[node_id] = ptr + 1
+        op_cycle[node_id].append(global_cycle)
+        op_start[node_id].append(0.0)
+        op_state[node_id].append(stg.start)
+
+    states = stg.states
+    done = stg.done
+    state_id = stg.start
+    cycles = 0
+    visited: list[int] = []
+    while True:
+        duration = states[state_id].duration
+        cycles += duration
+        if cycles > MAX_CYCLES_PER_PASS:
+            raise ScheduleError(f"replay exceeded {MAX_CYCLES_PER_PASS} cycles "
+                                f"(pass {pass_idx}) — STG does not terminate")
+        state_visits[state_id] = state_visits.get(state_id, 0) + 1
+        visited.append(state_id)
+        for node_id, op_start_ns in ordered_ops[state_id]:
+            entry = occ_lists.get(node_id)
+            ptr = pointers.get(node_id, 0)
+            if entry is None or ptr >= entry[2] or entry[0][ptr] != pass_idx:
                 raise ScheduleError(
-                    f"input {cdfg.node(node_id).name}: occurrence stream out of sync "
-                    f"at pass {pass_idx}")
-            last_val[node_id] = int(occ.out[ptr])
+                    f"node {cdfg.node(node_id).name}: STG executes it more often "
+                    f"than the behavior did (pass {pass_idx}, state {state_id})")
+            last_val[node_id] = entry[1][ptr]
             pointers[node_id] = ptr + 1
             op_cycle[node_id].append(global_cycle)
-            op_start[node_id].append(0.0)
-            op_state[node_id].append(stg.start)
+            op_start[node_id].append(op_start_ns)
+            op_state[node_id].append(state_id)
+        global_cycle += duration
 
-        state_id = stg.start
-        cycles = 0
-        visited: list[int] = []
-        while True:
-            cycles += stg.states[state_id].duration
-            if cycles > MAX_CYCLES_PER_PASS:
-                raise ScheduleError(f"replay exceeded {MAX_CYCLES_PER_PASS} cycles "
-                                    f"(pass {pass_idx}) — STG does not terminate")
-            state_visits[state_id] = state_visits.get(state_id, 0) + 1
-            visited.append(state_id)
-            for sched_op in ordered_ops[state_id]:
-                node_id = sched_op.node
-                occ = store.occurrences.get(node_id)
-                ptr = pointers.get(node_id, 0)
-                if occ is None or ptr >= len(occ) or occ.pass_idx[ptr] != pass_idx:
-                    raise ScheduleError(
-                        f"node {cdfg.node(node_id).name}: STG executes it more often "
-                        f"than the behavior did (pass {pass_idx}, state {state_id})")
-                last_val[node_id] = int(occ.out[ptr])
-                pointers[node_id] = ptr + 1
-                op_cycle[node_id].append(global_cycle)
-                op_start[node_id].append(sched_op.start)
-                op_state[node_id].append(state_id)
-            global_cycle += stg.states[state_id].duration
-
+        match = None
+        multi = False
+        for t in stg.out_transitions(state_id):
+            if _matches(t, last_val):
+                if match is None:
+                    match = t
+                else:
+                    multi = True
+                    break
+        if match is None or multi:
             transitions = stg.out_transitions(state_id)
             matching = [t for t in transitions if _matches(t, last_val)]
-            if len(matching) != 1:
+            raise ScheduleError(
+                f"state {state_id}: {len(matching)} transitions match at "
+                f"pass {pass_idx} (conditions {[sorted(t.conds) for t in transitions]})")
+        state_id = match.dst
+        if state_id == done:
+            break
+    return cycles, visited, global_cycle
+
+
+def _replay_impl(stg: STG, cdfg: CDFG, store: TraceStore, check: bool = True) -> ReplayResult:
+    """Full replay, in two phases.
+
+    The state path of a pass depends only on the recorded *condition*
+    values, so the walk consumes just the condition streams (plus the
+    per-pass input sync).  Every other per-occurrence array — the bulk of
+    the work — is then reconstructed from the visit sequence with
+    vectorized numpy lookups: a node's k-th occurrence is the k-th visit
+    of any state that schedules it, at that visit's cycle base, with the
+    node's in-state start.  Consumption errors are detected against the
+    reconstruction at the same (pass, state) the sequential walk would
+    have raised them.
+
+    The walk itself is memoized on the store: the visit sequence is a
+    function of (condition placement per state, transition structure,
+    recorded condition values) alone — state *durations* only shift the
+    cycle bases.  STGs that differ merely in durations or in the
+    non-condition ops they schedule (the common case across binding
+    moves over one benchmark) share one recorded walk; only the
+    duration-dependent guard against runaway passes is re-checked.
+    """
+    cond_nodes = stg.condition_inputs()
+    states = stg.states
+    done = stg.done
+    start_state = stg.start
+    state_conds = {sid: [op.node for op in state.ops if op.node in cond_nodes]
+                   for sid, state in stg.states.items()}
+
+    # Duration-independent path signature (see docstring).  Transition
+    # lists keep their ``out_transitions`` order: first-match precedence
+    # is part of the walk's semantics.
+    sig = (id(cdfg), start_state, done, tuple(sorted(
+        (sid, tuple(sorted(state_conds[sid])),
+         tuple((t.conds, t.dst) for t in stg.out_transitions(sid)))
+        for sid in states)))
+    walk_cache = getattr(store, "_walk_cache", None)
+    if walk_cache is None:
+        walk_cache = {}
+        store._walk_cache = walk_cache
+    cached_walk = walk_cache.get(sig)
+
+    max_state = max(states)
+    dur_tab: list[int] = [0] * (max_state + 1)
+    for sid, state in states.items():
+        dur_tab[sid] = state.duration
+    dur_lut = np.array(dur_tab, dtype=np.int64)
+
+    if cached_walk is not None:
+        # The first same-signature walk validated stream consumption and
+        # transition steering; both are store-determined, so only the
+        # duration-dependent runaway guard needs re-checking.
+        visit_state, pass_bounds = cached_walk
+        visit_dur = dur_lut[visit_state]
+        cycles_per_pass = []
+        for p in range(store.n_passes):
+            c = int(visit_dur[pass_bounds[p]:pass_bounds[p + 1]].sum())
+            if c > MAX_CYCLES_PER_PASS:
                 raise ScheduleError(
-                    f"state {state_id}: {len(matching)} transitions match at "
-                    f"pass {pass_idx} (conditions {[sorted(t.conds) for t in transitions]})")
-            state_id = matching[0].dst
-            if state_id == stg.done:
-                break
-        cycles_per_pass.append(cycles)
-        state_seq.append(np.array(visited, dtype=np.int32))
+                    f"replay exceeded {MAX_CYCLES_PER_PASS} cycles "
+                    f"(pass {p}) — STG does not terminate")
+            cycles_per_pass.append(c)
+    else:
+        # Per-state tables indexed by state id: condition nodes to
+        # consume and the transition dispatch — a bare ``int``
+        # destination for the dominant single-unconditional case, else
+        # the guarded ``[(conds, dst), ...]`` list.
+        conds_tab: list[list[int]] = [[]] * (max_state + 1)
+        trans_tab: list = [None] * (max_state + 1)
+        for sid in states:
+            conds_tab[sid] = state_conds[sid]
+            ts = stg.out_transitions(sid)
+            if len(ts) == 1 and not ts[0].conds:
+                trans_tab[sid] = ts[0].dst
+            else:
+                trans_tab[sid] = [(t.conds, t.dst) for t in ts]
+
+        occ_lists = {n: (occ.pass_idx.tolist(), occ.out.tolist(), len(occ))
+                     for n, occ in store.occurrences.items()
+                     if n in cond_nodes or n in cdfg.input_nodes}
+        pointers: dict[int, int] = {n: 0 for n in occ_lists}
+        last_val: dict[int, int] = {}
+        for node in cdfg.nodes.values():
+            if node.kind is OpKind.CONST:
+                last_val[node.id] = node.value
+
+        all_states: list[int] = []
+        pass_bounds_l: list[int] = [0]
+        cycles_per_pass = []
+
+        for pass_idx in range(store.n_passes):
+            for node_id in cdfg.input_nodes:
+                entry = occ_lists.get(node_id)
+                if entry is None:
+                    continue
+                occ_pass, occ_out, n_occ = entry
+                ptr = pointers[node_id]
+                if ptr >= n_occ or occ_pass[ptr] != pass_idx:
+                    raise ScheduleError(
+                        f"input {cdfg.node(node_id).name}: occurrence stream "
+                        f"out of sync at pass {pass_idx}")
+                last_val[node_id] = occ_out[ptr]
+                pointers[node_id] = ptr + 1
+
+            state_id = start_state
+            cycles = 0
+            append_state = all_states.append
+            while True:
+                cycles += dur_tab[state_id]
+                if cycles > MAX_CYCLES_PER_PASS:
+                    raise ScheduleError(
+                        f"replay exceeded {MAX_CYCLES_PER_PASS} cycles "
+                        f"(pass {pass_idx}) — STG does not terminate")
+                append_state(state_id)
+                for node_id in conds_tab[state_id]:
+                    entry = occ_lists.get(node_id)
+                    ptr = pointers.get(node_id, 0)
+                    if entry is None or ptr >= entry[2] or entry[0][ptr] != pass_idx:
+                        raise ScheduleError(
+                            f"node {cdfg.node(node_id).name}: STG executes it "
+                            f"more often than the behavior did (pass "
+                            f"{pass_idx}, state {state_id})")
+                    last_val[node_id] = entry[1][ptr]
+                    pointers[node_id] = ptr + 1
+
+                tr = trans_tab[state_id]
+                if type(tr) is int:
+                    next_id = tr
+                else:
+                    match = None
+                    multi = False
+                    for conds, dst in tr:
+                        ok = True
+                        for cond, want in conds:
+                            if cond not in last_val:
+                                raise ScheduleError(
+                                    f"transition uses condition node {cond} "
+                                    f"with no value yet")
+                            if bool(last_val[cond]) != want:
+                                ok = False
+                                break
+                        if ok:
+                            if match is None:
+                                match = dst
+                            else:
+                                multi = True
+                                break
+                    if match is None or multi:
+                        transitions = stg.out_transitions(state_id)
+                        matching = [t for t in transitions
+                                    if _matches(t, last_val)]
+                        raise ScheduleError(
+                            f"state {state_id}: {len(matching)} transitions "
+                            f"match at pass {pass_idx} (conditions "
+                            f"{[sorted(t.conds) for t in transitions]})")
+                    next_id = match
+                state_id = next_id
+                if state_id == done:
+                    break
+            cycles_per_pass.append(cycles)
+            pass_bounds_l.append(len(all_states))
+
+        visit_state = np.array(all_states, dtype=np.int32)
+        pass_bounds = np.array(pass_bounds_l, dtype=np.int64)
+        visit_dur = dur_lut[visit_state]
+        walk_cache[sig] = (visit_state, pass_bounds)
+
+    # Global visit cycles follow from the durations alone: passes are
+    # contiguous, so the exclusive prefix sum over every visit's duration
+    # reproduces the sequential global-cycle counter exactly.
+    visit_cycle = np.concatenate(
+        ([0], np.cumsum(visit_dur)))[:-1] if visit_state.size else \
+        np.zeros(0, dtype=np.int64)
+    visit_pass = np.repeat(np.arange(store.n_passes, dtype=np.int32),
+                           np.diff(pass_bounds))
+    pass_start_cycles = [int(visit_cycle[pass_bounds[p]])
+                         for p in range(store.n_passes)]
+    global_cycle = int(visit_dur.sum())
+    state_seq = [visit_state[pass_bounds[p]:pass_bounds[p + 1]]
+                 for p in range(store.n_passes)]
+    ids, counts = np.unique(visit_state, return_counts=True)
+    state_visits = {int(i): int(c) for i, c in zip(ids, counts)}
+
+    # -- phase 2: reconstruct per-occurrence arrays from the visit path.
+    # Flatten every state's scheduled ops in chaining order; the visit
+    # sequence then *emits* ops as (visit, slot) pairs, and one stable
+    # sort by node groups each node's occurrences in visit order — the
+    # exact stream the sequential walk would have consumed, duplicates
+    # (over-active STGs) included.
+    max_sid = max(states) if states else 0
+    ops_count = np.zeros(max_sid + 1, dtype=np.int64)
+    ops_offset = np.zeros(max_sid + 1, dtype=np.int64)
+    flat_nodes_l: list[int] = []
+    flat_starts_l: list[float] = []
+    scheduled: set[int] = set()
+    off = 0
+    for sid, state in states.items():
+        ops = sorted(state.ops, key=lambda op: (op.start, op.node))
+        ops_offset[sid] = off
+        ops_count[sid] = len(ops)
+        off += len(ops)
+        for op in ops:
+            flat_nodes_l.append(op.node)
+            flat_starts_l.append(op.start)
+            scheduled.add(op.node)
+    flat_nodes = np.array(flat_nodes_l, dtype=np.int64)
+    flat_starts = np.array(flat_starts_l, dtype=np.float64)
+
+    emit_counts = ops_count[visit_state]
+    total = int(emit_counts.sum())
+    rep_idx = np.repeat(np.arange(visit_state.size), emit_counts)
+    within = np.arange(total) - np.repeat(
+        np.cumsum(emit_counts) - emit_counts, emit_counts)
+    slot = ops_offset[visit_state[rep_idx]] + within
+    order = np.argsort(flat_nodes[slot], kind="stable")
+    em_visit = rep_idx[order]
+    em_node = flat_nodes[slot][order]
+    em_cycle = visit_cycle[em_visit]
+    em_start = flat_starts[slot[order]]
+    em_state = visit_state[em_visit].astype(np.int32, copy=False)
+    em_pass = visit_pass[em_visit]
+    group_nodes = em_node[np.concatenate(
+        ([0], np.flatnonzero(np.diff(em_node)) + 1))] if total else \
+        np.zeros(0, dtype=np.int64)
+    group_bounds = np.searchsorted(em_node, group_nodes)
+
+    empty_c = np.array([], dtype=np.int64)
+    empty_s = np.array([], dtype=np.float64)
+    empty_t = np.array([], dtype=np.int32)
+    op_cycle = {n: empty_c for n in store.occurrences}
+    op_start = {n: empty_s for n in store.occurrences}
+    op_state = {n: empty_t for n in store.occurrences}
+
+    input_set = set(cdfg.input_nodes)
+    n_passes = store.n_passes
+    in_cycle = np.array(pass_start_cycles, dtype=np.int64)
+    in_start = np.zeros(n_passes, dtype=np.float64)
+    in_state = np.full(n_passes, start_state, dtype=np.int32)
+    for n in store.occurrences:
+        if n in input_set:
+            op_cycle[n] = in_cycle
+            op_start[n] = in_start
+            op_state[n] = in_state
+
+    for g, n in enumerate(group_nodes.tolist()):
+        lo = int(group_bounds[g])
+        hi = int(group_bounds[g + 1]) if g + 1 < group_nodes.size else total
+        occ = store.occurrences.get(n)
+        recon_pass = em_pass[lo:hi]
+        size = hi - lo
+        if occ is None:
+            k = 0
+        else:
+            shared = min(size, len(occ))
+            bad = np.flatnonzero(recon_pass[:shared] != occ.pass_idx[:shared])
+            k = int(bad[0]) if bad.size else (
+                shared if size > len(occ) else None)
+        if k is not None:
+            raise ScheduleError(
+                f"node {cdfg.node(n).name}: STG executes it more often than "
+                f"the behavior did (pass {int(recon_pass[k])}, "
+                f"state {int(em_state[lo + k])})")
+        op_cycle[n] = em_cycle[lo:hi]
+        op_start[n] = em_start[lo:hi]
+        op_state[n] = em_state[lo:hi]
 
     if check:
-        for node_id, ptr in pointers.items():
+        for node_id in store.occurrences:
             node = cdfg.node(node_id)
             if not node.is_schedulable:
                 continue
+            consumed = len(op_cycle[node_id]) if node_id in scheduled else 0
             expected = store.count(node_id)
-            if ptr != expected:
+            if consumed != expected:
                 raise ScheduleError(
-                    f"node {node.name}: STG executed it {ptr} times but the "
-                    f"behavior executed it {expected} times")
+                    f"node {node.name}: STG executed it {consumed} times but "
+                    f"the behavior executed it {expected} times")
 
     return ReplayResult(
         cycles=np.array(cycles_per_pass, dtype=np.int64),
-        op_cycle={n: np.array(v, dtype=np.int64) for n, v in op_cycle.items()},
-        op_start={n: np.array(v, dtype=np.float64) for n, v in op_start.items()},
-        op_state={n: np.array(v, dtype=np.int32) for n, v in op_state.items()},
+        op_cycle=op_cycle,
+        op_start=op_start,
+        op_state=op_state,
+        total_cycles=global_cycle,
+        state_visits=state_visits,
+        state_seq=state_seq,
+    )
+
+
+# -------------------------------------------------------------- incremental
+
+
+def _solid_states(parent: STG, child: STG, p2c: dict[int, int]) -> set[int]:
+    """Parent states whose replay behavior is untouched in the child.
+
+    A mapped parent state is *solid* when its replay content (duration +
+    the (start, node) multiset of its ops) equals its image's, and every
+    outgoing transition has a child twin with the same guard whose
+    destination is the mapped one.  A pass visiting only solid states
+    replays identically in the child: at each step the parent twin
+    matches the recorded condition values, and :meth:`STG.validate`'s
+    disjointness guarantee makes it the child's unique match.
+    """
+    solid: set[int] = set()
+    for p, c in p2c.items():
+        ps, cs = parent.states[p], child.states[c]
+        if ps.duration != cs.duration:
+            continue
+        if sorted((o.start, o.node) for o in ps.ops) != \
+                sorted((o.start, o.node) for o in cs.ops):
+            continue
+        by_conds = {t.conds: t for t in child.out_transitions(c)}
+        for t in parent.out_transitions(p):
+            twin = by_conds.get(t.conds)
+            if twin is None or p2c.get(t.dst) != twin.dst:
+                break
+        else:
+            solid.add(p)
+    return solid
+
+
+def _replay_incremental(stg: STG, cdfg: CDFG, store: TraceStore, check: bool,
+                        parent_stg: STG, parent_rep: ReplayResult) -> ReplayResult | None:
+    """Replay ``stg`` reusing ``parent_rep`` for untouched passes.
+
+    Returns ``None`` (caller falls back to the full walk) when the
+    parent did not consume the store exactly, no pass is clean, or a
+    re-simulated pass consumes a different occurrence count than the
+    recorded behavior.  Whenever a result *is* returned it
+    is bit-identical to :func:`_replay_impl` on the same inputs: clean
+    passes are store-determined (the condition values steering them and
+    the values live at pass entry all come from the occurrence streams,
+    never from other passes), so per-pass reuse and re-simulation compose
+    freely.
+    """
+    p2c = parent_stg.align_states(stg)
+    n_passes = store.n_passes
+    if n_passes != len(parent_rep.state_seq):
+        return None
+    for n, occ in store.occurrences.items():
+        arr = parent_rep.op_cycle.get(n)
+        if arr is None or len(arr) != len(occ):
+            return None
+
+    solid = _solid_states(parent_stg, stg, p2c)
+    max_id = max(parent_stg.states)
+    solid_lut = np.zeros(max_id + 1, dtype=bool)
+    for sid in solid:
+        solid_lut[sid] = True
+    clean = [bool(solid_lut[seq].all()) for seq in parent_rep.state_seq]
+    if not any(clean):
+        return None
+
+    state_lut = np.zeros(max_id + 1, dtype=np.int32)
+    for p, c in p2c.items():
+        state_lut[p] = c
+
+    bounds = {n: np.searchsorted(occ.pass_idx, np.arange(n_passes + 1))
+              for n, occ in store.occurrences.items()}
+    consts = {node.id: node.value for node in cdfg.nodes.values()
+              if node.kind is OpKind.CONST}
+    ordered_ops = _ordered_ops(stg)
+    occ_lists = None  # materialized lazily, only if a dirty pass exists
+    parent_prefix = np.concatenate(([0], np.cumsum(parent_rep.cycles)))
+
+    cycles = np.empty(n_passes, dtype=np.int64)
+    state_seq: list = [None] * n_passes
+    state_visits: dict[int, int] = {}
+    delta = np.zeros(n_passes, dtype=np.int64)
+    dirty_ops: dict[int, tuple] = {}
+    global_cycle = 0
+    for p in range(n_passes):
+        delta[p] = global_cycle - int(parent_prefix[p])
+        if clean[p]:
+            seq = state_lut[parent_rep.state_seq[p]]
+            state_seq[p] = seq
+            cycles[p] = parent_rep.cycles[p]
+            ids, counts = np.unique(seq, return_counts=True)
+            for sid, count in zip(ids, counts):
+                sid = int(sid)
+                state_visits[sid] = state_visits.get(sid, 0) + int(count)
+            global_cycle += int(cycles[p])
+            continue
+        if occ_lists is None:
+            occ_lists = _occ_lists(store)
+        pointers = {n: int(bounds[n][p]) for n in store.occurrences}
+        last_val = dict(consts)
+        for n, entry in occ_lists.items():
+            base = pointers[n]
+            if base > 0:
+                last_val[n] = entry[1][base - 1]
+        oc: dict[int, list] = {n: [] for n in store.occurrences}
+        osn: dict[int, list] = {n: [] for n in store.occurrences}
+        ost: dict[int, list] = {n: [] for n in store.occurrences}
+        visits: dict[int, int] = {}
+        pass_cycles, visited, global_cycle = _walk_pass(
+            stg, cdfg, occ_lists, p, global_cycle, pointers, last_val,
+            ordered_ops, oc, osn, ost, visits)
+        for n in store.occurrences:
+            if pointers[n] != int(bounds[n][p + 1]):
+                return None
+        cycles[p] = pass_cycles
+        state_seq[p] = np.array(visited, dtype=np.int32)
+        for sid, count in visits.items():
+            state_visits[sid] = state_visits.get(sid, 0) + count
+        dirty_ops[p] = (oc, osn, ost)
+
+    op_cycle: dict[int, np.ndarray] = {}
+    op_start: dict[int, np.ndarray] = {}
+    op_state: dict[int, np.ndarray] = {}
+    for n in store.occurrences:
+        b = bounds[n]
+        parts_c, parts_s, parts_t = [], [], []
+        for p in range(n_passes):
+            if clean[p]:
+                lo, hi = int(b[p]), int(b[p + 1])
+                parts_c.append(parent_rep.op_cycle[n][lo:hi] + delta[p])
+                parts_s.append(parent_rep.op_start[n][lo:hi])
+                parts_t.append(state_lut[parent_rep.op_state[n][lo:hi]])
+            else:
+                oc, osn, ost = dirty_ops[p]
+                parts_c.append(np.array(oc[n], dtype=np.int64))
+                parts_s.append(np.array(osn[n], dtype=np.float64))
+                parts_t.append(np.array(ost[n], dtype=np.int32))
+        op_cycle[n] = np.concatenate(parts_c) if parts_c else \
+            np.array([], dtype=np.int64)
+        op_start[n] = np.concatenate(parts_s) if parts_s else \
+            np.array([], dtype=np.float64)
+        op_state[n] = np.concatenate(parts_t) if parts_t else \
+            np.array([], dtype=np.int32)
+
+    return ReplayResult(
+        cycles=cycles,
+        op_cycle=op_cycle,
+        op_start=op_start,
+        op_state=op_state,
         total_cycles=global_cycle,
         state_visits=state_visits,
         state_seq=state_seq,

@@ -16,9 +16,15 @@ _M2 = np.uint64(0x3333333333333333)
 _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
 _H01 = np.uint64(0x0101010101010101)
 
+#: numpy >= 2.0 exposes a native per-element popcount ufunc; the
+#: parallel-prefix fallback keeps older installs working.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
 
 def popcount(values: np.ndarray) -> np.ndarray:
     """Per-element population count of an unsigned int64 array."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(values.astype(np.uint64)).astype(np.int64)
     v = values.astype(np.uint64)
     v = v - ((v >> np.uint64(1)) & _M1)
     v = (v & _M2) + ((v >> np.uint64(2)) & _M2)

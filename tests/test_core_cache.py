@@ -55,7 +55,8 @@ class TestSynthesisCacheStats:
     def test_lifetime_stats_shape(self):
         cache = SynthesisCache()
         stats = cache.stats()
-        assert set(stats) == {"schedule", "replay", "traces", "total"}
+        assert set(stats) == {"schedule", "replay", "traces", "design",
+                              "total"}
 
 
 class TestSignatures:

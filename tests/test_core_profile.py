@@ -113,51 +113,66 @@ def _load_check_perf():
     return module
 
 
+def _rec(day: int, wall: float, benchmarks=("loops", "gcd"), smoke=False):
+    return {"benchmarks": list(benchmarks), "smoke": smoke,
+            "recorded_at": f"2026-01-{day:02d}T00:00:00+00:00",
+            "wall_time_s": wall}
+
+
 class TestPerfGate:
-    def test_baseline_selection_matches_benchmark_set_and_time(self):
+    def test_baseline_selection_matches_mode_and_time(self):
         check_perf = _load_check_perf()
         records = [
-            {"benchmarks": ["gcd"], "recorded_at": "2026-01-01T00:00:00+00:00",
-             "wall_time_s": 10.0},
-            {"benchmarks": ["loops", "gcd"],
-             "recorded_at": "2026-01-02T00:00:00+00:00", "wall_time_s": 5.0},
-            {"benchmarks": ["loops", "gcd"],
-             "recorded_at": "2026-01-03T00:00:00+00:00", "wall_time_s": 6.0},
+            _rec(1, 10.0, benchmarks=["gcd"]),        # different set
+            _rec(2, 99.0, smoke=True),                # different mode
+            _rec(3, 4.0), _rec(4, 5.0), _rec(5, 6.0), _rec(6, 7.0),
         ]
-        current = {"benchmarks": ["loops", "gcd"],
-                   "recorded_at": "2026-01-04T00:00:00+00:00",
-                   "wall_time_s": 7.0}
-        baseline = check_perf.find_baseline(records, current)
-        assert baseline["wall_time_s"] == 6.0
+        current = _rec(7, 7.0)
+        baselines = check_perf.find_baselines(records, current)
+        # Window of the last 3 matching records, oldest first.
+        assert [r["wall_time_s"] for r in baselines] == [5.0, 6.0, 7.0]
         # The current run itself (same timestamp) is never its baseline.
-        assert check_perf.find_baseline([current], current) is None
+        assert check_perf.find_baselines([current], current) == []
+        # Smoke runs only ever compare against smoke runs.
+        smoke_current = _rec(7, 1.0, smoke=True)
+        assert [r["wall_time_s"]
+                for r in check_perf.find_baselines(records, smoke_current)] == [99.0]
 
-    def test_gate_passes_and_fails_on_ratio(self, tmp_path):
+    def test_gate_compares_against_median_of_last_three(self, tmp_path):
         import json
 
         check_perf = _load_check_perf()
-        baseline = {"records": [
-            {"benchmarks": ["loops", "gcd"],
-             "recorded_at": "2026-01-01T00:00:00+00:00", "wall_time_s": 10.0},
-        ]}
+        # Median of [10, 30, 10] is 10 — the single noisy 30s record must
+        # not loosen the gate.
+        baseline = {"records": [_rec(1, 10.0), _rec(2, 30.0), _rec(3, 10.0)]}
         (tmp_path / "BENCH_headline.json").write_text(json.dumps(baseline))
-        current = {"benchmarks": ["loops", "gcd"],
-                   "recorded_at": "2026-01-02T00:00:00+00:00",
-                   "wall_time_s": 12.0}
-        (tmp_path / "headline.json").write_text(json.dumps(current))
+        (tmp_path / "headline.json").write_text(json.dumps(_rec(4, 12.0)))
         argv = ["--baseline", str(tmp_path / "BENCH_headline.json"),
                 "--current", str(tmp_path / "headline.json")]
         assert check_perf.main(argv + ["--max-ratio", "1.25"]) == 0
         assert check_perf.main(argv + ["--max-ratio", "1.1"]) == 1
 
+    def test_gate_fails_clearly_without_matching_records(self, tmp_path, capsys):
+        import json
+
+        check_perf = _load_check_perf()
+        # Records exist, but none match the current run's mode.
+        baseline = {"records": [_rec(1, 10.0, smoke=True)]}
+        (tmp_path / "BENCH_headline.json").write_text(json.dumps(baseline))
+        (tmp_path / "headline.json").write_text(json.dumps(_rec(2, 12.0)))
+        code = check_perf.main(["--baseline",
+                                str(tmp_path / "BENCH_headline.json"),
+                                "--current", str(tmp_path / "headline.json")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no records matching" in out
+
     def test_gate_seeds_quietly_without_baseline(self, tmp_path):
         import json
 
         check_perf = _load_check_perf()
-        current = {"benchmarks": ["paulin"],
-                   "recorded_at": "2026-01-02T00:00:00+00:00",
-                   "wall_time_s": 12.0}
-        (tmp_path / "headline.json").write_text(json.dumps(current))
+        (tmp_path / "headline.json").write_text(
+            json.dumps(_rec(2, 12.0, benchmarks=["paulin"])))
         assert check_perf.main(["--baseline", str(tmp_path / "missing.json"),
                                 "--current",
                                 str(tmp_path / "headline.json")]) == 0

@@ -64,6 +64,95 @@ def bundle(design) -> tuple:
     )
 
 
+def stg_digest(stg) -> tuple:
+    """Full structural identity of an STG: ids, ops, order, transitions."""
+    return (
+        stg.start, stg.done,
+        tuple((sid, state.duration,
+               tuple((o.node, o.fu, o.start, o.end) for o in state.ops))
+              for sid, state in sorted(stg.states.items())),
+        tuple((t.src, t.dst, t.conds) for t in stg.transitions),
+    )
+
+
+def replay_digest(rep) -> tuple:
+    """Bit-level identity of a replay: every occurrence of every op."""
+    return (
+        rep.total_cycles,
+        tuple(rep.cycles.tolist()),
+        tuple(sorted((n, tuple(a.tolist())) for n, a in rep.op_cycle.items())),
+        tuple(sorted((n, tuple(a.tolist())) for n, a in rep.op_start.items())),
+        tuple(sorted((n, tuple(a.tolist())) for n, a in rep.op_state.items())),
+        tuple(sorted(rep.state_visits.items())),
+        tuple(tuple(seq.tolist()) for seq in rep.state_seq),
+    )
+
+
+@pytest.mark.parametrize("caching", [True, False],
+                         ids=["cache-on", "cache-off"])
+@pytest.mark.parametrize("name", BENCHMARKS)
+@settings(max_examples=5, deadline=None, derandomize=True,
+          suppress_health_check=list(HealthCheck))
+@given(seed=st.integers(0, 10**6))
+def test_rescheduling_chains_splice_equivalent(name, caching, seed):
+    """ShareFU / violating-SubstituteModule chains, spliced vs full.
+
+    These are the *rescheduling* moves: the incremental path replays the
+    parent's clean fragment scripts and splices only the dirty regions'
+    states, then patches the replay against the cached trace store.  At
+    every step of the chain the spliced STG must be structurally equal to
+    the full path's, the replay traces bit-identical, and the power
+    bundle equal — with the pipeline cache both on and off, and with
+    rejection parity on illegal moves.
+    """
+    from repro.core.moves import ShareFU, SubstituteModule
+    from repro.library.module import scale_delay
+
+    def is_slower(design, move) -> bool:
+        fu = design.binding.fus[move.fu]
+        return (scale_delay(design.library.get(move.module_name), fu.width)
+                > scale_delay(fu.module, fu.width))
+
+    inc, full = get_pair(name, caching)
+    rng = random.Random(seed)
+    applied = 0
+    while applied < MAX_MOVES:
+        moves = generate_moves(inc)
+        resched = [m for m in moves
+                   if isinstance(m, (ShareFU, SubstituteModule))]
+        if not resched:
+            break
+        # Alternate preference between unit merges and slower-module
+        # substitutions: ShareFU always re-schedules, and a substitution
+        # re-schedules exactly when the slower module breaks a state's
+        # cycle window — the two chains this suite must prove spliced.
+        shares = [m for m in resched if isinstance(m, ShareFU)]
+        slow_subs = [m for m in resched
+                     if isinstance(m, SubstituteModule) and is_slower(inc, m)]
+        pool = (shares if applied % 2 == 0 else slow_subs) or slow_subs \
+            or shares or resched
+        move = rng.choice(pool)
+        try:
+            next_inc = move.apply(inc)
+        except ReproError:
+            # Rejection parity: the full path must reject it too.
+            with pytest.raises(ReproError):
+                move.apply(full)
+            applied += 1
+            continue
+        next_full = move.apply(full)
+        assert next_inc.incremental and not next_full.incremental
+        assert stg_digest(next_inc.stg) == stg_digest(next_full.stg), \
+            (name, caching, move)
+        assert replay_digest(next_inc.rep) == replay_digest(next_full.rep), \
+            (name, caching, move)
+        assert bundle(next_inc) == bundle(next_full), (name, caching, move)
+        inc, full = next_inc, next_full
+        applied += 1
+    # The whole trajectory must have advanced through real reschedules.
+    assert applied > 0
+
+
 @pytest.mark.parametrize("caching", [True, False],
                          ids=["cache-on", "cache-off"])
 @pytest.mark.parametrize("name", BENCHMARKS)

@@ -38,6 +38,7 @@ from repro.core.profile import PROFILER
 from repro.core.search import SearchConfig
 from repro.experiments.laxity import run_laxity_sweep
 from repro.experiments.report import format_table
+from repro.store.atomic import atomic_write_text, write_json
 from repro.verify.conformance import verify_benchmark
 
 SEARCH = SearchConfig(max_depth=4, max_candidates=10, max_iterations=5, seed=0)
@@ -51,9 +52,12 @@ BENCH_LOG = pathlib.Path(__file__).resolve().parent.parent / "BENCH_headline.jso
 
 #: Every pipeline stage with an incremental fast path.  Emitted explicitly
 #: (zeros included) in ``incremental_hits`` so trend tooling sees a stage
-#: losing its incremental coverage as a 0, not as a missing key.
+#: losing its incremental coverage as a 0, not as a missing key.  The
+#: ``store`` stage counts cross-run disk hits from the persistent
+#: artifact store (nonzero only when ``$REPRO_STORE_DIR`` points at a
+#: warm store — see ``docs/service.md``).
 PIPELINE_STAGES = ("arch_build", "power_estimate", "replay", "schedule",
-                   "trace_merge")
+                   "store", "trace_merge")
 
 #: The checked-in trajectory keeps only this many most-recent records.
 MAX_RECORDS = 50
@@ -69,8 +73,7 @@ def append_run_record(record: dict) -> None:
     if BENCH_LOG.exists():
         log = json.loads(BENCH_LOG.read_text(encoding="utf-8"))
     log["records"] = (log.get("records", []) + [record])[-MAX_RECORDS:]
-    BENCH_LOG.write_text(json.dumps(log, indent=1, sort_keys=True) + "\n",
-                         encoding="utf-8")
+    write_json(BENCH_LOG, log)
 
 
 def bench_headline(benchmark):
@@ -170,18 +173,15 @@ def bench_headline(benchmark):
     json_line = json.dumps(metrics, sort_keys=True)
     print(json_line)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "headline.json").write_text(json_line + "\n", encoding="utf-8")
-    (RESULTS_DIR / "profile.json").write_text(
-        json.dumps({"recorded_at": metrics["recorded_at"],
-                    "wall_time_s": metrics["wall_time_s"],
-                    "benchmarks": list(NAMES),
-                    "stages": profile,
-                    "incremental_hits": incremental_hits},
-                   indent=1, sort_keys=True) + "\n",
-        encoding="utf-8")
-    (RESULTS_DIR / "conformance.json").write_text(
-        json.dumps({"ok": conformance_ok, "passes": CONFORMANCE_PASSES,
-                    "benchmarks": conformance}, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    atomic_write_text(RESULTS_DIR / "headline.json", json_line + "\n")
+    write_json(RESULTS_DIR / "profile.json",
+               {"recorded_at": metrics["recorded_at"],
+                "wall_time_s": metrics["wall_time_s"],
+                "benchmarks": list(NAMES),
+                "stages": profile,
+                "incremental_hits": incremental_hits})
+    write_json(RESULTS_DIR / "conformance.json",
+               {"ok": conformance_ok, "passes": CONFORMANCE_PASSES,
+                "benchmarks": conformance}, indent=2)
     append_run_record(metrics)
     assert conformance_ok, "conformance divergence — see results/conformance.json"

@@ -44,12 +44,22 @@ def find_baselines(records: list[dict], current: dict,
     A record matches when it covers the same benchmark set under the same
     ``smoke`` flag — comparing a smoke run against a full run (or vice
     versa) would measure the mode switch, not a regression.
+
+    A current run missing ``recorded_at`` is treated as newer than every
+    record (previously it matched nothing and the gate failed spuriously),
+    and records sharing the current timestamp count too (sub-second CI
+    reruns used to silently lose their whole baseline window).  The
+    current run's own record — appended to the trajectory by
+    ``bench_headline.py`` before the gate runs — is excluded so it never
+    gates against itself.
     """
+    cur_ts = current.get("recorded_at")
     matches = [
         r for r in records
-        if bool(r.get("smoke")) == bool(current.get("smoke"))
+        if r != current
+        and bool(r.get("smoke")) == bool(current.get("smoke"))
         and r.get("benchmarks") == current.get("benchmarks")
-        and r.get("recorded_at", "") < current.get("recorded_at", "")
+        and (cur_ts is None or r.get("recorded_at", "") <= cur_ts)
         and "wall_time_s" in r
     ]
     return matches[-window:]

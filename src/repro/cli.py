@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Five subcommands cover the production entry points (documented in
+Six subcommands cover the production entry points (documented in
 ``docs/cli.md``):
 
 * ``repro synth``   — one IMPACT synthesis run, summary + report files;
@@ -9,7 +9,13 @@ Five subcommands cover the production entry points (documented in
 * ``repro verify``  — the differential-conformance oracle chain;
 * ``repro bench``   — a Figure 13 laxity sweep with report emission;
 * ``repro fuzz``    — random-program fuzzing through the full synthesize
-  + conformance chain (see docs/fuzzing.md), with shrunk reproducers.
+  + conformance chain (see docs/fuzzing.md), with shrunk reproducers;
+* ``repro serve``   — the async synthesis job server over the persistent
+  artifact store (see docs/service.md).
+
+Run-producing subcommands take ``--store DIR`` to attach the persistent
+content-addressed artifact store (default: ``$REPRO_STORE_DIR`` when
+set), so repeated runs replay schedules and replay results from disk.
 
 Every report lands under ``--results-dir`` (default ``results/``) as
 JSON + CSV + markdown via :func:`repro.experiments.report.write_report`.
@@ -112,6 +118,25 @@ def _add_common(parser: argparse.ArgumentParser, *, passes: int) -> None:
     parser.add_argument("--results-dir", type=pathlib.Path,
                         default=DEFAULT_RESULTS_DIR,
                         help="report output directory (default %(default)s)")
+    _add_store(parser)
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="persistent artifact-store directory (default "
+                             "$REPRO_STORE_DIR when set; omit both for a "
+                             "purely in-process cache)")
+
+
+def _print_store_stats(cache) -> None:
+    """One line of cross-run store traffic, when a store is attached."""
+    store = getattr(cache, "store", None)
+    if store is None:
+        return
+    totals = store.stats()["total"]
+    print(f"store: {totals['hits']} disk hits, {totals['misses']} misses "
+          f"at {store.root}")
 
 
 def _add_search(parser: argparse.ArgumentParser) -> None:
@@ -136,7 +161,8 @@ def cmd_synth(args) -> int:
     from repro.core.search import WeightedObjective
 
     engine = engine_for_benchmark(args.benchmark, n_passes=args.passes,
-                                  seed=args.stimulus_seed)
+                                  seed=args.stimulus_seed,
+                                  store_dir=args.store)
     mode = args.mode
     if args.weights is not None:
         mode = WeightedObjective.for_engine(engine, args.weights, args.laxity)
@@ -151,6 +177,7 @@ def cmd_synth(args) -> int:
         verified = report.ok
         print(f"conformance: {'OK' if report.ok else 'DIVERGED'} "
               f"({len(engine.stimulus)} passes)")
+    _print_store_stats(engine.cache)
 
     written = write_report(
         [summary], args.results_dir / f"synth_{args.benchmark}",
@@ -172,7 +199,8 @@ def cmd_explore(args) -> int:
     result = explore(
         args.benchmark, objectives=args.objectives, laxities=args.laxities,
         seeds=(args.seed,), shards=args.shards, n_passes=args.passes,
-        stimulus_seed=args.stimulus_seed, search=_search_from_args(args))
+        stimulus_seed=args.stimulus_seed, search=_search_from_args(args),
+        store_dir=None if args.store is None else str(args.store))
     summary = result.summary()
     rows = result.rows()
     print(format_table(rows, title=(
@@ -217,7 +245,8 @@ def cmd_verify(args) -> int:
     for name in names:
         report = verify_benchmark(name, n_passes=args.passes,
                                   seed=args.stimulus_seed,
-                                  use_iverilog=args.iverilog)
+                                  use_iverilog=args.iverilog,
+                                  store_dir=args.store)
         rows.append(report.summary())
         ok = ok and report.ok
     print(format_table(rows, title=f"repro verify ({args.passes} passes)"))
@@ -242,7 +271,8 @@ def cmd_bench(args) -> int:
         for i in range(args.points))
     sweep = run_laxity_sweep(args.benchmark, laxities=laxities,
                              n_passes=args.passes, seed=args.stimulus_seed,
-                             search=_search_from_args(args))
+                             search=_search_from_args(args),
+                             store_dir=args.store)
     print(format_sweep(sweep))
 
     # Per-stage incremental rates: how often each pipeline stage took its
@@ -317,7 +347,8 @@ def cmd_fuzz(args) -> int:
             config=dataclasses.replace(gen, seed=args.seed))
         verdict = fuzz_program(program, laxities=args.laxities,
                                n_passes=args.passes, search=search,
-                               use_iverilog=args.iverilog)
+                               use_iverilog=args.iverilog,
+                               store_dir=args.store)
         print(format_table([verdict.row()],
                            title=f"repro fuzz --replay {args.replay}"))
         if verdict.detail:
@@ -328,7 +359,8 @@ def cmd_fuzz(args) -> int:
                       n_passes=args.passes, gen=gen, search=search,
                       use_iverilog=args.iverilog,
                       results_dir=args.results_dir,
-                      shrink_trials=args.shrink_trials)
+                      shrink_trials=args.shrink_trials,
+                      store_dir=args.store)
     rows = report.rows()
     print(format_table(rows, title=(
         f"repro fuzz: {report.n_ok}/{report.count} programs "
@@ -345,6 +377,20 @@ def cmd_fuzz(args) -> int:
                            extra=report.summary())
     print("reports: " + ", ".join(str(p) for p in written.values()))
     return 0 if report.ok else 1
+
+
+# -- serve ----------------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    """Run the async synthesis job server (see docs/service.md)."""
+    from repro.service import serve
+
+    return serve(host=args.host, port=args.port,
+                 store_dir=None if args.store is None else str(args.store),
+                 queue_size=args.queue_size, workers=args.workers,
+                 job_timeout_s=args.timeout, retries=args.retries,
+                 max_cache_entries=args.max_cache_entries)
 
 
 # -- list -----------------------------------------------------------------------------
@@ -413,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto")
     p.add_argument("--results-dir", type=pathlib.Path,
                    default=DEFAULT_RESULTS_DIR)
+    _add_store(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("bench", help="Figure 13 laxity sweep + reports")
@@ -465,7 +512,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--results-dir", type=pathlib.Path,
                    default=DEFAULT_RESULTS_DIR,
                    help="report output directory (default %(default)s)")
+    _add_store(p)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve", help="run the async synthesis job server")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default %(default)s)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 picks a free one, announced in the "
+                        "serving line (default %(default)s)")
+    p.add_argument("--queue-size", type=_positive_int, default=8,
+                   help="pending-job bound before 429 rejection "
+                        "(default %(default)s)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="process-pool workers; 0 accepts jobs without "
+                        "running them, for back-pressure testing "
+                        "(default %(default)s)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-job timeout in seconds (default %(default)s)")
+    p.add_argument("--retries", type=_positive_int, default=1,
+                   help="retries after a timed-out or crashed job "
+                        "(default %(default)s)")
+    p.add_argument("--max-cache-entries", type=_positive_int, default=256,
+                   help="in-memory memo-table bound per worker; the store "
+                        "keeps the durable copies (default %(default)s)")
+    _add_store(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("list", help="list the benchmark registry")
     p.set_defaults(fn=cmd_list)

@@ -68,11 +68,21 @@ class MemoTable:
     ``enabled=False`` turns the table into a counter-only pass-through:
     every call recomputes and registers as a miss, so the *number of full
     computations* stays measurable with caching off.
+
+    ``max_entries`` optionally bounds the table with FIFO eviction
+    (python dicts iterate in insertion order, so the oldest entry is the
+    first key).  Off by default — a search-lifetime engine wants every
+    artifact — and enabled by long-lived owners such as the job-server
+    worker pool, whose engines would otherwise grow without bound.
+    Eviction only drops the in-process reference; correctness is
+    untouched (a re-request recomputes or re-reads the same content).
     """
 
-    def __init__(self, name: str, enabled: bool = True):
+    def __init__(self, name: str, enabled: bool = True,
+                 max_entries: int | None = None):
         self.name = name
         self.enabled = enabled
+        self.max_entries = max_entries
         self._table: dict[Any, Any] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -89,16 +99,30 @@ class MemoTable:
             self.stats.misses += 1
         value = compute()
         with self._lock:
-            # A racing thread may have published first; keep the first
-            # value so every caller sees one shared object.
-            return self._table.setdefault(key, value)
+            return self._publish_locked(key, value)
+
+    def _publish_locked(self, key: Any, value: Any) -> Any:
+        """Insert under the held lock; FIFO-evict past ``max_entries``.
+
+        A racing thread may have published first; the first value is kept
+        so every caller sees one shared object.
+        """
+        value = self._table.setdefault(key, value)
+        excess = (len(self._table) - self.max_entries
+                  if self.max_entries is not None else 0)
+        if excess > 0:
+            # Oldest-first, never the entry being returned.
+            for oldest in [k for k in self._table if k != key][:excess]:
+                del self._table[oldest]
+        return value
 
     def clear(self) -> None:
         with self._lock:
             self._table.clear()
 
     def __len__(self) -> int:
-        return len(self._table)
+        with self._lock:
+            return len(self._table)
 
 
 class SynthesisCache:
@@ -110,12 +134,13 @@ class SynthesisCache:
     derives, so laxity sweeps and multi-start searches share artifacts.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, max_entries: int | None = None):
         self.enabled = enabled
-        self.schedule = MemoTable("schedule", enabled)
-        self.replay = MemoTable("replay", enabled)
-        self.traces = MemoTable("traces", enabled)
-        self.designs = MemoTable("design", enabled)
+        self.max_entries = max_entries
+        self.schedule = MemoTable("schedule", enabled, max_entries)
+        self.replay = MemoTable("replay", enabled, max_entries)
+        self.traces = MemoTable("traces", enabled, max_entries)
+        self.designs = MemoTable("design", enabled, max_entries)
 
     @property
     def tables(self) -> tuple[MemoTable, ...]:

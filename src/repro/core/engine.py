@@ -104,6 +104,15 @@ class SynthesisEngine:
         patching the parent design point's.  ``False`` forces the full
         path for every candidate; results are bit-identical either way
         (the equivalence suite enforces it).
+    cache:
+        An optional pre-built pipeline cache.  This is the factory seam
+        for the persistent artifact store: pass a
+        :class:`~repro.store.persistent.PersistentCache` (e.g. from
+        :func:`repro.store.attached_cache`) and every schedule/replay the
+        engine computes is read from / published to the shared on-disk
+        store.  ``None`` builds a plain in-process
+        :class:`~repro.core.cache.SynthesisCache`; when a cache is given
+        its own ``enabled`` flag governs and ``caching`` is ignored.
     store, initial:
         Optional pre-computed trace store / initial design point (e.g.
         from an earlier engine); both are lazily built when omitted.
@@ -117,6 +126,7 @@ class SynthesisEngine:
                  options: ScheduleOptions | None = None,
                  caching: bool = True,
                  incremental: bool = True,
+                 cache: SynthesisCache | None = None,
                  store: TraceStore | None = None,
                  initial: DesignPoint | None = None,
                  max_workers: int | None = None):
@@ -124,11 +134,20 @@ class SynthesisEngine:
         self.stimulus = stimulus
         self.library = library or default_library()
         self.options = options or ScheduleOptions()
-        self.cache = SynthesisCache(enabled=caching)
+        self.cache = cache if cache is not None else SynthesisCache(enabled=caching)
+        self._bind_cache(cdfg=cdfg)
         self.incremental = incremental
         self.max_workers = max_workers
         self._store = store
+        if store is not None:
+            self._bind_cache(trace_store=store)
         self._initial = self._adopt(initial)
+
+    def _bind_cache(self, **objects) -> None:
+        """Register id-keyed objects with a store-backed cache, if any."""
+        bind = getattr(self.cache, "bind", None)
+        if bind is not None:
+            bind(**objects)
 
     # -- shared state ---------------------------------------------------------------
 
@@ -137,6 +156,7 @@ class SynthesisEngine:
         """The behavioral profile, simulated once per engine."""
         if self._store is None:
             self._store = simulate(self.cdfg, self.stimulus)
+            self._bind_cache(trace_store=self._store)
         return self._store
 
     @property
@@ -165,6 +185,7 @@ class SynthesisEngine:
                 "design point was built on a different CDFG than the engine's")
         if self._store is None:
             self._store = design.store
+            self._bind_cache(trace_store=self._store)
         elif design.store is not self._store:
             raise ConstraintError(
                 "design point was profiled against a different trace store "
@@ -321,7 +342,37 @@ class SynthesisEngine:
             stimulus, store = self.stimulus, self.store
         else:
             store = None
-        return verify_architecture(
+        report = verify_architecture(
             self.cdfg, design.arch, stimulus, store=store,
             name=name or getattr(self.cdfg, "name", None) or "impact",
             use_iverilog=use_iverilog, minimize=minimize)
+        self._publish_verified(design, report, n_passes=len(stimulus))
+        return report
+
+    def _publish_verified(self, design: DesignPoint, report,
+                          *, n_passes: int) -> None:
+        """File the verdict and emitted netlist in the artifact store.
+
+        Only runs against a store-backed cache; publication is provenance
+        (signature-keyed verdicts and Verilog text a service client can
+        fetch), never a verification shortcut — conformance always
+        re-runs, so a stale artifact can never mask a divergence.
+        Best-effort: an unwritable store silently degrades.
+        """
+        design_key = getattr(self.cache, "design_key", None)
+        art_store = getattr(self.cache, "store", None)
+        if design_key is None or art_store is None:
+            return
+        try:
+            key = design_key(design)
+            if key is None:
+                return
+            art_store.put_json("conformance", key,
+                               {"passes": n_passes, **report.summary()})
+            from repro.hdl import emit_verilog, lower_architecture
+            art_store.put_json(
+                "netlist", key,
+                {"verilog": emit_verilog(lower_architecture(
+                    design.arch, name=report.name))})
+        except Exception:
+            pass

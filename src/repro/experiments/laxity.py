@@ -117,6 +117,7 @@ def run_laxity_sweep(
     options: ScheduleOptions | None = None,
     caching: bool = True,
     engine: SynthesisEngine | None = None,
+    store_dir=None,
 ) -> LaxitySweep:
     """Regenerate one Figure 13 subplot.
 
@@ -127,7 +128,9 @@ def run_laxity_sweep(
     recomputed.  Pass ``engine`` to share that state with a caller; the
     engine then supplies the program, stimulus and configuration, and
     ``benchmark`` is just the sweep's label (``n_passes``/``seed``/
-    ``options``/``caching`` are ignored).
+    ``options``/``caching`` are ignored).  ``store_dir`` attaches the
+    persistent artifact store (``None`` consults ``$REPRO_STORE_DIR``),
+    so a repeated sweep replays schedules and replay results from disk.
     """
     search = search or SearchConfig(max_depth=5, max_candidates=12, max_iterations=6)
     if engine is None:
@@ -135,7 +138,10 @@ def run_laxity_sweep(
         cdfg = bench.cdfg()
         stimulus = bench.stimulus(n_passes, seed=seed)
         options = options or ScheduleOptions(clock_ns=bench.clock_ns)
-        engine = SynthesisEngine(cdfg, stimulus, options=options, caching=caching)
+        from repro.store import attached_cache
+        engine = SynthesisEngine(
+            cdfg, stimulus, options=options,
+            cache=attached_cache(caching=caching, store_dir=store_dir))
     stimulus = engine.stimulus
 
     from repro.core.profile import PROFILER

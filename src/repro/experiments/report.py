@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import csv
 import io
-import json
 import pathlib
 
 from repro.experiments.laxity import LaxitySweep
+from repro.store.atomic import atomic_write_text, write_json
 
 
 def format_table(rows: list[dict], title: str = "") -> str:
@@ -90,6 +90,10 @@ def write_report(rows: list[dict], base: pathlib.Path | str, *,
     ``base`` is the extension-less output path (its directory is
     created); ``extra`` adds top-level keys next to ``rows`` in the JSON
     payload (e.g. a run summary).  Returns ``{format: written path}``.
+
+    Every file is published atomically (write-temp + rename, the same
+    helper the artifact store uses), so a reader — or a crash — never
+    sees a half-written report.
     """
     base = pathlib.Path(base)
     base.parent.mkdir(parents=True, exist_ok=True)
@@ -97,17 +101,15 @@ def write_report(rows: list[dict], base: pathlib.Path | str, *,
     if "json" in formats:
         payload = {"title": title, **(extra or {}), "rows": rows}
         path = base.with_suffix(".json")
-        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
-                        encoding="utf-8")
+        write_json(path, payload)
         written["json"] = path
     if "csv" in formats:
         path = base.with_suffix(".csv")
-        path.write_text(format_csv(rows), encoding="utf-8")
+        atomic_write_text(path, format_csv(rows))
         written["csv"] = path
     if "md" in formats:
         path = base.with_suffix(".md")
-        path.write_text(format_markdown_table(rows, title=title) + "\n",
-                        encoding="utf-8")
+        atomic_write_text(path, format_markdown_table(rows, title=title) + "\n")
         written["md"] = path
     return written
 

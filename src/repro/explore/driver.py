@@ -124,19 +124,32 @@ class ExploreResult:
 
 def engine_for_benchmark(name: str, *, n_passes: int = 20, seed: int = 7,
                          caching: bool = True,
-                         max_workers: int | None = None) -> SynthesisEngine:
+                         max_workers: int | None = None,
+                         store_dir=None,
+                         cache_entries: int | None = None) -> SynthesisEngine:
     """Build a ready-to-run engine for a registry benchmark.
 
     Parses the benchmark's source, draws ``n_passes`` stimulus passes with
     ``seed``, and configures the designer clock from the registry entry.
-    This is the one construction path the CLI, the explorer and the
-    examples share, so their engines are always comparable.
+    This is the one construction path the CLI, the explorer, the job
+    server and the examples share, so their engines are always
+    comparable.
+
+    ``store_dir`` attaches the persistent artifact store (``None``
+    consults ``$REPRO_STORE_DIR``; see :func:`repro.store.attached_cache`)
+    and ``cache_entries`` bounds the in-process memo tables (used by
+    long-lived owners like the job-server workers).  Results are
+    bit-identical with or without a store.
     """
+    from repro.store import attached_cache
+
     bench = get_benchmark(name)
     return SynthesisEngine(
         bench.cdfg(), bench.stimulus(n_passes, seed=seed),
         options=ScheduleOptions(clock_ns=bench.clock_ns),
-        caching=caching, max_workers=max_workers)
+        cache=attached_cache(caching=caching, store_dir=store_dir,
+                             max_entries=cache_entries),
+        max_workers=max_workers)
 
 
 def _resolve_mode(engine: SynthesisEngine, job: ExploreJob):
@@ -201,7 +214,8 @@ def _run_shard(payload: dict) -> list[dict]:
     """Process-pool worker: run a shard's jobs on one shared engine."""
     engine = engine_for_benchmark(
         payload["benchmark"], n_passes=payload["n_passes"],
-        seed=payload["stimulus_seed"], caching=payload["caching"])
+        seed=payload["stimulus_seed"], caching=payload["caching"],
+        store_dir=payload.get("store_dir"))
     out = []
     for job in payload["jobs"]:
         local, stats, _ = _run_job(engine, job, payload["search"])
@@ -235,7 +249,8 @@ def explore(benchmark: str, *,
             n_passes: int = 20,
             stimulus_seed: int = 7,
             search: SearchConfig | None = None,
-            caching: bool = True) -> ExploreResult:
+            caching: bool = True,
+            store_dir=None) -> ExploreResult:
     """Explore a benchmark's design space and return its Pareto frontier.
 
     Parameters
@@ -259,6 +274,13 @@ def explore(benchmark: str, *,
     search:
         Base :class:`~repro.core.search.SearchConfig`; each job replaces
         only its ``seed``.
+    store_dir:
+        Artifact-store root shared by every shard (``None`` consults
+        ``$REPRO_STORE_DIR``; pass ``""`` to force a plain in-process
+        cache).  Workers publish and reuse schedules/replays through the
+        store — concurrency-safe because publication is atomic and
+        content-addressed — and the frontier stays bit-identical with or
+        without it.
 
     Returns an :class:`ExploreResult` whose ``front`` holds the merged,
     non-dominated (area, power, latency) points with per-job provenance.
@@ -274,7 +296,8 @@ def explore(benchmark: str, *,
         # In-process run: keep each job's archived designs so a later
         # verify_frontier call can skip re-running the searches.
         engine = engine_for_benchmark(benchmark, n_passes=n_passes,
-                                      seed=stimulus_seed, caching=caching)
+                                      seed=stimulus_seed, caching=caching,
+                                      store_dir=store_dir)
         shard_results = [[]]
         for job in jobs:
             local, stats, job_designs = _run_job(engine, job, search,
@@ -293,6 +316,7 @@ def explore(benchmark: str, *,
             "n_passes": n_passes,
             "stimulus_seed": stimulus_seed,
             "caching": caching,
+            "store_dir": store_dir,
             "search": search,
             "jobs": jobs[k::shards],
         } for k in range(shards)]

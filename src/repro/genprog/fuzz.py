@@ -118,7 +118,7 @@ def _search_config(args_search):
 
 def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
                    search, use_iverilog: str, *,
-                   stop_on_failure: bool = False,
+                   stop_on_failure: bool = False, store_dir=None,
                    ) -> tuple[dict[float, str], str | None, str]:
     """Run synth+conformance at every laxity; returns (verdicts, stage, detail).
 
@@ -130,6 +130,7 @@ def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
     from repro.core.engine import SynthesisEngine
     from repro.lang import parse
     from repro.sched.engine import ScheduleOptions
+    from repro.store import attached_cache
 
     verdicts: dict[float, str] = {}
     stage: str | None = None
@@ -137,7 +138,8 @@ def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
     cdfg = parse(program.source)
     stimulus = program.stimulus(n_passes, seed=0)
     engine = SynthesisEngine(cdfg, stimulus,
-                             options=ScheduleOptions(clock_ns=10.0))
+                             options=ScheduleOptions(clock_ns=10.0),
+                             cache=attached_cache(store_dir=store_dir))
     for laxity in laxities:
         try:
             result = engine.run(mode="power", laxity=laxity, search=search)
@@ -161,7 +163,7 @@ def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
 
 
 def _still_fails(process, config: GenConfig, laxities, n_passes: int,
-                 search, use_iverilog: str) -> bool:
+                 search, use_iverilog: str, store_dir=None) -> bool:
     """Shrink predicate: the candidate still fails somewhere in the chain.
 
     The round-trip check runs over the *same* stimulus (n_passes, seed
@@ -180,7 +182,7 @@ def _still_fails(process, config: GenConfig, laxities, n_passes: int,
     try:
         _verdicts, stage, _detail = _chain_failure(
             candidate, laxities, n_passes, search, use_iverilog,
-            stop_on_failure=True)
+            stop_on_failure=True, store_dir=store_dir)
     except ReproError:
         return False
     return stage is not None
@@ -188,12 +190,12 @@ def _still_fails(process, config: GenConfig, laxities, n_passes: int,
 
 def _shrink_reproducer(program: GeneratedProgram, laxities, n_passes: int,
                        search, use_iverilog: str, results_dir: Path,
-                       max_trials: int) -> str:
+                       max_trials: int, store_dir=None) -> str:
     """Minimize a failing program and write its source; returns the path."""
     small = shrink_process(
         program.process,
         lambda proc: _still_fails(proc, program.config, laxities, n_passes,
-                                  search, use_iverilog),
+                                  search, use_iverilog, store_dir=store_dir),
         max_trials=max_trials)
     path = results_dir / f"fuzz_repro_{program.name}.src"
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -203,7 +205,8 @@ def _shrink_reproducer(program: GeneratedProgram, laxities, n_passes: int,
 
 def fuzz_program(program: GeneratedProgram, *,
                  laxities=DEFAULT_LAXITIES, n_passes: int = 10,
-                 search=None, use_iverilog: str = "off") -> ProgramVerdict:
+                 search=None, use_iverilog: str = "off",
+                 store_dir=None) -> ProgramVerdict:
     """Fuzz one already-generated program (also the --replay entry point)."""
     search = _search_config(search)
     verdict = ProgramVerdict(name=program.name, seed=program.config.seed,
@@ -214,7 +217,8 @@ def fuzz_program(program: GeneratedProgram, *,
         verdict.status, verdict.detail = "semantic", str(exc)
         return verdict
     verdicts, stage, detail = _chain_failure(program, laxities, n_passes,
-                                             search, use_iverilog)
+                                             search, use_iverilog,
+                                             store_dir=store_dir)
     verdict.laxities = verdicts
     if stage is not None:
         verdict.status, verdict.detail = stage, detail
@@ -225,11 +229,14 @@ def fuzz_run(count: int, seed: int, *, laxities=DEFAULT_LAXITIES,
              n_passes: int = 10, gen: GenConfig | None = None,
              search=None, use_iverilog: str = "off",
              results_dir: Path | str = "results",
-             shrink_trials: int = 200) -> FuzzReport:
+             shrink_trials: int = 200, store_dir=None) -> FuzzReport:
     """Generate and fuzz ``count`` programs; shrink and save any failure.
 
     Deterministic in all arguments: the i-th program's generator seed is
     ``seed * SEED_STRIDE + i`` and every downstream stage is seeded.
+    ``store_dir`` attaches the persistent artifact store (``None``
+    consults ``$REPRO_STORE_DIR``) so repeated runs over the same seeds
+    replay synthesis work from disk; verdicts are identical either way.
     """
     results_dir = Path(results_dir)
     template = (gen or GenConfig()).validated()
@@ -250,16 +257,17 @@ def fuzz_run(count: int, seed: int, *, laxities=DEFAULT_LAXITIES,
                 n_statements=program.n_statements, detail=str(exc))
             verdict.reproducer = _shrink_reproducer(
                 program, laxities, n_passes, search, use_iverilog,
-                results_dir, shrink_trials)
+                results_dir, shrink_trials, store_dir=store_dir)
             verdicts.append(verdict)
             continue
         verdict = fuzz_program(program, laxities=laxities,
                                n_passes=n_passes, search=search,
-                               use_iverilog=use_iverilog)
+                               use_iverilog=use_iverilog,
+                               store_dir=store_dir)
         if not verdict.ok:
             verdict.reproducer = _shrink_reproducer(
                 program, laxities, n_passes, search, use_iverilog,
-                results_dir, shrink_trials)
+                results_dir, shrink_trials, store_dir=store_dir)
         verdicts.append(verdict)
     return FuzzReport(count=count, seed=seed, laxities=tuple(laxities),
                       n_passes=n_passes, verdicts=verdicts)

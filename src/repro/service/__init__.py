@@ -1,0 +1,27 @@
+"""Async synthesis job server over the persistent artifact store.
+
+``python -m repro serve`` starts a :class:`~repro.service.server.JobServer`:
+a newline-JSON TCP protocol feeding a bounded queue and a process worker
+pool, every worker reading and publishing through one shared
+:mod:`repro.store` directory.  :class:`~repro.service.client.ServiceClient`
+is the matching blocking client.  See ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JOB_KINDS, execute_job, validate_job
+from repro.service.server import (
+    DEFAULT_WORKER_CACHE_ENTRIES,
+    JobServer,
+    serve,
+)
+
+__all__ = [
+    "DEFAULT_WORKER_CACHE_ENTRIES",
+    "JOB_KINDS",
+    "JobServer",
+    "ServiceClient",
+    "ServiceError",
+    "execute_job",
+    "serve",
+    "validate_job",
+]

@@ -1,0 +1,84 @@
+"""A minimal blocking client for the ``repro serve`` protocol.
+
+One TCP connection, newline-delimited JSON both ways.  This is the
+client the tests and ``tools/service_smoke.py`` use; anything that can
+write a JSON line to a socket (``nc``, a five-line script) speaks the
+same protocol — see ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class ServiceError(RuntimeError):
+    """The server reported an error or closed the connection."""
+
+
+class ServiceClient:
+    """Synchronous line-oriented client; safe for sequential use."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 600.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire primitives ---------------------------------------------------------
+
+    def send(self, payload: dict) -> None:
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+
+    def recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    # -- protocol ops ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        self.send({"op": "ping"})
+        return self.recv()
+
+    def stats(self) -> dict:
+        self.send({"op": "stats"})
+        return self.recv()
+
+    def submit(self, job: dict) -> dict:
+        """Submit one job; returns the ``accepted`` or ``rejected`` event."""
+        self.send({"op": "submit", "job": job})
+        return self.recv()
+
+    def run(self, job: dict) -> dict:
+        """Submit one job and block until its terminal event.
+
+        Returns the ``result`` event; raises :class:`ServiceError` on
+        rejection or job failure.  Intermediate ``started`` events (and
+        events for other jobs on a shared connection) are skipped.
+        """
+        ack = self.submit(job)
+        if ack.get("event") != "accepted":
+            raise ServiceError(f"job rejected: {ack}")
+        job_id = ack["id"]
+        while True:
+            event = self.recv()
+            if event.get("id") != job_id:
+                continue
+            if event.get("event") == "result":
+                return event
+            if event.get("event") == "error":
+                raise ServiceError(f"job {job_id} failed: {event}")

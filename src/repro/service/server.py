@@ -1,0 +1,233 @@
+"""The asyncio job server behind ``python -m repro serve``.
+
+Newline-delimited JSON over TCP: each request line is an object with an
+``op`` (``submit`` / ``stats`` / ``ping``) and each response line an
+object with an ``event``.  Accepted jobs flow through a bounded
+:class:`asyncio.Queue` into a process worker pool sharing one persistent
+artifact store; a full queue answers immediately with a 429-style
+``rejected`` event instead of buffering unboundedly.  See
+``docs/service.md`` for the protocol and a worked example.
+
+Durability properties the tests pin down:
+
+* every store publish inside a worker is atomic (write-temp +
+  ``os.replace``), so killing the server mid-job never leaves a partial
+  artifact visible;
+* a worker that cannot read the store computes cold instead of failing
+  (:func:`repro.store.attached_cache` degradation);
+* per-job timeout with bounded retries — a hung job surfaces as an
+  ``error`` event, not a wedged queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.service.jobs import execute_job, validate_job
+from repro.store import STORE_DIR_ENV, open_store
+
+#: Default in-memory cache bound inside workers: long-lived pool
+#: processes must not grow without bound across jobs (the store holds
+#: the durable copies; memory is just the hot front).
+DEFAULT_WORKER_CACHE_ENTRIES = 256
+
+
+class _Conn:
+    """One client connection; serializes writes so events never interleave."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self._lock = asyncio.Lock()
+
+    async def send(self, payload: dict) -> None:
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        async with self._lock:
+            try:
+                self.writer.write(line)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; its queued jobs still run
+
+
+class JobServer:
+    """Bounded job queue + process worker pool over a shared artifact store.
+
+    ``workers=0`` starts no consumers (and no process pool): submissions
+    are accepted until the queue fills, then rejected with 429 — the
+    deterministic back-pressure test mode.
+    """
+
+    def __init__(self, *, store_dir=None, queue_size: int = 8,
+                 workers: int = 2, job_timeout_s: float = 600.0,
+                 retries: int = 1,
+                 max_cache_entries: int | None = DEFAULT_WORKER_CACHE_ENTRIES):
+        if store_dir is None:
+            store_dir = os.environ.get(STORE_DIR_ENV)
+        self.store_dir = str(store_dir) if store_dir else None
+        self.queue_size = queue_size
+        self.workers = workers
+        self.job_timeout_s = job_timeout_s
+        self.retries = retries
+        self.max_cache_entries = max_cache_entries
+        self.port: int | None = None
+        self._ids = itertools.count(1)
+        self._queue: asyncio.Queue | None = None
+        self._executor: ProcessPoolExecutor | None = None
+        self._consumers: list[asyncio.Task] = []
+        self._done = 0
+        self._failed = 0
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.base_events.Server:
+        """Bind and start serving; returns the asyncio server object."""
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        if self.workers > 0:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._consumers = [asyncio.ensure_future(self._consume())
+                               for _ in range(self.workers)]
+        server = await asyncio.start_server(self._handle, host, port)
+        self.port = server.sockets[0].getsockname()[1]
+        return server
+
+    async def close(self) -> None:
+        for task in self._consumers:
+            task.cancel()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        conn = _Conn(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    await conn.send({"event": "rejected", "code": 400,
+                                     "error": "request is not valid JSON"})
+                    continue
+                await self._dispatch(request, conn)
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request, conn: _Conn) -> None:
+        op = request.get("op") if isinstance(request, dict) else None
+        if op == "ping":
+            await conn.send({"event": "pong"})
+        elif op == "stats":
+            await conn.send({"event": "stats", **self._stats()})
+        elif op == "submit":
+            await self._submit(request.get("job"), conn)
+        else:
+            await conn.send({"event": "rejected", "code": 400,
+                             "error": f"unknown op {op!r}"})
+
+    async def _submit(self, job, conn: _Conn) -> None:
+        error = validate_job(job)
+        if error is not None:
+            await conn.send({"event": "rejected", "code": 400,
+                             "error": error})
+            return
+        job_id = next(self._ids)
+        try:
+            self._queue.put_nowait((job_id, job, conn))
+        except asyncio.QueueFull:
+            await conn.send({
+                "event": "rejected", "code": 429, "kind": job["kind"],
+                "error": f"queue full ({self.queue_size} jobs); retry later"})
+            return
+        await conn.send({"event": "accepted", "id": job_id,
+                         "kind": job["kind"]})
+
+    # -- job execution -----------------------------------------------------------
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            job_id, job, conn = await self._queue.get()
+            await conn.send({"event": "started", "id": job_id})
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = await asyncio.wait_for(
+                        loop.run_in_executor(
+                            self._executor, execute_job, job,
+                            self.store_dir, self.max_cache_entries),
+                        timeout=self.job_timeout_s)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    if attempt <= self.retries:
+                        continue  # bounded retry, then report
+                    self._failed += 1
+                    await conn.send({
+                        "event": "error", "id": job_id, "attempts": attempt,
+                        "error": f"{type(exc).__name__}: {exc}"})
+                    break
+                else:
+                    self._done += 1
+                    await conn.send({"event": "result", "id": job_id,
+                                     "attempts": attempt, "result": result})
+                    break
+            self._queue.task_done()
+
+    # -- introspection -----------------------------------------------------------
+
+    def _stats(self) -> dict:
+        stats = {
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_size": self.queue_size,
+            "workers": self.workers,
+            "done": self._done,
+            "failed": self._failed,
+            "store": None,
+        }
+        if self.store_dir:
+            try:
+                store = open_store(self.store_dir)
+                stats["store"] = {"root": self.store_dir,
+                                  "size_bytes": store.size_bytes()}
+            except Exception:
+                stats["store"] = {"root": self.store_dir, "error": "unreadable"}
+        return stats
+
+
+def serve(*, host: str = "127.0.0.1", port: int = 0, store_dir=None,
+          queue_size: int = 8, workers: int = 2,
+          job_timeout_s: float = 600.0, retries: int = 1,
+          max_cache_entries: int | None = DEFAULT_WORKER_CACHE_ENTRIES) -> int:
+    """Run the job server until interrupted (the ``repro serve`` body).
+
+    Prints one ``{"event": "serving", ...}`` JSON line once bound —
+    with ``port=0`` that line is how callers learn the chosen port.
+    """
+    async def _run() -> None:
+        server = JobServer(store_dir=store_dir, queue_size=queue_size,
+                           workers=workers, job_timeout_s=job_timeout_s,
+                           retries=retries,
+                           max_cache_entries=max_cache_entries)
+        srv = await server.start(host=host, port=port)
+        print(json.dumps({"event": "serving", "host": host,
+                          "port": server.port, "store": server.store_dir,
+                          "workers": workers}, sort_keys=True), flush=True)
+        try:
+            async with srv:
+                await srv.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -307,17 +307,27 @@ def verify_architecture(cdfg: CDFG, arch: Architecture,
 
 def verify_benchmark(name: str, n_passes: int = 100, seed: int = 0, *,
                      use_iverilog: str = "auto",
-                     minimize: bool = True) -> ConformanceReport:
-    """Conformance-check one registry benchmark's initial design point."""
+                     minimize: bool = True,
+                     store_dir=None) -> ConformanceReport:
+    """Conformance-check one registry benchmark's initial design point.
+
+    ``store_dir`` attaches the persistent artifact store (``None``
+    consults ``$REPRO_STORE_DIR``): schedules and replay results are
+    reused across runs, and the verdict plus the emitted netlist are
+    filed under the design's content key.  The conformance chain itself
+    always re-executes — a stored verdict is provenance, not a shortcut.
+    """
     from repro.benchmarks import get_benchmark
     from repro.core.engine import SynthesisEngine
     from repro.sched.engine import ScheduleOptions
+    from repro.store import attached_cache
 
     bench = get_benchmark(name)
     cdfg = bench.cdfg()
     stimulus = bench.stimulus(n_passes, seed=seed)
     engine = SynthesisEngine(cdfg, stimulus,
-                             options=ScheduleOptions(clock_ns=bench.clock_ns))
+                             options=ScheduleOptions(clock_ns=bench.clock_ns),
+                             cache=attached_cache(store_dir=store_dir))
     return engine.verify(use_iverilog=use_iverilog, minimize=minimize, name=name)
 
 

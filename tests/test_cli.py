@@ -35,7 +35,7 @@ class TestParsing:
             a for a in parser._actions
             if isinstance(a, __import__("argparse")._SubParsersAction))
         assert set(subactions.choices) == {
-            "synth", "explore", "verify", "bench", "fuzz", "list"}
+            "synth", "explore", "verify", "bench", "fuzz", "serve", "list"}
 
     def test_unknown_benchmark_rejected(self, capsys):
         with pytest.raises(SystemExit):

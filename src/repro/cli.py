@@ -390,7 +390,10 @@ def cmd_serve(args) -> int:
                  store_dir=None if args.store is None else str(args.store),
                  queue_size=args.queue_size, workers=args.workers,
                  job_timeout_s=args.timeout, retries=args.retries,
-                 max_cache_entries=args.max_cache_entries)
+                 max_cache_entries=args.max_cache_entries,
+                 journal_path=args.journal, resume=args.resume,
+                 fault_plan=args.faults,
+                 drain_timeout_s=args.drain_timeout)
 
 
 # -- list -----------------------------------------------------------------------------
@@ -537,6 +540,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cache-entries", type=_positive_int, default=256,
                    help="in-memory memo-table bound per worker; the store "
                         "keeps the durable copies (default %(default)s)")
+    p.add_argument("--resume", action="store_true",
+                   help="re-enqueue the journal's accepted-but-unfinished "
+                        "jobs from a previous (crashed or drained) run")
+    p.add_argument("--journal", type=pathlib.Path, default=None,
+                   metavar="FILE",
+                   help="job journal path (default <store>/journal.ndjson "
+                        "when a store is attached)")
+    p.add_argument("--faults", default=None, metavar="PLAN",
+                   help="deterministic fault-injection plan, e.g. "
+                        "'seed=7;kill_worker@1;store_write@2:1' (default "
+                        "$REPRO_FAULTS when set; see docs/service.md)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds a SIGTERM drain waits for queued jobs "
+                        "before journaling the rest (default %(default)s)")
     _add_store(p)
     p.set_defaults(fn=cmd_serve)
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the fault-tolerant service core.
+
+Two halves:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded script of
+  failures (worker kill, injected hang, store read/write ``OSError``,
+  connection drop) keyed by job id and consumed at most once, parsed
+  from the ``REPRO_FAULTS`` env var or ``repro serve --faults``;
+* :mod:`repro.faults.inject` — :func:`activate`, the worker-side
+  context manager that turns plan payloads into real failures (SIGKILL,
+  sleeps, a counting :class:`OSError` hook threaded through
+  :mod:`repro.store.artifacts`).
+
+``tests/test_faults.py`` and the ``chaos-smoke`` CI job drive every
+server recovery path through pinned plans; see ``docs/service.md``.
+"""
+
+from repro.faults.inject import activate
+from repro.faults.plan import (
+    DEFAULT_HANG_S,
+    FAULTS_ENV,
+    SERVER_KINDS,
+    VALID_KINDS,
+    WORKER_KINDS,
+    FaultAction,
+    FaultPlan,
+    plan_from_env,
+)
+
+__all__ = [
+    "DEFAULT_HANG_S",
+    "FAULTS_ENV",
+    "FaultAction",
+    "FaultPlan",
+    "SERVER_KINDS",
+    "VALID_KINDS",
+    "WORKER_KINDS",
+    "activate",
+    "plan_from_env",
+]

@@ -1,0 +1,154 @@
+"""Seeded, deterministic fault plans for the service chaos harness.
+
+A :class:`FaultPlan` is a small, explicit script of failures keyed by
+server-assigned job id — *when* each fault fires is part of the plan,
+never of the wall clock — so a recovery path can be exercised by an
+ordinary pytest with a pinned plan, and two runs under the same plan and
+seed journal identically (modulo timestamps).
+
+The textual spec (``REPRO_FAULTS`` env var or ``repro serve --faults``)
+is a ``;``-separated list of actions plus an optional seed::
+
+    seed=7;kill_worker@1;store_write@2:1;hang@3:30;drop_conn@4
+
+| action | meaning |
+|---|---|
+| ``kill_worker@N``   | SIGKILL the worker as it starts job ``N`` |
+| ``hang@N[:S]``      | job ``N`` hangs ``S`` seconds (default 3600) before running |
+| ``store_read@N[:K]``  | the ``K``-th store read during job ``N`` raises ``OSError`` |
+| ``store_write@N[:K]`` | the ``K``-th store write during job ``N`` raises ``OSError`` |
+| ``drop_conn@N``     | the server severs the submitting client right after job ``N`` starts |
+
+Every action fires **at most once** (consumed when delivered), so a
+retried job runs its later attempts clean — which is exactly what the
+recovery tests need: fault on attempt one, success on attempt two.  The
+plan ``seed`` feeds the server's backoff jitter, keeping retry timing
+reproducible under a pinned plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+#: Environment variable activating a fault plan (see also ``--faults``).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Action kinds delivered into the worker process with the job.
+WORKER_KINDS = ("kill_worker", "hang", "store_read", "store_write")
+
+#: Action kinds the server applies itself.
+SERVER_KINDS = ("drop_conn",)
+
+VALID_KINDS = WORKER_KINDS + SERVER_KINDS
+
+#: Default injected-hang duration: longer than any sane job timeout.
+DEFAULT_HANG_S = 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """One scripted failure: ``kind`` fired at job ``job``, detail ``arg``."""
+
+    kind: str
+    job: int
+    arg: float | None = None
+
+    def spec(self) -> str:
+        if self.arg is None:
+            return f"{self.kind}@{self.job}"
+        return f"{self.kind}@{self.job}:{self.arg:g}"
+
+    def payload(self) -> dict:
+        """The worker-side JSON-plain form (see :func:`repro.faults.activate`)."""
+        return {"kind": self.kind, "arg": self.arg}
+
+
+class FaultPlan:
+    """A consumable script of :class:`FaultAction`\\ s plus a jitter seed."""
+
+    def __init__(self, actions: tuple[FaultAction, ...] | list = (),
+                 seed: int = 0):
+        for action in actions:
+            if action.kind not in VALID_KINDS:
+                raise ValueError(f"unknown fault kind {action.kind!r} "
+                                 f"(expected one of: {', '.join(VALID_KINDS)})")
+        self.actions = tuple(actions)
+        self.seed = int(seed)
+        self._unfired = list(self.actions)
+
+    # -- parsing -----------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` spec syntax; raises ``ValueError``."""
+        actions: list[FaultAction] = []
+        seed = 0
+        for item in (part.strip() for part in spec.split(";")):
+            if not item:
+                continue
+            if item.startswith("seed="):
+                seed = int(item[len("seed="):])
+                continue
+            if "@" not in item:
+                raise ValueError(
+                    f"fault action {item!r} is not of the form kind@job[:arg]")
+            kind, _, target = item.partition("@")
+            kind = kind.strip()
+            if kind not in VALID_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r} "
+                                 f"(expected one of: {', '.join(VALID_KINDS)})")
+            job_text, sep, arg_text = target.partition(":")
+            try:
+                job = int(job_text)
+            except ValueError:
+                raise ValueError(f"fault action {item!r}: job id "
+                                 f"{job_text!r} is not an integer")
+            arg = None
+            if sep:
+                try:
+                    arg = float(arg_text)
+                except ValueError:
+                    raise ValueError(f"fault action {item!r}: argument "
+                                     f"{arg_text!r} is not a number")
+            actions.append(FaultAction(kind, job, arg))
+        return cls(tuple(actions), seed=seed)
+
+    def spec(self) -> str:
+        """The canonical round-trippable spec string of the *whole* plan."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(action.spec() for action in self.actions)
+        return ";".join(parts)
+
+    # -- consumption -------------------------------------------------------------
+
+    def take_worker_faults(self, job_id: int) -> list[dict]:
+        """Unfired worker-side fault payloads for ``job_id`` (consumed)."""
+        taken, keep = [], []
+        for action in self._unfired:
+            if action.job == job_id and action.kind in WORKER_KINDS:
+                taken.append(action.payload())
+            else:
+                keep.append(action)
+        self._unfired = keep
+        return taken
+
+    def take_drop_conn(self, job_id: int) -> bool:
+        """Whether the plan severs ``job_id``'s client now (consumed)."""
+        for action in self._unfired:
+            if action.job == job_id and action.kind == "drop_conn":
+                self._unfired.remove(action)
+                return True
+        return False
+
+    def pending(self) -> tuple[FaultAction, ...]:
+        """Actions not yet consumed (introspection / test assertions)."""
+        return tuple(self._unfired)
+
+
+def plan_from_env(environ=None) -> FaultPlan | None:
+    """The :data:`FAULTS_ENV` plan, or ``None`` when unset/empty."""
+    spec = (environ if environ is not None else os.environ).get(FAULTS_ENV)
+    if not spec:
+        return None
+    return FaultPlan.parse(spec)

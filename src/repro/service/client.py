@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import json
 import socket
+import time
+
+from repro.service.errors import backoff_delay
 
 
 class ServiceError(RuntimeError):
@@ -17,10 +20,20 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Synchronous line-oriented client; safe for sequential use."""
+    """Synchronous line-oriented client; safe for sequential use.
+
+    ``retry_attempts`` (default 0 — off, so back-pressure behavior stays
+    exact) turns on bounded resubmission after a 429 ``rejected`` event,
+    sleeping a seeded jittered backoff between attempts so a fleet of
+    clients pointed at one server does not retry in lockstep.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: float = 600.0):
+                 timeout: float = 600.0, *, retry_attempts: int = 0,
+                 retry_base_s: float = 0.05, retry_seed: int = 0):
+        self._retry_attempts = retry_attempts
+        self._retry_base_s = retry_base_s
+        self._retry_seed = retry_seed
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
 
@@ -59,9 +72,24 @@ class ServiceClient:
         return self.recv()
 
     def submit(self, job: dict) -> dict:
-        """Submit one job; returns the ``accepted`` or ``rejected`` event."""
-        self.send({"op": "submit", "job": job})
-        return self.recv()
+        """Submit one job; returns the ``accepted`` or ``rejected`` event.
+
+        With ``retry_attempts > 0``, a 429 (queue full) rejection is
+        retried up to that many times with seeded jittered backoff; any
+        other rejection — including 503 ``draining`` — returns
+        immediately.
+        """
+        attempt = 0
+        while True:
+            self.send({"op": "submit", "job": job})
+            ack = self.recv()
+            if (ack.get("event") == "rejected" and ack.get("code") == 429
+                    and attempt < self._retry_attempts):
+                attempt += 1
+                time.sleep(backoff_delay(attempt, seed=self._retry_seed,
+                                         base_s=self._retry_base_s))
+                continue
+            return ack
 
     def run(self, job: dict) -> dict:
         """Submit one job and block until its terminal event.

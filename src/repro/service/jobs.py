@@ -47,14 +47,30 @@ def _search_from_job(job):
 
 
 def execute_job(job: dict, store_dir=None,
-                max_cache_entries: int | None = None) -> dict:
+                max_cache_entries: int | None = None, *,
+                faults=None) -> dict:
     """Run one validated job in this (worker) process; returns its result.
 
     The result dict always carries ``kind`` and ``store_stage`` — the
     window of the ``store`` profiler stage over just this job, where
     ``incremental`` counts cross-run disk hits and ``calls`` counts every
     store access.  A warm store shows up as ``incremental > 0``.
+
+    ``faults`` is an optional list of fault payloads from a
+    :class:`repro.faults.FaultPlan`, applied around the execution by
+    :func:`repro.faults.activate` — only the supervised pool passes
+    them, and a ``kill_worker`` payload really does SIGKILL the calling
+    process, so never pass faults when executing inline.
     """
+    if faults:
+        from repro.faults import activate
+
+        with activate(faults):
+            return _execute(job, store_dir, max_cache_entries)
+    return _execute(job, store_dir, max_cache_entries)
+
+
+def _execute(job: dict, store_dir, max_cache_entries) -> dict:
     kind = job["kind"]
     if kind == "noop":
         time.sleep(float(job.get("sleep_s", 0.0)))

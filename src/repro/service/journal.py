@@ -1,0 +1,109 @@
+"""The durable job journal: append-only newline-JSON, crash-resumable.
+
+Every job-state transition the server makes is appended (via
+:func:`repro.store.atomic.append_jsonl` — ``O_APPEND`` single write +
+``fsync``) to ``journal.ndjson`` in the artifact-store directory, so a
+server killed at *any* moment can be restarted with ``--resume`` and
+re-enqueue exactly the jobs that were accepted but never finished.
+
+Record vocabulary (every record also carries a ``ts`` wall-clock field,
+the only nondeterministic one — two runs under the same fault plan and
+seed journal byte-identically modulo ``ts``):
+
+| ``rec`` | fields | written when |
+|---|---|---|
+| ``accepted`` | ``id``, ``kind``, ``job`` (full payload) | the job entered the queue |
+| ``started``  | ``id``, ``attempt`` | a worker began an attempt |
+| ``finished`` | ``id``, ``status`` (``result``/``error``), ``attempts``, ``class``+``error`` on failure | terminal outcome |
+| ``resumed``  | ``ids`` | a ``--resume`` start re-enqueued these |
+| ``draining`` | ``pending`` | graceful shutdown; these ids were left unfinished |
+
+Readers are torn-line tolerant: a crash mid-append leaves at worst one
+partial final line, which :func:`read_journal` skips.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+
+from repro.store.atomic import append_jsonl
+
+#: Journal file name inside the artifact-store directory.
+JOURNAL_NAME = "journal.ndjson"
+
+
+class JobJournal:
+    """Append-side handle; thread-safe, one record per call."""
+
+    def __init__(self, path: pathlib.Path | str):
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+
+    def record(self, rec: dict) -> None:
+        """Durably append one record, stamped with ``ts`` (blocking I/O).
+
+        The server calls this through ``run_in_executor`` so the fsync
+        never stalls the event loop.
+        """
+        stamped = dict(rec)
+        stamped["ts"] = round(time.time(), 6)
+        with self._lock:
+            append_jsonl(self.path, stamped)
+
+
+def read_journal(path: pathlib.Path | str) -> list[dict]:
+    """Every parseable record in the journal, in append order.
+
+    Unparseable lines (a torn final line from a crash mid-append) are
+    skipped, never fatal; a missing journal reads as empty.
+    """
+    path = pathlib.Path(path)
+    records = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(rec, dict):
+            records.append(rec)
+    return records
+
+
+def unfinished_jobs(records: list[dict]) -> list[tuple[int, dict]]:
+    """``(id, job)`` pairs accepted but never finished, in id order.
+
+    The resume set: each appears exactly once regardless of how many
+    ``started`` attempts the crashed server logged for it.
+    """
+    accepted: dict[int, dict] = {}
+    finished: set[int] = set()
+    for rec in records:
+        kind = rec.get("rec")
+        if kind == "accepted" and isinstance(rec.get("job"), dict):
+            accepted[int(rec["id"])] = rec["job"]
+        elif kind == "finished":
+            finished.add(int(rec["id"]))
+    return [(job_id, accepted[job_id])
+            for job_id in sorted(accepted) if job_id not in finished]
+
+
+def next_job_id(records: list[dict]) -> int:
+    """The first id a resumed server may assign to *new* submissions."""
+    highest = 0
+    for rec in records:
+        if "id" in rec:
+            try:
+                highest = max(highest, int(rec["id"]))
+            except (TypeError, ValueError):
+                continue
+    return highest + 1

@@ -26,8 +26,10 @@ from repro.store.artifacts import (
     SCHEMA_VERSION,
     ArtifactStore,
     open_store,
+    set_io_fault_hook,
 )
 from repro.store.atomic import (
+    append_jsonl,
     atomic_write_bytes,
     atomic_write_text,
     sweep_orphans,
@@ -43,12 +45,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "STORE_DIR_ENV",
     "STORE_MAX_BYTES_ENV",
+    "append_jsonl",
     "atomic_write_bytes",
     "atomic_write_text",
     "attached_cache",
     "cdfg_digest",
     "digest_key",
     "open_store",
+    "set_io_fault_hook",
     "sweep_orphans",
     "trace_store_digest",
     "write_json",

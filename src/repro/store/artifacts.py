@@ -54,6 +54,21 @@ STORE_MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
 #: How many publishes happen between size checks when a bound is set.
 _GC_EVERY = 32
 
+#: Process-wide I/O fault hook (:mod:`repro.faults`): called as
+#: ``hook(op, kind, digest)`` with ``op`` in ``("read", "write")``
+#: before every blob access.  Raising :class:`OSError` simulates a hard
+#: I/O failure (EIO-style), which deliberately propagates to the caller
+#: — unlike a missing blob, which is a clean cold miss.  The
+#: per-instance ``_publish_hook`` below stays the crash-window
+#: simulator; this one is the deterministic chaos seam.
+_IO_FAULT_HOOK = None
+
+
+def set_io_fault_hook(hook) -> None:
+    """Install (or with ``None`` clear) the process-wide I/O fault hook."""
+    global _IO_FAULT_HOOK
+    _IO_FAULT_HOOK = hook
+
 
 class ArtifactStore:
     """One process's handle on a shared on-disk artifact store."""
@@ -96,6 +111,8 @@ class ArtifactStore:
         good publish.
         """
         path = self._path(kind, digest)
+        if _IO_FAULT_HOOK is not None:
+            _IO_FAULT_HOOK("read", kind, digest)
         with PROFILER.stage("store") as token:
             try:
                 blob = path.read_bytes()
@@ -124,6 +141,8 @@ class ArtifactStore:
         blob = dumps_payload({"schema": SCHEMA_VERSION, "kind": kind,
                               "key": digest, "payload": payload})
         path = self._path(kind, digest)
+        if _IO_FAULT_HOOK is not None:
+            _IO_FAULT_HOOK("write", kind, digest)
         with PROFILER.stage("store"):
             if self._publish_hook is not None:
                 path.parent.mkdir(parents=True, exist_ok=True)

@@ -76,6 +76,28 @@ def write_json(path: pathlib.Path | str, payload, *, indent: int = 1,
     return atomic_write_text(path, text)
 
 
+def append_jsonl(path: pathlib.Path | str, record) -> pathlib.Path:
+    """Durably append one JSON record as a newline-terminated line.
+
+    The journal flavor of the durability primitive: one ``os.write`` on
+    an ``O_APPEND`` descriptor (atomic at line granularity for these
+    sizes) followed by ``fsync``, so a crash leaves at worst one torn
+    *final* line — which journal readers skip — and never interleaved or
+    silently lost records.  Whole-file rewrites (compaction) go through
+    :func:`atomic_write_text` instead.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return path
+
+
 def sweep_orphans(root: pathlib.Path | str) -> int:
     """Remove leftover ``*.tmp`` files under ``root``; returns the count.
 

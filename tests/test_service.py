@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.service import (
     JobServer,
     ServiceClient,
     ServiceError,
+    backoff_delay,
     execute_job,
     validate_job,
 )
@@ -166,6 +168,81 @@ def test_jobs_survive_after_a_client_disconnects():
         assert [e["event"] for e in events] == ["started", "result"]
 
     _serve(body, workers=1)
+
+
+def test_drain_broadcasts_then_rejects_new_submissions():
+    async def body(reader, writer, server):
+        ack = await _req(reader, writer, {
+            "op": "submit", "job": {"kind": "noop", "sleep_s": 0.2}})
+        assert ack["event"] == "accepted"
+        assert (await _event(reader))["event"] == "started"
+
+        outcome = await server.drain(timeout_s=10)
+        assert outcome["pending"] == []  # the in-flight job finished
+
+        assert await _event(reader) == {"event": "draining"}
+        assert (await _event(reader))["event"] == "result"
+        rejected = await _req(reader, writer,
+                              {"op": "submit", "job": {"kind": "noop"}})
+        assert rejected["event"] == "rejected"
+        assert rejected["code"] == 503
+        assert "draining" in rejected["error"]
+
+    _serve(body, workers=1)
+
+
+def test_client_retries_429_with_seeded_backoff():
+    async def body(reader, writer, server):
+        loop = asyncio.get_event_loop()
+
+        def client_side():
+            # Default client: retries off, the 429 surfaces immediately.
+            with ServiceClient(port=server.port) as plain:
+                first = plain.submit({"kind": "noop"})
+                assert first["event"] == "accepted"  # fills queue_size=1
+                ack = plain.submit({"kind": "noop"})
+                assert ack["event"] == "rejected" and ack["code"] == 429
+
+            # Opt-in retries: with workers=0 the queue never empties, so
+            # the client must sleep exactly its two seeded backoffs
+            # before giving up with the same 429.
+            with ServiceClient(port=server.port, retry_attempts=2,
+                               retry_base_s=0.05, retry_seed=3) as retrying:
+                t0 = time.monotonic()
+                ack = retrying.submit({"kind": "noop"})
+                elapsed = time.monotonic() - t0
+            assert ack["event"] == "rejected" and ack["code"] == 429
+            floor = (backoff_delay(1, seed=3, base_s=0.05)
+                     + backoff_delay(2, seed=3, base_s=0.05))
+            assert elapsed >= floor
+
+        await loop.run_in_executor(None, client_side)
+
+    _serve(body, workers=0, queue_size=1)
+
+
+def test_client_retry_wins_once_queue_frees_up():
+    async def body(reader, writer, server):
+        # Occupy the single worker, then fill the single queue slot.
+        ack = await _req(reader, writer, {
+            "op": "submit", "job": {"kind": "noop", "sleep_s": 0.6}})
+        assert ack["event"] == "accepted"
+        assert (await _event(reader))["event"] == "started"
+        ack = await _req(reader, writer,
+                         {"op": "submit", "job": {"kind": "noop"}})
+        assert ack["event"] == "accepted"
+
+        def client_side():
+            with ServiceClient(port=server.port, retry_attempts=6,
+                               retry_base_s=0.2, retry_seed=1) as client:
+                return client.submit({"kind": "noop"})
+
+        ack = await asyncio.get_event_loop().run_in_executor(
+            None, client_side)
+        assert ack["event"] == "accepted", \
+            "retrying client must win a slot once the queue drains"
+
+    _serve(body, workers=1, queue_size=1)
 
 
 # -- the blocking client + a real synthesis job ---------------------------------------

@@ -11,13 +11,24 @@ temporary store, then:
    ``store`` stage must report cross-run disk hits — with the design
    summary bit-identical to the cold run.
 
+With ``--faults PLAN`` (the ``chaos-smoke`` CI job) the server runs
+under a pinned :mod:`repro.faults` plan — e.g. a worker SIGKILL during
+the cold synth job and an injected store write error during verify —
+and the smoke additionally asserts the chaos was survived: the killed
+job retried (``attempts`` > 1), the pool rebuilt
+(``worker_restarts`` > 0), and the streamed results *still* match the
+in-process CLI path bit-for-bit.
+
 Exit code is non-zero on any mismatch.  Run from the repository root:
 
     PYTHONPATH=src python tools/service_smoke.py
+    PYTHONPATH=src python tools/service_smoke.py \
+        --faults "seed=11;kill_worker@1;store_write@2:1"
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import subprocess
@@ -71,27 +82,41 @@ def cli_path_results() -> tuple[dict, dict]:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="fault plan spec to run the server under "
+                             "(e.g. 'seed=11;kill_worker@1;store_write@2:1')")
+    opts = parser.parse_args()
+
     with tempfile.TemporaryDirectory(prefix="repro-store-") as store:
+        argv = [sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--workers", "1", "--store", store, "--timeout", "300"]
+        if opts.faults:
+            argv += ["--faults", opts.faults]
         proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0",
-             "--workers", "1", "--store", store, "--timeout", "300"],
-            cwd=ROOT, stdout=subprocess.PIPE, text=True,
+            argv, cwd=ROOT, stdout=subprocess.PIPE, text=True,
             env={**__import__("os").environ, "PYTHONPATH": str(SRC)})
         try:
             serving = json.loads(proc.stdout.readline())
             assert serving["event"] == "serving", serving
             print(f"service_smoke: serving on port {serving['port']}, "
-                  f"store {store}")
+                  f"store {store}, faults {serving.get('faults')}")
 
             from repro.service import ServiceClient
 
             with ServiceClient(port=serving["port"], timeout=600) as client:
-                cold = client.run(SYNTH_JOB)["result"]
+                cold_event = client.run(SYNTH_JOB)
+                cold = cold_event["result"]
                 verify = client.run(VERIFY_JOB)["result"]
                 warm = client.run(SYNTH_JOB)["result"]
+                stats = client.stats()
         finally:
             proc.terminate()
             proc.wait(timeout=30)
+
+        from repro.service import read_journal
+
+        journal = read_journal(pathlib.Path(store) / "journal.ndjson")
 
         cli_synth, cli_verify = cli_path_results()
 
@@ -115,13 +140,32 @@ def main() -> int:
             failures.append(
                 f"warm re-submission reported no store hits "
                 f"(store_stage={warm.get('store_stage')})")
+        if not any(rec.get("rec") == "draining" for rec in journal):
+            failures.append("SIGTERM did not journal a draining record")
+
+        if opts.faults:
+            # The chaos really happened AND was survived: the killed
+            # job retried, the pool rebuilt, nothing above mismatched.
+            if cold_event.get("attempts", 1) < 2:
+                failures.append(
+                    f"faulted cold synth was not retried "
+                    f"(attempts={cold_event.get('attempts')})")
+            if stats.get("worker_restarts", 0) < 1:
+                failures.append(
+                    f"pool reported no worker rebuilds under "
+                    f"{opts.faults!r} (stats={stats})")
+            if stats.get("failed", 0) != 0:
+                failures.append(
+                    f"jobs failed terminally under the fault plan "
+                    f"(stats={stats})")
 
         if failures:
             print("service_smoke: FAIL")
             print("\n".join(failures))
             return 1
-        print(f"service_smoke: OK — results match the CLI path, warm "
-              f"re-submission hit the store {warm_hits} times")
+        chaos = f" under faults {opts.faults!r}" if opts.faults else ""
+        print(f"service_smoke: OK{chaos} — results match the CLI path, "
+              f"warm re-submission hit the store {warm_hits} times")
         return 0
 
 

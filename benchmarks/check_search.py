@@ -1,0 +1,118 @@
+"""CI search-quality gate: fail on a hypervolume regression.
+
+Compares the freshly measured Pareto bench (``results/pareto.json``,
+written by ``bench_pareto.py``) against the checked-in search-quality
+trajectory (``BENCH_pareto.json``): for every benchmark in the current
+run, the baseline is the **median of the last 3** earlier records
+matching the run's mode (same ``smoke`` flag and benchmark set), and the
+gate fails when the current *fixed-reference* hypervolume falls below
+``--min-ratio`` times that median (default 0.98, i.e. a >2 % drop).
+
+Hypervolume under a committed reference point is deterministic in the
+code — identical runs produce identical values — so the gate really
+measures algorithm changes: a mutation to the search, the archive, the
+estimators or the schedulers that shrinks the frontier shows up here
+even when every unit test still passes.  The 2 % headroom lets benign
+refactors (tie-break order, float formatting) through; the
+hypervolume-over-time traces recorded alongside make bisecting a
+genuine drop straightforward (which grid cell lost ground).
+
+Usage::
+
+    python benchmarks/check_search.py [--baseline BENCH_pareto.json]
+                                      [--current results/pareto.json]
+                                      [--min-ratio 0.98]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: How many recent matching records the baseline median is taken over.
+BASELINE_WINDOW = 3
+
+
+def find_baselines(records: list[dict], current: dict,
+                   window: int = BASELINE_WINDOW) -> list[dict]:
+    """The most recent earlier records matching the current run's mode.
+
+    Mirrors ``check_perf.find_baselines``: a record matches on the same
+    benchmark set under the same ``smoke`` flag, records newer than the
+    current run are excluded (same-timestamp reruns count), and the
+    current run's own record never gates against itself.
+    """
+    cur_ts = current.get("recorded_at")
+    matches = [
+        r for r in records
+        if r != current
+        and bool(r.get("smoke")) == bool(current.get("smoke"))
+        and r.get("benchmarks") == current.get("benchmarks")
+        and (cur_ts is None or r.get("recorded_at", "") <= cur_ts)
+        and "results" in r
+    ]
+    return matches[-window:]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(ROOT / "BENCH_pareto.json"))
+    parser.add_argument("--current",
+                        default=str(ROOT / "results" / "pareto.json"))
+    parser.add_argument("--min-ratio", type=float, default=0.98)
+    args = parser.parse_args(argv)
+
+    results = json.loads(pathlib.Path(args.current).read_text(encoding="utf-8"))
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"search gate: no baseline file {baseline_path}; "
+              "passing (seed run)")
+        return 0
+    records = json.loads(
+        baseline_path.read_text(encoding="utf-8")).get("records", [])
+
+    # The current run's mode: bench_pareto.py appended its own record
+    # last, so read the mode (and exclude the self-record) through it.
+    current = records[-1] if records else {}
+    baselines = find_baselines(records, current)
+    if not baselines:
+        print(f"search gate: {baseline_path.name} has no records matching "
+              f"smoke={bool(current.get('smoke'))} benchmarks="
+              f"{current.get('benchmarks')} — run bench_pareto.py once in "
+              "this mode to seed the trajectory before gating")
+        return 1
+
+    failed = False
+    for name, outcome in sorted(results.items()):
+        hv = outcome["hypervolume"]
+        history = [r["results"][name]["hypervolume"] for r in baselines
+                   if name in r.get("results", {})]
+        if not history:
+            print(f"search gate: {name}: no baseline history; skipping")
+            continue
+        base = statistics.median(history)
+        ratio = hv / base if base else float("inf")
+        verdict = "OK" if ratio >= args.min_ratio else "REGRESSION"
+        window = ", ".join(f"{value:.4g}" for value in history)
+        print(f"search gate: {name}: hypervolume {hv:.4g} vs median "
+              f"{base:.4g} of last {len(history)} matching records "
+              f"[{window}] -> {ratio:.3f}x [{verdict}, floor "
+              f"{args.min_ratio:.2f}x]")
+        if verdict == "REGRESSION":
+            failed = True
+
+    if failed:
+        print("search gate: frontier hypervolume regressed — compare "
+              "hv_trace in BENCH_pareto.json records to find the grid "
+              "cells that lost ground")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

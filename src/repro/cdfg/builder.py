@@ -490,10 +490,21 @@ class _Builder:
                     self._env.pop(var, None)
                 continue
             if not isinstance(producer_ref, NodeRef):
+                # No visible producer survived the body: the only writes
+                # were inside a nested arm-local declaration scope (an if
+                # arm declaring the variable), so the loop's own marker is
+                # dead.  Restore the pre-loop binding -- leaving the marker
+                # in the env would leak a reference to this (about to be
+                # popped) scope into enclosing merges.
                 if pending or pending_inits:
                     raise CDFGError(
                         f"line {line}: loop-carried variable {var!r} has no producer in "
                         f"the loop body")
+                entry = scope.entry_env.get(var)
+                if entry is not None:
+                    self._env[var] = entry
+                else:
+                    self._env.pop(var, None)
                 continue
             producer = producer_ref.node
             if pending or pending_inits:

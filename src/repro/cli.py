@@ -198,7 +198,8 @@ def cmd_explore(args) -> int:
 
     result = explore(
         args.benchmark, objectives=args.objectives, laxities=args.laxities,
-        seeds=(args.seed,), shards=args.shards, n_passes=args.passes,
+        seeds=(args.seed,), shards=args.shards, steal=args.steal,
+        n_passes=args.passes,
         stimulus_seed=args.stimulus_seed, search=_search_from_args(args),
         store_dir=None if args.store is None else str(args.store))
     summary = result.summary()
@@ -206,9 +207,14 @@ def cmd_explore(args) -> int:
     print(format_table(rows, title=(
         f"repro explore {args.benchmark}: {len(rows)}-point Pareto frontier "
         f"(area, power, latency)")))
-    print(f"\n{summary['jobs']} jobs on {summary['shards']} shard(s), "
+    workers = (f"{summary['steal_workers']} steal worker(s)"
+               if result.steal_workers else
+               f"{summary['shards']} shard(s)")
+    warm = (f", {summary['warm_hits']} warm-started from the store"
+            if result.warm_hits else "")
+    print(f"\n{summary['jobs']} jobs on {workers}, "
           f"{summary['evaluations']} evaluations, {summary['offered']} "
-          f"archive offers, hypervolume {summary['hypervolume']:.4g}, "
+          f"archive offers, hypervolume {summary['hypervolume']:.4g}{warm}, "
           f"{result.wall_time_s:.2f}s")
 
     verified = None
@@ -355,6 +361,35 @@ def cmd_fuzz(args) -> int:
             print(verdict.detail)
         return 0 if verdict.ok else 1
 
+    if args.coverage:
+        from repro.genprog.fleet import fleet_run
+
+        report = fleet_run(args.count, args.seed, guided=not args.blind,
+                           laxities=args.laxities, n_passes=args.passes,
+                           gen=gen, search=search,
+                           use_iverilog=args.iverilog,
+                           results_dir=args.results_dir,
+                           shrink_trials=args.shrink_trials,
+                           store_dir=args.store)
+        summary = report.summary()
+        rows = report.rows()
+        mode = "guided" if summary["guided"] else "blind"
+        print(format_table(rows, title=(
+            f"repro fuzz --coverage ({mode}): {report.n_bins} structural "
+            f"bins, corpus {report.corpus_size} (seed {report.seed})")))
+        families = ", ".join(f"{family}:{count}" for family, count
+                             in summary["bin_families"].items())
+        print(f"\nbins by family: {families}")
+        for digest, names in sorted(report.triage.items()):
+            print(f"failure {digest}: {', '.join(sorted(names))} -> "
+                  f"{args.results_dir / ('fuzz_repro_' + digest + '.src')}")
+        written = write_report(rows, args.results_dir / "fleet",
+                               title=f"repro fuzz --coverage ({mode}, "
+                                     f"seed {report.seed})",
+                               extra=summary)
+        print("reports: " + ", ".join(str(p) for p in written.values()))
+        return 0 if report.ok else 1
+
     report = fuzz_run(args.count, args.seed, laxities=args.laxities,
                       n_passes=args.passes, gen=gen, search=search,
                       use_iverilog=args.iverilog,
@@ -437,6 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="worker processes; the frontier is bit-identical "
                         "for any value (default %(default)s)")
+    p.add_argument("--steal", type=int, default=0, metavar="N",
+                   help="work-stealing worker count: idle workers pull the "
+                        "next grid cell from a shared queue and completed "
+                        "cells checkpoint into the artifact store for "
+                        "warm-starts; the frontier is bit-identical to a "
+                        "1-shard run for any value (default: static "
+                        "sharding)")
     p.add_argument("--laxities", type=_parse_floats, default=DEFAULT_LAXITIES,
                    metavar="L1,L2,...",
                    help="laxity grid (default %(default)s)")
@@ -507,6 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default="off",
                    help="external cosim oracle policy (default %(default)s; "
                         "off keeps results/fuzz.json machine-independent)")
+    p.add_argument("--coverage", action="store_true",
+                   help="coverage-guided fleet mode: structural bins steer "
+                        "a mutating corpus, failures dedupe by triage "
+                        "digest (see docs/fuzzing.md)")
+    p.add_argument("--blind", action="store_true",
+                   help="with --coverage: measure bins but never steer — "
+                        "the control arm coverage gains are compared "
+                        "against")
     p.add_argument("--replay", type=pathlib.Path, default=None,
                    metavar="FILE",
                    help="re-run the chain on a saved reproducer source "

@@ -86,6 +86,24 @@ class Profiler:
                 if token.incremental:
                     stats.incremental += 1
 
+    def record(self, name: str, seconds: float = 0.0,
+               incremental: bool = False) -> None:
+        """Count one stage event without timing a block.
+
+        The counter-only entry point for stages whose cost is not the
+        interesting part — coverage extraction in the fuzz fleet,
+        explore checkpoint hits — where callers want the event visible
+        in :meth:`stats` next to the timed stages.
+        """
+        with self._lock:
+            stats = self._stages.get(name)
+            if stats is None:
+                stats = self._stages[name] = StageStats()
+            stats.calls += 1
+            stats.seconds += seconds
+            if incremental:
+                stats.incremental += 1
+
     # -- windows ---------------------------------------------------------------
 
     def snapshot(self) -> dict[str, tuple[int, float, int]]:

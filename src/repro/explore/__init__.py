@@ -1,12 +1,15 @@
 """Multi-objective design-space exploration on top of the IMPACT flow.
 
-``explore()`` shards a grid of (objective x laxity x seed) synthesis
-searches across processes, feeds every feasible visited design into a
-Pareto archive, and merges the per-job archives into one deterministic
-(area, power, latency) frontier; ``verify_frontier()`` conformance-checks
-the design behind every frontier point.  See ``docs/cli.md`` for the
-``python -m repro explore`` surface and ``docs/architecture.md`` for how
-the explorer sits on the engine.
+``explore()`` spreads a grid of (objective x laxity x seed) synthesis
+searches across processes — statically sharded (``shards=N``) or
+work-stealing over a shared job queue (``steal=N``, with checkpointing
+and warm-starts through the artifact store) — feeds every feasible
+visited design into a Pareto archive, and merges the per-job archives
+into one deterministic (area, power, latency) frontier;
+``verify_frontier()`` conformance-checks the design behind every
+frontier point.  See ``docs/cli.md`` for the ``python -m repro explore``
+surface and ``docs/architecture.md`` for how the explorer sits on the
+engine.
 """
 
 from repro.explore.driver import (
@@ -20,6 +23,7 @@ from repro.explore.driver import (
     verify_frontier,
 )
 from repro.explore.pareto import ParetoFront, ParetoPoint, dominates
+from repro.explore.steal import StealOutcome, completed_log, job_checkpoint_key
 
 __all__ = [
     "DEFAULT_LAXITIES",
@@ -28,9 +32,12 @@ __all__ = [
     "ExploreResult",
     "ParetoFront",
     "ParetoPoint",
+    "StealOutcome",
+    "completed_log",
     "dominates",
     "engine_for_benchmark",
     "explore",
+    "job_checkpoint_key",
     "make_jobs",
     "verify_frontier",
 ]

@@ -88,6 +88,16 @@ class ExploreResult:
     laxities: tuple = DEFAULT_LAXITIES
     seeds: tuple = (0,)
     search: SearchConfig = field(default_factory=SearchConfig)
+    #: Work-stealing accounting (``steal=N`` runs; zero otherwise).
+    #: ``steal_log`` is (job index, worker id) in claim order — feed its
+    #: completed subset back as ``steal_plan`` to replay the schedule.
+    steal_workers: int = 0
+    steal_log: list = field(default_factory=list)
+    warm_hits: int = 0
+    #: Frontier hypervolume after each job's merge, in job-index order —
+    #: the search-quality-over-time curve the benchmark gate tracks.
+    #: Identical for any shard/steal topology (the merge order is fixed).
+    hv_trace: list = field(default_factory=list)
     #: In-process design retention (1-shard runs only): engine plus
     #: {(job index, offer order): DesignPoint} for the frontier points.
     _engine: object = field(default=None, repr=False, compare=False)
@@ -119,6 +129,9 @@ class ExploreResult:
             "offered": self.offered,
             "frontier_size": len(self.front),
             "hypervolume": self.front.hypervolume(),
+            "hv_trace": list(self.hv_trace),
+            "steal_workers": self.steal_workers,
+            "warm_hits": self.warm_hits,
         }
 
 
@@ -246,11 +259,16 @@ def explore(benchmark: str, *,
             laxities=DEFAULT_LAXITIES,
             seeds=(0,),
             shards: int = 1,
+            steal: int = 0,
+            steal_plan=None,
+            fault_plan=None,
             n_passes: int = 20,
             stimulus_seed: int = 7,
             search: SearchConfig | None = None,
             caching: bool = True,
-            store_dir=None) -> ExploreResult:
+            store_dir=None,
+            hv_reference: tuple[float, float, float] | None = None
+            ) -> ExploreResult:
     """Explore a benchmark's design space and return its Pareto frontier.
 
     Parameters
@@ -269,6 +287,22 @@ def explore(benchmark: str, *,
         Worker processes.  ``1`` runs in-process; any value yields a
         bit-identical frontier (jobs are independent and the merge is in
         job order).
+    steal:
+        Work-stealing worker count (see :mod:`repro.explore.steal`).
+        Nonzero replaces static sharding with a shared job queue: idle
+        workers steal the next pending cell, completed cells checkpoint
+        into the artifact store (when attached) and warm-start later
+        runs.  The frontier stays bit-identical to ``shards=1`` for any
+        worker count — the steal order is recorded on the result, not
+        baked into it.
+    steal_plan:
+        A recorded steal log (``(job index, worker id)`` pairs covering
+        every job) to replay: each job is pinned to its recorded
+        worker's queue, reproducing the claim schedule exactly.
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` injected into the pool;
+        ``kill_worker@N`` kills the first claimant of job ``N`` (the
+        retry and every other worker run clean).  Steal mode only.
     n_passes, stimulus_seed:
         Profiling stimulus (shared by every job).
     search:
@@ -292,7 +326,24 @@ def explore(benchmark: str, *,
 
     engine = None
     designs: dict[tuple[int, int], object] = {}
-    if shards == 1:
+    steal_outcome = None
+    if steal or steal_plan:
+        from repro.explore.steal import run_stolen
+
+        steal_outcome = run_stolen(
+            {
+                "benchmark": benchmark,
+                "n_passes": n_passes,
+                "stimulus_seed": stimulus_seed,
+                "caching": caching,
+                "store_dir": store_dir,
+                "search": search,
+            },
+            jobs, workers=max(1, min(steal, len(jobs))) if steal else 1,
+            steal_plan=steal_plan, fault_plan=fault_plan)
+        shard_results = [[steal_outcome.results[index]
+                          for index in sorted(steal_outcome.results)]]
+    elif shards == 1:
         # In-process run: keep each job's archived designs so a later
         # verify_frontier call can skip re-running the searches.
         engine = engine_for_benchmark(benchmark, n_passes=n_passes,
@@ -333,12 +384,17 @@ def explore(benchmark: str, *,
 
     front = ParetoFront()
     job_stats = []
+    hv_trace = []
     for index in sorted(by_index):
         job_result = by_index[index]
         job_stats.append(job_result["stats"])
         for rec in job_result["points"]:
             front.add(ParetoPoint(rec["area"], rec["power"], rec["latency"],
                                   meta=rec["meta"]))
+        # hv_reference pins the trace to a caller-fixed reference point
+        # (the benchmark gate's committed per-benchmark references);
+        # None floats it at 1.1x the running front's per-axis maxima.
+        hv_trace.append(front.hypervolume(hv_reference))
 
     if engine is not None:
         # Retain only the frontier's designs; evicted archive entries
@@ -352,6 +408,10 @@ def explore(benchmark: str, *,
         wall_time_s=round(time.perf_counter() - t0, 3),
         objectives=tuple(objectives), laxities=tuple(laxities),
         seeds=tuple(seeds), search=search,
+        steal_workers=steal_outcome.workers if steal_outcome else 0,
+        steal_log=list(steal_outcome.log) if steal_outcome else [],
+        warm_hits=steal_outcome.warm_hits if steal_outcome else 0,
+        hv_trace=hv_trace,
         _engine=engine, _designs=designs if engine is not None else None)
 
 

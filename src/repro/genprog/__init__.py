@@ -13,31 +13,49 @@ benchmark corpus:
 * :mod:`repro.genprog.corpus` — the pinned-seed ``synth_N`` benchmark
   family registered into ``repro.benchmarks``;
 * :mod:`repro.genprog.fuzz` — the generate → synthesize → conformance
-  pipeline driven by the CLI and the nightly CI job.
+  pipeline driven by the CLI and the nightly CI job;
+* :mod:`repro.genprog.coverage` / :func:`extract_coverage` — structural
+  coverage bins read off the pipeline's own artifacts;
+* :mod:`repro.genprog.mutate` / :func:`mutate` — AST-level splice /
+  graft / widen / nest mutators over generated programs;
+* :mod:`repro.genprog.fleet` / :func:`fleet_run` — the coverage-guided
+  fuzzing fleet behind ``python -m repro fuzz --coverage``.
 
 See ``docs/fuzzing.md``.
 """
 
 from repro.genprog.config import DEFAULT_WIDTHS, GenConfig
+from repro.genprog.coverage import bin_families, coverage_digest, extract_coverage
 from repro.genprog.emit import emit_source, strip_positions
 from repro.genprog.evaluate import evaluate_process
+from repro.genprog.fleet import Corpus, FleetReport, fleet_run, triage_digest
 from repro.genprog.generator import (
     GeneratedProgram,
     check_roundtrip,
     generate_program,
     program_from_source,
 )
+from repro.genprog.mutate import MUTATORS, mutate
 from repro.genprog.shrink import shrink_process
 
 __all__ = [
+    "Corpus",
     "DEFAULT_WIDTHS",
+    "FleetReport",
     "GenConfig",
     "GeneratedProgram",
+    "MUTATORS",
+    "bin_families",
     "check_roundtrip",
+    "coverage_digest",
     "emit_source",
     "evaluate_process",
+    "extract_coverage",
+    "fleet_run",
     "generate_program",
+    "mutate",
     "program_from_source",
     "shrink_process",
     "strip_positions",
+    "triage_digest",
 ]

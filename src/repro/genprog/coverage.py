@@ -1,0 +1,171 @@
+"""Structural coverage bins for the coverage-guided fuzzing fleet.
+
+The fleet (:mod:`repro.genprog.fleet`) steers generation toward program
+*structure* the pipeline has not exercised yet.  "Structure" is read off
+the artifacts the pipeline already computes — never off ids, timings or
+anything else that varies run to run:
+
+* ``shape:*`` / ``depth:*`` — region-nesting shapes from the CDFG region
+  tree (the same tree wavesched schedules);
+* ``move:*`` / ``commit:*`` — move kinds fired during the
+  iterative-improvement search, from
+  :class:`~repro.core.search.SearchHistory`;
+* ``stg:*`` — transition patterns of the scheduled STG (state-count
+  bucket, branch fan-out, guard arity, multi-cycle states), from the
+  same content the store's :func:`~repro.store.codec.digest_key`
+  signatures hash;
+* ``path:*`` — conformance-path depth: how many states a stimulus pass
+  actually walks during replay, and whether that depth is
+  data-dependent.
+
+Every bin is a short string, every extractor is a pure function of
+bit-reproducible inputs, so a program's coverage is **deterministic per
+seed and identical across cache on/off and store warm/cold** — the
+property test in ``tests/test_coverage.py`` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.regions import BlockRegion, IfRegion, LoopRegion
+from repro.core.profile import PROFILER
+
+#: Branch fan-out and guard-arity bins are capped here: beyond this the
+#: exact value stops being interesting and would fragment the corpus.
+_CAP = 6
+
+
+def _bucket(value: int) -> int:
+    """Log2 bucket of a non-negative count (0->0, 1->1, 2-3->2, 4-7->3...)."""
+    bucket = 0
+    while value > 0:
+        value >>= 1
+        bucket += 1
+    return bucket
+
+
+def region_bins(cdfg) -> frozenset[str]:
+    """``shape:`` and ``depth:`` bins from the CDFG region tree.
+
+    Each control region (if / for / while) contributes the bin
+    ``shape:<path>`` where the path is its chain of enclosing control
+    kinds, e.g. ``shape:if/while`` for a while loop inside an if arm.
+    ``depth:<n>`` records the deepest control nesting seen.
+    """
+    bins: set[str] = set()
+    max_depth = 0
+
+    def block_of(region_id: int):
+        region = cdfg.regions.get(region_id)
+        return region if isinstance(region, BlockRegion) else None
+
+    def walk_block(region_id: int, path: tuple[str, ...]) -> None:
+        nonlocal max_depth
+        block = block_of(region_id)
+        if block is None:
+            return
+        for item in block.items:
+            sub = getattr(item, "region", None)
+            if sub is None:
+                continue
+            region = cdfg.regions.get(sub)
+            if isinstance(region, IfRegion):
+                here = path + ("if",)
+            elif isinstance(region, LoopRegion):
+                here = path + (region.loop_kind,)
+            else:
+                walk_block(sub, path)
+                continue
+            bins.add("shape:" + "/".join(here))
+            max_depth = max(max_depth, len(here))
+            if isinstance(region, IfRegion):
+                walk_block(region.then_block, here)
+                walk_block(region.else_block, here)
+            else:
+                walk_block(region.test_block, here)
+                walk_block(region.body_block, here)
+
+    walk_block(cdfg.root_region, ())
+    bins.add(f"depth:{max_depth}")
+    return frozenset(bins)
+
+
+def search_bins(history) -> frozenset[str]:
+    """``move:`` and ``commit:`` bins from one search's history.
+
+    A ``move:<kind>`` bin is added for every move kind that fired (was
+    evaluated) anywhere in the search; ``commit:<n>`` buckets how many
+    moves the search actually committed.
+    """
+    bins: set[str] = set()
+    for iteration in history.iterations:
+        for step in iteration:
+            bins.add(f"move:{step.move_signature[0]}")
+    bins.add(f"commit:{_bucket(len(history.committed))}")
+    return frozenset(bins)
+
+
+def stg_bins(stg) -> frozenset[str]:
+    """``stg:`` bins: transition patterns of one scheduled STG."""
+    bins: set[str] = set()
+    bins.add(f"stg:states:{_bucket(stg.n_states)}")
+    fanout = max((len(stg.out_transitions(sid)) for sid in stg.states), default=0)
+    bins.add(f"stg:fanout:{min(fanout, _CAP)}")
+    guard = max((len(t.conds) for t in stg.transitions), default=0)
+    bins.add(f"stg:guard:{min(guard, _CAP)}")
+    if any(state.duration > 1 for state in stg.states.values()):
+        bins.add("stg:multicycle")
+    return frozenset(bins)
+
+
+def replay_bins(replay) -> frozenset[str]:
+    """``path:`` bins: conformance-path depth under the fuzz stimulus.
+
+    ``path:<b>`` buckets the deepest state walk any pass took;
+    ``path:data`` marks data-dependent control flow (different passes
+    walked different-length paths) — the control-flow-intensive case the
+    paper's machinery exists for.
+    """
+    lengths = [len(seq) for seq in replay.state_seq]
+    if not lengths:
+        return frozenset({"path:0"})
+    bins = {f"path:{_bucket(max(lengths))}"}
+    if len(set(lengths)) > 1:
+        bins.add("path:data")
+    return frozenset(bins)
+
+
+def extract_coverage(*, cdfg=None, history=None, stg=None,
+                     replay=None) -> frozenset[str]:
+    """Union of all bins derivable from whatever artifacts are at hand.
+
+    Any argument may be ``None`` (a program that failed before synthesis
+    still contributes its region shape).  Counted under the profiler's
+    ``coverage`` stage so fleet reports show extraction traffic.
+    """
+    bins: frozenset[str] = frozenset()
+    if cdfg is not None:
+        bins |= region_bins(cdfg)
+    if history is not None:
+        bins |= search_bins(history)
+    if stg is not None:
+        bins |= stg_bins(stg)
+    if replay is not None:
+        bins |= replay_bins(replay)
+    PROFILER.record("coverage")
+    return bins
+
+
+def coverage_digest(bins: frozenset[str]) -> str:
+    """Stable short digest of a coverage set (corpus/report bookkeeping)."""
+    from repro.store import digest_key
+
+    return digest_key(tuple(sorted(bins)))[:12]
+
+
+def bin_families(bins) -> dict[str, int]:
+    """Distinct-bin counts per family prefix (``shape``, ``move``, ...)."""
+    families: dict[str, int] = {}
+    for name in bins:
+        family = name.split(":", 1)[0]
+        families[family] = families.get(family, 0) + 1
+    return dict(sorted(families.items()))

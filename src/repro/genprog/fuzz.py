@@ -119,6 +119,7 @@ def _search_config(args_search):
 def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
                    search, use_iverilog: str, *,
                    stop_on_failure: bool = False, store_dir=None,
+                   cdfg=None, observer=None,
                    ) -> tuple[dict[float, str], str | None, str]:
     """Run synth+conformance at every laxity; returns (verdicts, stage, detail).
 
@@ -126,6 +127,12 @@ def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
     "divergence"; ``detail`` describes the first failure.
     ``stop_on_failure`` skips the remaining laxities once a failure is
     recorded — the shrinker's predicate only needs the first one.
+
+    ``cdfg`` is the already-built CDFG when the caller ran
+    :func:`check_roundtrip` (which compiles the source as part of its
+    invariant) — passing it through saves a second frontend pass per
+    program.  ``observer(laxity, result)`` is called with every
+    successful :class:`SynthesisResult` (the fleet's coverage tap).
     """
     from repro.core.engine import SynthesisEngine
     from repro.lang import parse
@@ -135,7 +142,8 @@ def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
     verdicts: dict[float, str] = {}
     stage: str | None = None
     detail = ""
-    cdfg = parse(program.source)
+    if cdfg is None:
+        cdfg = parse(program.source)
     stimulus = program.stimulus(n_passes, seed=0)
     engine = SynthesisEngine(cdfg, stimulus,
                              options=ScheduleOptions(clock_ns=10.0),
@@ -150,6 +158,8 @@ def _chain_failure(program: GeneratedProgram, laxities, n_passes: int,
             if stage is None:
                 stage, detail = "synthesis", f"laxity {laxity:g}: {exc}"
             continue
+        if observer is not None:
+            observer(laxity, result)
         if report.ok:
             verdicts[laxity] = "ok"
         else:
@@ -174,7 +184,7 @@ def _still_fails(process, config: GenConfig, laxities, n_passes: int,
                                  process=process,
                                  source=emit_source(process))
     try:
-        check_roundtrip(candidate, n_passes=n_passes, seed=0)
+        cdfg = check_roundtrip(candidate, n_passes=n_passes, seed=0)
     except GenerationError:
         return True  # still a frontend-semantics failure: keep it
     except ReproError:
@@ -182,7 +192,7 @@ def _still_fails(process, config: GenConfig, laxities, n_passes: int,
     try:
         _verdicts, stage, _detail = _chain_failure(
             candidate, laxities, n_passes, search, use_iverilog,
-            stop_on_failure=True, store_dir=store_dir)
+            stop_on_failure=True, store_dir=store_dir, cdfg=cdfg)
     except ReproError:
         return False
     return stage is not None
@@ -206,19 +216,22 @@ def _shrink_reproducer(program: GeneratedProgram, laxities, n_passes: int,
 def fuzz_program(program: GeneratedProgram, *,
                  laxities=DEFAULT_LAXITIES, n_passes: int = 10,
                  search=None, use_iverilog: str = "off",
-                 store_dir=None) -> ProgramVerdict:
+                 store_dir=None, observer=None) -> ProgramVerdict:
     """Fuzz one already-generated program (also the --replay entry point)."""
     search = _search_config(search)
     verdict = ProgramVerdict(name=program.name, seed=program.config.seed,
                              status="ok", n_statements=program.n_statements)
     try:
-        check_roundtrip(program, n_passes=n_passes, seed=0)
+        # check_roundtrip compiles the source as part of its invariant;
+        # reuse that CDFG so the synthesis chain does not re-parse.
+        cdfg = check_roundtrip(program, n_passes=n_passes, seed=0)
     except GenerationError as exc:
         verdict.status, verdict.detail = "semantic", str(exc)
         return verdict
     verdicts, stage, detail = _chain_failure(program, laxities, n_passes,
                                              search, use_iverilog,
-                                             store_dir=store_dir)
+                                             store_dir=store_dir, cdfg=cdfg,
+                                             observer=observer)
     verdict.laxities = verdicts
     if stage is not None:
         verdict.status, verdict.detail = stage, detail

@@ -350,7 +350,7 @@ class _Generator:
 
 
 def check_roundtrip(program: GeneratedProgram, *, n_passes: int | None = None,
-                    seed: int = 1) -> None:
+                    seed: int = 1):
     """The generator-level semantic invariant (satellite of the fuzz loop).
 
     Re-parses the program's own emission, asserts the parsed AST is
@@ -359,6 +359,9 @@ def check_roundtrip(program: GeneratedProgram, *, n_passes: int | None = None,
     over a seeded stimulus.  Raises :class:`GenerationError` on any
     drift — a program that fails this check is itself a shrunken-down
     frontend bug reproducer, never a valid corpus entry.
+
+    Returns the validated CDFG so callers (the fuzz chain) can hand it
+    straight to synthesis instead of re-parsing the same source.
     """
     from repro.cdfg.builder import build_cdfg
     from repro.cdfg.interpreter import simulate
@@ -385,6 +388,7 @@ def check_roundtrip(program: GeneratedProgram, *, n_passes: int | None = None,
                     f"{program.name}: frontend round-trip changed semantics: "
                     f"pass {idx} output {name} = {got} (interpreter) but the "
                     f"AST evaluator says {value} for inputs {inputs}")
+    return cdfg
 
 
 def generate_program(config: GenConfig | None = None, *,

@@ -164,3 +164,44 @@ class TestUnary:
         assert 6 in consts
         muls = [n for n in cdfg.nodes.values() if n.kind is OpKind.MUL]
         assert not muls
+
+
+class TestArmLocalDeclInsideLoop:
+    # Regression: a variable declared only inside an if arm nested in a
+    # loop used to leave a stale loop-carry marker in the environment
+    # after the inner loop closed (the marker's scope was already
+    # popped), and the enclosing if's merge then dereferenced it --
+    # IndexError deep in _connect.
+    SOURCE = """
+    process m(a: uint4) -> (o: uint4) {
+      var x: uint4 = a;
+      while ((x > 0)) {
+        if ((a > 1)) {
+          var g: uint2 = 2;
+          while ((g > 0)) {
+            if ((a > 2)) {
+              var y: uint4 = 1;
+              y = (y + 1);
+            }
+            g = (g - 1);
+          }
+        }
+        x = (x - 1);
+      }
+      o = x;
+    }
+    """
+
+    def test_builds_and_validates(self):
+        cdfg = parse(self.SOURCE)
+        cdfg.validate()
+        assert len(loops_of(cdfg)) == 2
+
+    def test_simulates_to_reference_semantics(self):
+        from repro.cdfg.interpreter import simulate
+
+        # The program counts x down to zero regardless of the arm-local
+        # inner-loop activity: o == 0 for every input.
+        stimulus = [{"a": value} for value in range(8)]
+        store = simulate(parse(self.SOURCE), stimulus)
+        assert [int(v) for v in store.outputs["o"]] == [0] * len(stimulus)

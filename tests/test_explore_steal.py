@@ -1,0 +1,122 @@
+"""Work-stealing explore: bit-identity, fault transparency, replay, warm start.
+
+The steal pool's contract is that scheduling is invisible: any worker
+count, any steal order, any mid-job worker kill and any checkpoint
+temperature produce the same frontier bytes as a 1-shard in-process run.
+"""
+
+import pytest
+
+from repro.core.search import SearchConfig
+from repro.explore import ExploreJob, explore, job_checkpoint_key
+from repro.faults import FaultPlan
+
+TINY = SearchConfig(max_depth=2, max_candidates=5, max_iterations=2)
+GRID = dict(laxities=(1.0, 2.0), objectives=("area", "power"))
+
+
+def run(**kw):
+    return explore("loops", n_passes=6, search=TINY, **GRID, **kw)
+
+
+def comparable(result) -> dict:
+    """Everything topology-independent about an explore result."""
+    summary = result.summary()
+    summary.pop("steal_workers")
+    summary.pop("warm_hits")
+    return {"summary": summary, "frontier": result.rows()}
+
+
+@pytest.fixture(scope="module")
+def base0():
+    return run(shards=1, seeds=(0,))
+
+
+@pytest.fixture(scope="module")
+def stolen0():
+    return run(steal=4, seeds=(0,))
+
+
+class TestStealDeterminism:
+    def test_four_workers_match_one_shard(self, base0, stolen0):
+        assert comparable(stolen0) == comparable(base0)
+        assert stolen0.steal_workers == 4
+        assert sorted(index for index, _ in stolen0.steal_log) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_more_seeds_match_too(self, seed):
+        assert comparable(run(steal=4, seeds=(seed,))) == comparable(
+            run(shards=1, seeds=(seed,)))
+
+    def test_hv_trace_rides_the_merge_order(self, base0, stolen0):
+        assert len(base0.hv_trace) == base0.summary()["jobs"]
+        assert stolen0.hv_trace == base0.hv_trace
+
+    def test_fixed_reference_trace_is_nondecreasing(self):
+        reference = (5000.0, 10.0, 500.0)
+        result = run(shards=1, seeds=(0,), hv_reference=reference)
+        trace = result.hv_trace
+        assert trace == sorted(trace)
+        assert trace[-1] == pytest.approx(
+            result.front.hypervolume(reference))
+
+
+class TestFaultTransparency:
+    def test_killed_worker_changes_nothing(self, base0):
+        plan = FaultPlan.parse("seed=1;kill_worker@2")
+        result = run(steal=4, seeds=(0,), fault_plan=plan)
+        assert comparable(result) == comparable(base0)
+        # The fault fired (consumed at first enqueue of job 2), the dead
+        # worker was replaced, and job 2 was claimed at least twice --
+        # once by the victim, once clean.
+        assert not plan.pending()
+        assert result.steal_workers >= 5
+        claims_of_2 = [w for index, w in result.steal_log if index == 2]
+        assert len(claims_of_2) >= 2
+
+
+class TestStealPlanReplay:
+    def test_replay_pins_assignment_and_worker_order(self, stolen0):
+        # A clean run's log has exactly one completed claim per job.
+        plan = list(dict(stolen0.steal_log).items())
+        replay = run(steal_plan=plan, seeds=(0,))
+        assert comparable(replay) == comparable(stolen0)
+        # Same job -> worker assignment...
+        assert dict(replay.steal_log) == dict(plan)
+
+        # ...and each worker claims its jobs in the recorded order.  The
+        # *interleaving* across workers is arrival timing and is not
+        # replayed.
+        def per_worker(log):
+            grouped: dict[int, list[int]] = {}
+            for index, worker in log:
+                grouped.setdefault(worker, []).append(index)
+            return grouped
+
+        assert per_worker(replay.steal_log) == per_worker(plan)
+
+    def test_partial_plan_is_rejected(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            run(steal_plan=[(0, 0)], seeds=(0,))
+
+
+class TestCheckpointWarmStart:
+    def test_keys_cover_the_grid_cell_only(self):
+        job = ExploreJob(0, "area", 1.5, 3)
+        key = job_checkpoint_key("digest", job, TINY, 6, 7)
+        assert key == job_checkpoint_key("digest", job, TINY, 6, 7)
+        other = ExploreJob(5, "area", 1.5, 3)  # index is topology, not content
+        assert key == job_checkpoint_key("digest", other, TINY, 6, 7)
+        assert key != job_checkpoint_key(
+            "digest", ExploreJob(0, "power", 1.5, 3), TINY, 6, 7)
+        assert key != job_checkpoint_key("digest", job, TINY, 8, 7)
+
+    def test_warm_start_is_invisible_and_topology_free(self, tmp_path, base0):
+        store = tmp_path / "store"
+        cold = run(steal=2, seeds=(0,), store_dir=store)
+        assert cold.warm_hits == 0
+        assert comparable(cold) == comparable(base0)
+        # A different worker count warm-starts from the same checkpoints.
+        warm = run(steal=4, seeds=(0,), store_dir=store)
+        assert warm.warm_hits == warm.summary()["jobs"]
+        assert comparable(warm) == comparable(base0)

@@ -173,6 +173,98 @@ class TestShrinker:
         two = shrink_process(program.process, self._has_while, max_trials=150)
         assert strip_positions(one) == strip_positions(two)
 
+    LAXITY_SENSITIVE = """
+process shr(a: uint4) -> (o: uint4) {
+  var x: uint4 = a;
+  var junk: uint4 = (a + 1);
+  junk = (junk + 2);
+  while ((x > 0)) {
+    x = (x - 1);
+  }
+  o = (junk + x);
+}
+"""
+
+    def test_laxity_specific_failure_survives_shrink(self, monkeypatch):
+        # A failure that only reproduces at laxity 2.0 (and only while
+        # the loop is present): the shrink predicate must keep probing
+        # the full laxity tuple, or the bug "disappears" mid-shrink and
+        # the reported reproducer no longer fails.
+        from repro.genprog import fuzz as fuzz_mod
+
+        program = program_from_source(self.LAXITY_SENSITIVE)
+        probed: list[tuple[float, ...]] = []
+
+        def fake_chain(prog, laxities, n_passes, search, use_iverilog, **kw):
+            probed.append(tuple(laxities))
+            if 2.0 in laxities and self._has_while(prog.process):
+                return {2.0: "diverged(1)"}, "divergence", "laxity 2: stub"
+            return {lax: "ok" for lax in laxities}, None, ""
+
+        monkeypatch.setattr(fuzz_mod, "_chain_failure", fake_chain)
+
+        def still_fails(laxities):
+            return lambda proc: fuzz_mod._still_fails(
+                proc, program.config, laxities, 4, None, "off")
+
+        # The failure is laxity-specific: invisible when only 1.0 is run.
+        assert not still_fails((1.0,))(program.process)
+        assert still_fails((1.0, 2.0))(program.process)
+
+        small = shrink_process(program.process, still_fails((1.0, 2.0)),
+                               max_trials=120)
+        assert self._has_while(small), "shrinker lost the laxity-2 failure"
+        assert still_fails((1.0, 2.0))(small)
+        # The junk around the loop went away.
+        n_after = sum(1 for _ in ast.walk_statements(small.body))
+        assert n_after < sum(
+            1 for _ in ast.walk_statements(program.process.body))
+        # Every probe while shrinking carried the full laxity tuple.
+        assert set(probed) == {(1.0,), (1.0, 2.0)}
+        assert probed.count((1.0,)) == 1
+
+    def test_no_progress_terminates_within_budget(self):
+        # A predicate satisfied *only* by the original program offers no
+        # legal edit: the shrinker must stop at the trial bound instead
+        # of rescanning the unchanged candidate list forever.
+        program = generate_program(GenConfig(seed=0), check=False)
+        reference = strip_positions(program.process)
+        calls = 0
+
+        def only_original(proc):
+            nonlocal calls
+            calls += 1
+            return strip_positions(proc) == reference
+
+        small = shrink_process(program.process, only_original, max_trials=30)
+        assert strip_positions(small) == reference
+        assert calls <= 30
+
+    def test_zero_budget_returns_original_untouched(self):
+        program = generate_program(GenConfig(seed=1), check=False)
+        calls = 0
+
+        def pred(_proc):
+            nonlocal calls
+            calls += 1
+            return True
+
+        small = shrink_process(program.process, pred, max_trials=0)
+        assert small is program.process
+        assert calls == 0
+
+    def test_everything_fails_reaches_a_fixpoint(self):
+        # predicate == True for every valid candidate: the shrinker runs
+        # until no edit yields a valid program, well inside the budget.
+        program = self._program_with_while()
+        small = shrink_process(program.process, lambda _p: True,
+                               max_trials=400)
+        again = shrink_process(small, lambda _p: True, max_trials=400)
+        assert strip_positions(again) == strip_positions(small)
+        # Only the mandatory output assignments (plus at most one
+        # supporting statement) can survive an accept-everything shrink.
+        assert sum(1 for _ in ast.walk_statements(small.body)) <= 4
+
 
 class TestFuzzRun:
     def test_small_run_clean_and_deterministic(self, tmp_path):

@@ -1,0 +1,65 @@
+"""Histogram — the memory-bound benchmark of the suite.
+
+Sixteen pseudo-random samples (an in-process LCG over ``int8``) are
+binned into an 8-entry on-chip RAM, then a reduction pass finds the
+peak bin and the total count.  Every phase hits the array: a zero-fill
+loop (arrays power on at zero but persist across passes, so per-pass
+purity requires the explicit clear), a read-modify-write accumulation
+whose address wraps to the array's power-of-two size, and a read-only
+scan.  This is the registry's coverage of Section 2.1's behavioral
+arrays: RAM port binding, load/store serialization and the memory
+power term all show up in its design space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitwidth import wrap_to_width
+
+SOURCE = """
+process histogram(seed: int8, w: int5) -> (peak: int14, total: int14) {
+  var bins: int10[8];
+  var i: int5 = 0;
+  while (i < 8) {
+    bins[i] = 0;
+    i = i + 1;
+  }
+  var x: int8 = seed;
+  var j: int6 = 0;
+  while (j < 16) {
+    bins[x] = bins[x] + w;
+    x = x * 5 + 3;
+    j = j + 1;
+  }
+  var peak0: int10 = 0;
+  var sum0: int14 = 0;
+  i = 0;
+  while (i < 8) {
+    var v: int10 = bins[i];
+    if (v > peak0) {
+      peak0 = v;
+    }
+    sum0 = sum0 + v;
+    i = i + 1;
+  }
+  peak = peak0;
+  total = sum0;
+}
+"""
+
+
+def stimulus(n_passes: int, seed: int = 0) -> list[dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    return [{"seed": int(rng.integers(-128, 128)),
+             "w": int(rng.integers(1, 16))}
+            for _ in range(n_passes)]
+
+
+def reference(seed: int, w: int) -> dict[str, int]:
+    bins = [0] * 8
+    x = seed
+    for _ in range(16):
+        bins[x & 7] += w  # addresses wrap to the power-of-two size
+        x = wrap_to_width(x * 5 + 3, 8)
+    return {"peak": max(bins), "total": sum(bins)}

@@ -57,6 +57,7 @@ _NAME_SYMBOLS = {
     OpKind.LAND: "&&", OpKind.LOR: "||", OpKind.LNOT: "!",
     OpKind.BAND: "&", OpKind.BOR: "|", OpKind.BXOR: "^",
     OpKind.SELECT: "Sel", OpKind.ENDLOOP: "Elp", OpKind.COPY: "mov",
+    OpKind.LOAD: "ld", OpKind.STORE: "st",
 }
 
 
@@ -107,7 +108,9 @@ class _LoopScope:
 class _Builder:
     def __init__(self, process: ast.Process):
         self._process = process
-        self._types = check_process(process).var_types
+        checked = check_process(process)
+        self._types = checked.var_types
+        self._array_types = checked.array_types
         self._cdfg = CDFG(name=process.name)
         self._env: dict[str, Ref] = {}
         self._const_nodes: dict[tuple[int, int, bool], int] = {}
@@ -128,6 +131,8 @@ class _Builder:
         self._block_stack.append(root)
         for name, vtype in self._types.items():
             cdfg.var_types[name] = (vtype.width, vtype.signed)
+        for name, (etype, size) in self._array_types.items():
+            cdfg.array_types[name] = (etype.width, etype.signed, size)
 
         for param in self._process.inputs:
             node = self._new_node(OpKind.INPUT, param.type.width, param.type.signed,
@@ -158,7 +163,7 @@ class _Builder:
 
     def _new_node(self, kind: OpKind, width: int, signed: bool, *, name: str | None = None,
                   carrier: str | None = None, value: int | None = None,
-                  const_shift: bool = False, line: int = 0,
+                  const_shift: bool = False, mem: str | None = None, line: int = 0,
                   control: ControlPort | None = None, in_items: bool | None = None) -> Node:
         cdfg = self._cdfg
         if control is None:
@@ -181,6 +186,7 @@ class _Builder:
             carrier=carrier,
             value=value,
             const_shift=const_shift,
+            mem=mem,
             line=line,
         )
         cdfg.add_node(node)
@@ -244,6 +250,8 @@ class _Builder:
             return ConstRef(int(expr.value), 1, False)
         if isinstance(expr, ast.VarRef):
             return self._read_var(expr.name, expr.line)
+        if isinstance(expr, ast.IndexExpr):
+            return self._build_load(expr)
         if isinstance(expr, ast.UnaryOp):
             return self._build_unary(expr)
         if isinstance(expr, ast.BinaryOp):
@@ -288,6 +296,36 @@ class _Builder:
         self._connect(node.id, 1, right)
         return NodeRef(node.id)
 
+    # -- memory access ----------------------------------------------------------
+
+    def _build_load(self, expr: ast.IndexExpr) -> Ref:
+        """Lower ``a[i]`` to a LOAD node (port 0: address).
+
+        The node's width/sign are the element type; the address wraps to the
+        (power-of-two) array size inside every backend, so any integer
+        expression is a valid index.
+        """
+        addr = self._build_expr(expr.index)
+        etype, _size = self._array_types[expr.name]
+        node = self._new_node(OpKind.LOAD, etype.width, etype.signed,
+                              mem=expr.name, line=expr.line)
+        self._connect(node.id, 0, addr)
+        return NodeRef(node.id)
+
+    def _build_store(self, stmt: ast.ArrayAssign) -> None:
+        """Lower ``a[i] = e`` to a STORE node (port 0: address, port 1: data).
+
+        The stored value wraps to the element type, exactly like a scalar
+        assignment wraps to the variable type.
+        """
+        addr = self._build_expr(stmt.index)
+        value = self._build_expr(stmt.value)
+        etype, _size = self._array_types[stmt.name]
+        node = self._new_node(OpKind.STORE, etype.width, etype.signed,
+                              mem=stmt.name, line=stmt.line)
+        self._connect(node.id, 0, addr)
+        self._connect(node.id, 1, value)
+
     # -- statements -----------------------------------------------------------------
 
     def _build_body(self, body: tuple[ast.Stmt, ...]) -> None:
@@ -306,6 +344,12 @@ class _Builder:
             self._decl_scopes[-1].add(stmt.name)
             if stmt.init is not None:
                 self._build_assign(stmt.name, stmt.init, stmt.line)
+        elif isinstance(stmt, ast.ArrayDecl):
+            # Declarations carry no computation; the array set was recorded
+            # from the checker before the body walk.
+            pass
+        elif isinstance(stmt, ast.ArrayAssign):
+            self._build_store(stmt)
         elif isinstance(stmt, ast.Assign):
             self._build_assign(stmt.name, stmt.value, stmt.line)
         elif isinstance(stmt, ast.If):

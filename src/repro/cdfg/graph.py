@@ -38,6 +38,9 @@ class CDFG:
     input_nodes: list[int] = field(default_factory=list)
     output_nodes: list[int] = field(default_factory=list)
     var_types: dict[str, tuple[int, bool]] = field(default_factory=dict)
+    #: name -> (element width, element signed, size) for every declared
+    #: array; arrays bind to RAM instances, never to registers.
+    array_types: dict[str, tuple[int, bool, int]] = field(default_factory=dict)
 
     _in_edges: dict[int, dict[int, Edge]] = field(default_factory=dict, repr=False)
     _out_edges: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
@@ -147,6 +150,12 @@ class CDFG:
         """Nodes that need a functional unit."""
         return [n for n in self.nodes.values() if n.needs_fu]
 
+    def mem_nodes(self) -> list[Node]:
+        """LOAD/STORE nodes in program (node-id) order."""
+        return sorted((n for n in self.nodes.values()
+                       if n.kind in (OpKind.LOAD, OpKind.STORE)),
+                      key=lambda n: n.id)
+
     def condition_consumers(self, cond_node: int) -> list[Node]:
         return [self.nodes[e.dst] for e in self._out_edges.get(cond_node, []) if e.is_control]
 
@@ -241,6 +250,12 @@ class CDFG:
                     f"is {node.control.source}")
         if node.kind is OpKind.CONST and node.value is None:
             raise CDFGError(f"const node {node.name} has no value")
+        if node.kind in (OpKind.LOAD, OpKind.STORE):
+            if node.mem is None or node.mem not in self.array_types:
+                raise CDFGError(
+                    f"memory node {node.name} references unknown array {node.mem!r}")
+        elif node.mem is not None:
+            raise CDFGError(f"non-memory node {node.name} has mem={node.mem!r}")
         if node.region not in self.regions:
             raise CDFGError(f"node {node.name} in unknown region {node.region}")
 

@@ -41,6 +41,7 @@ class Interpreter:
         self._max_iter = max_loop_iterations
         self._val: dict[int, int] = {}
         self._venv: dict[str, int] = {}
+        self._mem: dict[str, list[int]] = {}
         self._step = 0
         self._recorder: TraceRecorder | None = None
         self._pass_idx = 0
@@ -52,10 +53,18 @@ class Interpreter:
         cdfg = self._cdfg
         recorder = TraceRecorder(cdfg)
         self._recorder = recorder
+        # Arrays are process-scoped memory: they power on at zero and their
+        # contents persist across stimulus passes (each pass is one
+        # start/done handshake of the same powered-up circuit).
+        self._mem = {name: [0] * size
+                     for name, (_w, _s, size) in cdfg.array_types.items()}
         for pass_idx, inputs in enumerate(input_passes):
             self._pass_idx = pass_idx
             self._run_pass(inputs)
-        return recorder.finalize(len(input_passes))
+        store = recorder.finalize(len(input_passes))
+        store.mem_final = {name: list(words)
+                           for name, words in self._mem.items()}
+        return store
 
     # -- execution ---------------------------------------------------------------
 
@@ -120,12 +129,27 @@ class Interpreter:
 
     def _exec_op(self, node: Node) -> None:
         ins = tuple(self._edge_value(e) for e in self._cdfg.in_edges(node.id))
-        out = _wrap(self._compute(node, ins), node.width, node.signed)
+        if node.kind in (OpKind.LOAD, OpKind.STORE):
+            out = self._exec_mem(node, ins)
+        else:
+            out = _wrap(self._compute(node, ins), node.width, node.signed)
         self._val[node.id] = out
         if node.carrier is not None:
             self._venv[node.carrier] = out
         self._recorder.record(node.id, self._pass_idx, self._step, ins, out)
         self._step += 1
+
+    def _exec_mem(self, node: Node, ins: tuple[int, ...]) -> int:
+        """Execute one LOAD/STORE.  The address wraps to the power-of-two
+        array size; stored data wraps to the element type — identically in
+        every downstream backend."""
+        contents = self._mem[node.mem]
+        addr = ins[0] & (len(contents) - 1)
+        if node.kind is OpKind.LOAD:
+            return contents[addr]
+        value = _wrap(ins[1], node.width, node.signed)
+        contents[addr] = value
+        return value
 
     # -- value resolution -----------------------------------------------------------
 

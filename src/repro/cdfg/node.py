@@ -40,6 +40,9 @@ class OpKind(enum.Enum):
     SELECT = "Sel"
     ENDLOOP = "Elp"
     COPY = "mov"
+    # memory
+    LOAD = "ld"
+    STORE = "st"
     # boundary
     INPUT = "in"
     CONST = "const"
@@ -55,6 +58,11 @@ FU_KINDS = ARITH_KINDS | COMPARE_KINDS | LOGIC_KINDS
 
 #: Kinds that occupy a state slot but use no functional unit.
 TRANSFER_KINDS = frozenset({OpKind.COPY})
+
+#: Kinds that access a process-scoped memory through a RAM port.  They
+#: schedule like transfers (no functional unit) but carry a real access
+#: delay from the bound RAM and compete for its ports.
+MEMORY_KINDS = frozenset({OpKind.LOAD, OpKind.STORE})
 
 #: Kinds that are purely structural (never scheduled).
 STRUCTURAL_KINDS = frozenset({OpKind.SELECT, OpKind.ENDLOOP, OpKind.INPUT, OpKind.CONST, OpKind.OUTPUT})
@@ -117,6 +125,7 @@ class Node:
         value: constant value (CONST nodes only).
         const_shift: True for shift nodes whose amount is a constant; such
             shifts are wiring and need no functional unit.
+        mem: the array name a LOAD/STORE accesses (memory kinds only).
         line: source line for diagnostics.
     """
 
@@ -131,6 +140,7 @@ class Node:
     carrier: str | None = None
     value: int | None = None
     const_shift: bool = False
+    mem: str | None = None
     line: int = 0
 
     @cached_property
@@ -157,6 +167,10 @@ class Node:
             return 2
         if self.kind in (OpKind.LNOT, OpKind.COPY, OpKind.OUTPUT):
             return 1
+        if self.kind is OpKind.LOAD:
+            return 1   # port 0: address
+        if self.kind is OpKind.STORE:
+            return 2   # port 0: address, port 1: data
         if self.kind is OpKind.SELECT:
             return 2
         if self.kind in (OpKind.INPUT, OpKind.CONST):

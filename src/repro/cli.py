@@ -338,7 +338,9 @@ def cmd_fuzz(args) -> int:
     gen = dataclasses.replace(GenConfig(), ops_budget=args.max_ops,
                               max_depth=args.nesting,
                               branch_density=args.branch_density,
-                              loop_density=args.loop_density)
+                              loop_density=args.loop_density,
+                              array_density=args.array_density,
+                              n_arrays=args.arrays)
 
     if args.replay is not None:
         if not args.replay.exists():
@@ -537,6 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="if/else probability per slot (default %(default)s)")
     p.add_argument("--loop-density", type=_unit_float, default=0.25,
                    help="loop probability per slot (default %(default)s)")
+    p.add_argument("--array-density", type=_unit_float, default=0.15,
+                   help="array-access probability per slot; 0 disables "
+                        "arrays entirely (default %(default)s)")
+    p.add_argument("--arrays", type=_positive_int, default=1,
+                   help="arrays declared per program when array density "
+                        "is nonzero (default %(default)s)")
     p.add_argument("--search-depth", type=_positive_int, default=3,
                    help="search move depth per synthesis (default %(default)s)")
     p.add_argument("--search-candidates", type=_positive_int, default=8,

@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 
 from repro.errors import BindingError
 from repro.cdfg.graph import CDFG
-from repro.cdfg.node import OpKind
+from repro.cdfg.node import MEMORY_KINDS, OpKind
 from repro.library.library import ModuleLibrary
+from repro.library.memory import RamSpec, ram_access_delay, ram_spec
 from repro.library.module import ModuleSpec, scale_delay
 
 
@@ -41,6 +42,28 @@ class RegInstance:
     carriers: set[str] = field(default_factory=set)
 
 
+@dataclass
+class MemInstance:
+    """One RAM instance in the datapath, realizing one array.
+
+    ``port_of`` assigns every LOAD/STORE node of the array to one of the
+    RAM's access ports; the scheduler serializes accesses sharing a port,
+    and the ``BindMemoryPort`` move re-balances that assignment.
+    """
+
+    name: str
+    spec: RamSpec
+    width: int
+    depth: int
+    port_of: dict[int, int] = field(default_factory=dict)
+
+    def access_delay(self) -> float:
+        return ram_access_delay(self.spec, self.width, self.depth)
+
+    def ports_used(self) -> set[int]:
+        return set(self.port_of.values())
+
+
 def op_width(cdfg: CDFG, node_id: int) -> int:
     """Width a functional unit must have to execute a node: max of ports."""
     node = cdfg.node(node_id)
@@ -60,6 +83,7 @@ class Binding:
         self.op_to_fu: dict[int, int] = {}
         self.regs: dict[int, RegInstance] = {}
         self.carrier_to_reg: dict[str, int] = {}
+        self.mems: dict[str, MemInstance] = {}
         self._next_fu = 0
         self._next_reg = 0
         # Lazily computed content signatures; every mutating method clears
@@ -80,6 +104,23 @@ class Binding:
             binding._add_fu(module, {node.id})
         for var, (width, _signed) in sorted(cdfg.var_types.items()):
             binding._add_reg(width, {var})
+        # Arrays start on dual-port RAMs with loads spread across both
+        # ports (fully parallel, like the FU side); SubstituteRam trades
+        # the second port away for area/power.  Stores all take port 0 —
+        # a store can never share a state with another access anyway.
+        for name, (width, _signed, size) in sorted(cdfg.array_types.items()):
+            spec = ram_spec("ram_2p")
+            mem = MemInstance(name=name, spec=spec, width=width, depth=size)
+            next_load_port = 0
+            for node in cdfg.mem_nodes():
+                if node.mem != name:
+                    continue
+                if node.kind is OpKind.LOAD:
+                    mem.port_of[node.id] = next_load_port
+                    next_load_port = (next_load_port + 1) % spec.ports
+                else:
+                    mem.port_of[node.id] = 0
+            binding.mems[name] = mem
         return binding
 
     def _add_fu(self, module: ModuleSpec, ops: set[int]) -> FUInstance:
@@ -111,6 +152,9 @@ class Binding:
         for reg in self.regs.values():
             other.regs[reg.id] = RegInstance(reg.id, reg.width, set(reg.carriers))
         other.carrier_to_reg = dict(self.carrier_to_reg)
+        for mem in self.mems.values():
+            other.mems[mem.name] = MemInstance(
+                mem.name, mem.spec, mem.width, mem.depth, dict(mem.port_of))
         return other
 
     # -- queries -----------------------------------------------------------------
@@ -128,6 +172,11 @@ class Binding:
     def op_delay(self, node_id: int) -> float:
         """Combinational delay (ns) of one node at 5 V under this binding."""
         node = self.cdfg.node(node_id)
+        if node.kind in MEMORY_KINDS:
+            mem = self.mems.get(node.mem)
+            if mem is None:
+                raise BindingError(f"array {node.mem!r} has no RAM instance")
+            return mem.access_delay()
         if not node.needs_fu:
             return 0.0
         fu = self.fu_of(node_id)
@@ -161,9 +210,18 @@ class Binding:
             (reg_id, reg.width, tuple(sorted(reg.carriers)))
             for reg_id, reg in sorted(self.regs.items())
         )
-        got = (fus, regs)
+        got = (fus, regs, self._mem_sig())
         self._sig_memo["full"] = got
         return got
+
+    def _mem_sig(self) -> tuple:
+        """Array names are stable program identifiers, so one signature
+        form serves all three binding signatures."""
+        return tuple(
+            (mem.name, mem.spec.name, mem.width, mem.depth,
+             tuple(sorted(mem.port_of.items())))
+            for mem in sorted(self.mems.values(), key=lambda m: m.name)
+        )
 
     def merge_signature(self) -> tuple:
         """Content signature of exactly what trace merging reads (hashable).
@@ -186,7 +244,7 @@ class Binding:
             (reg_id, reg.width, tuple(sorted(reg.carriers)))
             for reg_id, reg in sorted(self.regs.items())
         )
-        got = (fus, regs)
+        got = (fus, regs, self._mem_sig())
         self._sig_memo["merge"] = got
         return got
 
@@ -212,7 +270,7 @@ class Binding:
             (reg.width, tuple(sorted(reg.carriers)))
             for reg in self.regs.values()
         ))
-        got = (fus, regs)
+        got = (fus, regs, self._mem_sig())
         self._sig_memo["schedule"] = got
         return got
 
@@ -237,6 +295,21 @@ class Binding:
         for var in self.cdfg.var_types:
             if var not in self.carrier_to_reg:
                 raise BindingError(f"variable {var!r} has no register")
+        for name in self.cdfg.array_types:
+            if name not in self.mems:
+                raise BindingError(f"array {name!r} has no RAM instance")
+        for node in self.cdfg.mem_nodes():
+            mem = self.mems.get(node.mem)
+            if mem is None:
+                raise BindingError(f"array {node.mem!r} has no RAM instance")
+            port = mem.port_of.get(node.id)
+            if port is None:
+                raise BindingError(
+                    f"memory op {node.name} has no port on array {node.mem!r}")
+            if not 0 <= port < mem.spec.ports:
+                raise BindingError(
+                    f"memory op {node.name} on port {port} but {mem.spec.name} "
+                    f"has only {mem.spec.ports} port(s)")
 
     # -- moves (mechanics only; legality/cost handled by repro.core.moves) -------
 
@@ -306,9 +379,41 @@ class Binding:
         width = max(self.cdfg.var_types[c][0] for c in carriers_out)
         return self._add_reg(width, carriers_out)
 
+    def bind_mem_port(self, array: str, node_id: int, port: int) -> None:
+        """Reassign one memory access to another port of its RAM."""
+        mem = self.mems.get(array)
+        if mem is None:
+            raise BindingError(f"array {array!r} has no RAM instance")
+        if node_id not in mem.port_of:
+            raise BindingError(
+                f"node {node_id} is not an access of array {array!r}")
+        if not 0 <= port < mem.spec.ports:
+            raise BindingError(
+                f"port {port} out of range for {mem.spec.name} "
+                f"({mem.spec.ports} port(s))")
+        self._sig_memo.clear()
+        mem.port_of[node_id] = port
+
+    def substitute_ram(self, array: str, spec: RamSpec) -> None:
+        """Swap an array's RAM organization (RAM-level module selection).
+
+        Narrowing to fewer ports rebinds every access to port 0 — always
+        legal, since the scheduler re-serializes port conflicts on the
+        next reschedule.
+        """
+        mem = self.mems.get(array)
+        if mem is None:
+            raise BindingError(f"array {array!r} has no RAM instance")
+        self._sig_memo.clear()
+        mem.spec = spec
+        for node_id, port in mem.port_of.items():
+            if port >= spec.ports:
+                mem.port_of[node_id] = 0
+
     def summary(self) -> dict[str, int]:
         return {
             "fus": len(self.fus),
             "registers": len(self.regs),
+            "memories": len(self.mems),
             "bound_ops": len(self.op_to_fu),
         }

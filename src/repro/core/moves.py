@@ -22,7 +22,19 @@ SubstituteModule          3.2.2 module selection       only on a
 ShareRegisters            3.2.3 (registers)            no
 SplitRegister             3.2.3 (registers)            no
 RestructureMux            3.2.1 mux restructuring      no
+BindMemoryPort            3.2.3 (RAM ports)            yes
+SubstituteRam             3.2.2 (RAM organization)     yes
 ========================= ============================ =============
+
+The two memory moves extend the paper's move vocabulary to the RAM
+instances arrays are bound to: ``BindMemoryPort`` re-balances accesses
+across the ports of a multi-port RAM (more same-state load parallelism,
+or fewer address-bus muxes), and ``SubstituteRam`` swaps the RAM
+organization the way ``SubstituteModule`` swaps an FU's module —
+trading the dual-port RAM's area and capacitance for the single-port
+RAM's serialized accesses.  Both always re-schedule: port assignment
+feeds the scheduler's same-state conflict checks, and the organization
+sets the access delay.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BindingError, ReproError
+from repro.cdfg.node import OpKind
 from repro.core.delta import DirtySet
 from repro.core.design import DesignPoint
 from repro.core.liveness import carriers_interfere
@@ -203,6 +216,66 @@ class SplitRegister(Move):
         return design.with_binding(binding, reschedule=False, dirty=dirty)
 
 
+def _mem_port_keys(array: str) -> frozenset:
+    """All datapath port keys a RAM's buses can occupy (over every
+    organization, so spec swaps dirty the ports they grow into)."""
+    from repro.library.memory import RAM_SPECS
+
+    max_ports = max(spec.ports for spec in RAM_SPECS)
+    return frozenset(
+        (kind, array, port)
+        for kind in ("mem_addr", "mem_din")
+        for port in range(max_ports)
+    )
+
+
+@dataclass(frozen=True)
+class BindMemoryPort(Move):
+    """Reassign one array access to another port of its RAM."""
+
+    array: str
+    node: int
+    port: int
+
+    def signature(self) -> tuple:
+        return ("bind_mem_port", self.array, self.node, self.port)
+
+    def affected(self, design: DesignPoint) -> DirtySet:
+        # Rescheduling; when the new STG turns out replay-equivalent the
+        # derivation still rewires the RAM's buses (named here) — port
+        # assignment changes which bus each access drives even when no
+        # op moved state.
+        return DirtySet(port_keys=_mem_port_keys(self.array), reschedule=True)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        binding = design.binding.clone()
+        binding.bind_mem_port(self.array, self.node, self.port)
+        return design.with_binding(binding, reschedule=True,
+                                   dirty=self.affected(design))
+
+
+@dataclass(frozen=True)
+class SubstituteRam(Move):
+    """Swap an array's RAM organization (single- vs dual-port)."""
+
+    array: str
+    spec_name: str
+
+    def signature(self) -> tuple:
+        return ("substitute_ram", self.array, self.spec_name)
+
+    def affected(self, design: DesignPoint) -> DirtySet:
+        return DirtySet(port_keys=_mem_port_keys(self.array), reschedule=True)
+
+    def apply(self, design: DesignPoint) -> DesignPoint:
+        from repro.library.memory import ram_spec
+
+        binding = design.binding.clone()
+        binding.substitute_ram(self.array, ram_spec(self.spec_name))
+        return design.with_binding(binding, reschedule=True,
+                                   dirty=self.affected(design))
+
+
 @dataclass(frozen=True)
 class RestructureMux(Move):
     """Huffman-restructure one multiplexer tree (Figure 12)."""
@@ -263,5 +336,22 @@ def generate_moves(design: DesignPoint) -> list[Move]:
     for port in design.arch.datapath.mux_ports():
         if port.n_sources() >= 3 and port.key not in design.tree_policy:
             moves.append(RestructureMux(port.key))
+
+    from repro.library.memory import RAM_SPECS
+
+    for name in sorted(binding.mems):
+        mem = binding.mems[name]
+        for spec in RAM_SPECS:
+            if spec.name != mem.spec.name:
+                moves.append(SubstituteRam(name, spec.name))
+        if mem.spec.ports > 1:
+            # Only loads are worth rebalancing: a store never shares a
+            # state with another access, so its port never constrains.
+            for node_id in sorted(mem.port_of):
+                if cdfg.node(node_id).kind is not OpKind.LOAD:
+                    continue
+                for port in range(mem.spec.ports):
+                    if port != mem.port_of[node_id]:
+                        moves.append(BindMemoryPort(name, node_id, port))
 
     return moves

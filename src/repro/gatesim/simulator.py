@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ArchitectureError
 from repro.cdfg.interpreter import Interpreter, _wrap
 from repro.cdfg.node import OpKind
+from repro.library.memory import ram_access_cap
 from repro.library.module import scale_capacitance
 from repro.library.modules_data import (
     MUX_CAP_PER_BIT,
@@ -43,6 +44,11 @@ from repro.utils.bitwidth import to_unsigned
 #: Weight of port-level vs internal toggles in FU energy.
 FU_PORT_WEIGHT = 1.0
 FU_INTERNAL_WEIGHT = 0.8
+
+#: Fixed fraction of a RAM access's switched capacitance (word-line
+#: select and bit-line precharge fire regardless of the data) — the same
+#: split the RT-level estimator applies.
+MEM_STATIC_WEIGHT = 0.6
 
 #: Safety cap on cycles per pass.
 MAX_CYCLES_PER_PASS = 1_000_000
@@ -68,6 +74,9 @@ class GateSimResult:
     raw_breakdown: dict[str, float] | None = None
     #: Simulated time in ns (total cycles x clock period).
     time_ns: float = 0.0
+    #: Final array contents (element-typed values, same convention as the
+    #: interpreter's) — compared by the conformance harness.
+    mems: dict[str, list[int]] | None = None
 
     @property
     def enc(self) -> float:
@@ -103,6 +112,7 @@ def rescale_result(result: GateSimResult, vdd: float) -> GateSimResult:
         state_seq=result.state_seq,
         raw_breakdown=result.raw_breakdown,
         time_ns=time_ns,
+        mems=result.mems,
     )
 
 
@@ -142,14 +152,17 @@ class _Accumulator:
     def __init__(self) -> None:
         self.fus = 0.0
         self.registers = 0.0
+        self.memories = 0.0
         self.muxes = 0.0
         self.controller = 0.0
 
     def breakdown(self) -> dict[str, float]:
-        total = self.fus + self.registers + self.muxes + self.controller
+        total = (self.fus + self.registers + self.memories + self.muxes
+                 + self.controller)
         return {
             "fus": self.fus,
             "registers": self.registers,
+            "memories": self.memories,
             "muxes": self.muxes,
             "controller": self.controller,
             "total": total,
@@ -195,6 +208,19 @@ class _GateSim:
                            for n, w in arch.datapath.tmp_regs.items()}
         self._fu_masks = {f.id: (1 << f.width) - 1
                           for f in arch.binding.fus.values()}
+        #: Array contents (element-typed values, power-on zero; persist
+        #: across passes exactly like the behavioral interpreter's).
+        self.mems: dict[str, list[int]] = {
+            name: [0] * m.depth for name, m in arch.binding.mems.items()}
+        #: Last presented (addr, data) patterns per array, for the
+        #: bit-level access-energy model.
+        self._mem_last: dict[str, tuple[int, int]] = {
+            name: (0, 0) for name in arch.binding.mems}
+        self._mem_cost = {
+            name: (ram_access_cap(m.spec, m.width, m.depth),
+                   max(1, (m.depth - 1).bit_length()),
+                   (1 << m.width) - 1)
+            for name, m in arch.binding.mems.items()}
         #: Per-state execution plans, built lazily (see :meth:`_plan_state`).
         self._state_plan: dict[int, list] = {}
         total_reg_bits = sum(self._reg_widths.values()) + \
@@ -240,12 +266,25 @@ class _GateSim:
         for sched_op in self._ordered_ops[state_id]:
             node = cdfg.node(sched_op.node)
             fu = arch.binding.fu_of(node.id) if node.needs_fu else None
+            mem = None
+            if node.mem is not None:
+                mem = (node.mem, node.kind is OpKind.STORE)
+                inst = arch.binding.mems[node.mem]
+                ram_port = inst.port_of[node.id]
+                mem_trees = [(self.trees.get(("mem_addr", node.mem, ram_port)),
+                              self._mem_cost[node.mem][1]),
+                             (self.trees.get(("mem_din", node.mem, ram_port)),
+                              inst.width)]
             srcs = []
             for k, edge in enumerate(cdfg.in_edges(node.id)):
+                if fu is not None:
+                    ftree, width = self.trees.get(("fu_in", fu.id, k)), edge.width
+                elif mem is not None:
+                    ftree, width = mem_trees[k]
+                else:
+                    ftree, width = None, edge.width
                 source = edge_source(arch, edge, state_id)
-                ftree = self.trees.get(("fu_in", fu.id, k)) if fu is not None \
-                    else None
-                srcs.append((source, edge.width, ftree))
+                srcs.append((source, width, ftree))
             reg = None
             reg_driver = None
             is_tmp = False
@@ -257,20 +296,22 @@ class _GateSim:
                     reg_driver = (tree, port.drivers[(node.id, state_id)])
             else:
                 is_tmp = node.id in arch.datapath.tmp_regs
-            plan.append((sched_op, node, fu, srcs, reg, reg_driver, is_tmp))
+            plan.append((sched_op, node, fu, mem, srcs, reg, reg_driver,
+                         is_tmp))
         return plan
 
     def _execute_state(self, state_id: int, chain_values: dict,
                        pins: dict[str, int]) -> dict[str, int]:
         pending_reg: dict[int, tuple[int, int]] = {}
         pending_tmp: dict[int, int] = {}
+        pending_mem: list[tuple[list[int], int, int]] = []
         plan = self._state_plan.get(state_id)
         if plan is None:
             plan = self._plan_state(state_id)
             self._state_plan[state_id] = plan
 
         source_value = self._source_value
-        for sched_op, node, fu, srcs, reg, reg_driver, is_tmp in plan:
+        for sched_op, node, fu, mem, srcs, reg, reg_driver, is_tmp in plan:
             ins = []
             sample_ports = []
             for source, width, ftree in srcs:
@@ -278,14 +319,29 @@ class _GateSim:
                 ins.append(value)
                 if ftree is not None:
                     sample_ports.append((ftree, source, value, width))
-            out = _wrap(Interpreter._compute(node, tuple(ins)), node.width, node.signed)
+            if mem is not None:
+                # The scheduler keeps a store alone in its state per
+                # array, so committing writes at state end (the hardware
+                # behavior) can never starve a same-state load.
+                array, is_store = mem
+                contents = self.mems[array]
+                addr = ins[0] & (len(contents) - 1)
+                if is_store:
+                    out = _wrap(ins[1], node.width, node.signed)
+                    pending_mem.append((contents, addr, out))
+                else:
+                    out = contents[addr]
+                self._account_mem(array, addr, out)
+            else:
+                out = _wrap(Interpreter._compute(node, tuple(ins)),
+                            node.width, node.signed)
             chain_values[node.id] = out
             if fu is not None:
                 chain_values[("fu_chain", fu.id)] = out
                 self._account_fu(fu, node, ins, out, sched_op)
-                for ftree, source, value, width in sample_ports:
-                    toggles = ftree.sample(source, value, width)
-                    self.energy.muxes += toggles * MUX_CAP_PER_BIT
+            for ftree, source, value, width in sample_ports:
+                toggles = ftree.sample(source, value, width)
+                self.energy.muxes += toggles * MUX_CAP_PER_BIT
 
             if reg is not None:
                 previous = pending_reg.get(reg.id)
@@ -313,7 +369,23 @@ class _GateSim:
             toggles = ((old ^ value) & self._tmp_masks[node_id]).bit_count()
             self.energy.registers += toggles * REGISTER_CAP_PER_BIT
             self.tmps[node_id] = value
+        for contents, addr, value in pending_mem:
+            contents[addr] = value
         return chain_values
+
+    def _account_mem(self, array: str, addr: int, value: int) -> None:
+        """One RAM access: fixed select/precharge cost plus a part scaled
+        by measured address/data bus toggles (vs the array's previous
+        access) — the bit-level counterpart of the estimator's model."""
+        cap, addr_bits, data_mask = self._mem_cost[array]
+        last_a, last_d = self._mem_last[array]
+        d_pat = value & data_mask
+        alpha = 0.5 * ((last_a ^ addr).bit_count() / addr_bits
+                       + (last_d ^ d_pat).bit_count()
+                       / data_mask.bit_length())
+        self._mem_last[array] = (addr, d_pat)
+        self.energy.memories += cap * (
+            MEM_STATIC_WEIGHT + (1.0 - MEM_STATIC_WEIGHT) * alpha)
 
     def _account_fu(self, fu, node, ins: list[int], out: int, sched_op) -> None:
         width = fu.width
@@ -451,6 +523,7 @@ class _GateSim:
             state_seq=state_seq,
             raw_breakdown=raw,
             time_ns=time_ns,
+            mems={name: list(words) for name, words in self.mems.items()},
         )
 
     def _next_state(self, state_id: int, chain_values: dict) -> int:

@@ -52,6 +52,17 @@ class GenConfig:
     expr_depth: int = 2
     #: Pool of (width, signed) types for ports and variables.
     widths: tuple[tuple[int, bool], ...] = DEFAULT_WIDTHS
+    #: Probability a statement slot becomes an array access (an indexed
+    #: store, or a scalar assignment reading the array).  0 disables
+    #: arrays entirely, keeping pre-array corpora byte-identical.
+    array_density: float = 0.0
+    #: Number of process-scoped arrays declared when arrays are enabled.
+    #: Each is zero-filled by a generated loop before any dynamic access,
+    #: so the per-pass-stateless reference stays valid despite arrays
+    #: persisting across passes in the real pipeline.
+    n_arrays: int = 1
+    #: Pool of array sizes (each must be a power of two in [2, 1024]).
+    array_sizes: tuple[int, ...] = (4, 8, 16)
     #: Stimulus passes used by the generation-time semantic invariant
     #: check (emitted source is re-parsed, compiled and interpreted, then
     #: diffed against the generator's own AST evaluator).
@@ -73,6 +84,10 @@ class GenConfig:
              "max_while_bits must be in [2, 8]"),
             (self.expr_depth >= 1, "expr_depth must be >= 1"),
             (bool(self.widths), "widths pool must not be empty"),
+            (0.0 <= self.array_density <= 1.0,
+             "array_density must be in [0, 1]"),
+            (self.n_arrays >= 1, "n_arrays must be >= 1"),
+            (bool(self.array_sizes), "array_sizes pool must not be empty"),
             (self.validate_passes >= 1, "validate_passes must be >= 1"),
         )
         for ok, message in checks:
@@ -82,6 +97,11 @@ class GenConfig:
             if not 1 <= width <= 32:
                 raise ExperimentError(
                     f"GenConfig: width {width} outside [1, 32]")
+        for size in self.array_sizes:
+            if size < 2 or size > 1024 or size & (size - 1):
+                raise ExperimentError(
+                    f"GenConfig: array size {size} is not a power of two "
+                    f"in [2, 1024]")
         return self
 
     def with_seed(self, seed: int) -> "GenConfig":

@@ -16,7 +16,9 @@ anything else that varies run to run:
   signatures hash;
 * ``path:*`` — conformance-path depth: how many states a stimulus pass
   actually walks during replay, and whether that depth is
-  data-dependent.
+  data-dependent;
+* ``mem:*`` — array/RAM structure (array count, total words, access
+  kinds, read-modify-write) from the CDFG's memory nodes.
 
 Every bin is a short string, every extractor is a pure function of
 bit-reproducible inputs, so a program's coverage is **deterministic per
@@ -26,6 +28,7 @@ property test in ``tests/test_coverage.py`` enforces exactly that.
 
 from __future__ import annotations
 
+from repro.cdfg.node import OpKind
 from repro.cdfg.regions import BlockRegion, IfRegion, LoopRegion
 from repro.core.profile import PROFILER
 
@@ -89,6 +92,50 @@ def region_bins(cdfg) -> frozenset[str]:
     return frozenset(bins)
 
 
+def mem_bins(cdfg) -> frozenset[str]:
+    """``mem:`` bins: array/RAM structure of one CDFG.
+
+    Array-free programs contribute no ``mem:`` bins at all, so the mere
+    presence of the family marks the corpus slice that exercises RAM
+    binding, port-conflict scheduling and the memory power term:
+
+    * ``mem:arrays:<n>`` — array count (capped);
+    * ``mem:words:<b>`` — log2 bucket of total declared words;
+    * ``mem:load`` / ``mem:store`` — access kinds present;
+    * ``mem:rmw`` — some store's value data-depends on a load of the
+      same array (the read-modify-write port-pressure case).
+    """
+    if not cdfg.array_types:
+        return frozenset()
+    bins = {f"mem:arrays:{min(len(cdfg.array_types), _CAP)}"}
+    bins.add(f"mem:words:{_bucket(sum(size for _w, _s, size in cdfg.array_types.values()))}")
+    loads = [n for n in cdfg.nodes.values() if n.kind is OpKind.LOAD]
+    stores = [n for n in cdfg.nodes.values() if n.kind is OpKind.STORE]
+    if loads:
+        bins.add("mem:load")
+    if stores:
+        bins.add("mem:store")
+
+    def depends_on_load(store) -> bool:
+        seen: set[int] = set()
+        frontier = [edge.src for edge in cdfg.in_edges(store.id)
+                    if edge.dst_port == 1]
+        while frontier:
+            nid = frontier.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            node = cdfg.node(nid)
+            if node.kind is OpKind.LOAD and node.mem == store.mem:
+                return True
+            frontier.extend(edge.src for edge in cdfg.in_edges(nid))
+        return False
+
+    if any(depends_on_load(store) for store in stores):
+        bins.add("mem:rmw")
+    return frozenset(bins)
+
+
 def search_bins(history) -> frozenset[str]:
     """``move:`` and ``commit:`` bins from one search's history.
 
@@ -145,6 +192,7 @@ def extract_coverage(*, cdfg=None, history=None, stg=None,
     bins: frozenset[str] = frozenset()
     if cdfg is not None:
         bins |= region_bins(cdfg)
+        bins |= mem_bins(cdfg)
     if history is not None:
         bins |= search_bins(history)
     if stg is not None:

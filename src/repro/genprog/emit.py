@@ -28,6 +28,8 @@ def emit_expr(expr: ast.Expr) -> str:
         return "true" if expr.value else "false"
     if isinstance(expr, ast.VarRef):
         return expr.name
+    if isinstance(expr, ast.IndexExpr):
+        return f"{expr.name}[{emit_expr(expr.index)}]"
     if isinstance(expr, ast.UnaryOp):
         return f"({expr.op}{emit_expr(expr.operand)})"
     if isinstance(expr, ast.BinaryOp):
@@ -44,6 +46,11 @@ def _emit_stmt(stmt: ast.Stmt, depth: int, lines: list[str]) -> None:
         if stmt.init is not None:
             text += f" = {emit_expr(stmt.init)}"
         lines.append(text + ";")
+    elif isinstance(stmt, ast.ArrayDecl):
+        lines.append(f"{pad}var {stmt.name}: {stmt.elem_type}[{stmt.size}];")
+    elif isinstance(stmt, ast.ArrayAssign):
+        lines.append(
+            f"{pad}{stmt.name}[{emit_expr(stmt.index)}] = {emit_expr(stmt.value)};")
     elif isinstance(stmt, ast.Assign):
         lines.append(f"{pad}{stmt.name} = {emit_expr(stmt.value)};")
     elif isinstance(stmt, ast.If):

@@ -99,9 +99,16 @@ class _Evaluator:
     def __init__(self, process: ast.Process,
                  max_loop_iterations: int = MAX_LOOP_ITERATIONS):
         self._process = process
-        self._types = check_process(process).var_types
+        checked = check_process(process)
+        self._types = checked.var_types
+        self._array_types = checked.array_types
         self._max_iter = max_loop_iterations
         self._env: dict[str, int] = {}
+        # Arrays persist across run() calls on the same evaluator, mirroring
+        # the powered-up circuit: zero at construction, then whatever the
+        # previous pass stored.
+        self._mem: dict[str, list[int]] = {
+            name: [0] * size for name, (_t, size) in self._array_types.items()}
 
     def run(self, inputs: dict[str, int]) -> dict[str, int]:
         self._env = {}
@@ -125,6 +132,16 @@ class _Evaluator:
         if isinstance(stmt, ast.VarDecl):
             if stmt.init is not None:
                 self._assign(stmt.name, stmt.init)
+        elif isinstance(stmt, ast.ArrayDecl):
+            pass  # storage was created at evaluator construction
+        elif isinstance(stmt, ast.ArrayAssign):
+            etype, _size = self._array_types[stmt.name]
+            contents = self._mem[stmt.name]
+            addr = self._eval(stmt.index).value & (len(contents) - 1)
+            # Unlike scalar assignment, the builder does NOT re-type the top
+            # op of a stored value: the value node wraps to its natural
+            # result type, then the STORE wraps again to the element type.
+            contents[addr] = _wrap(self._eval(stmt.value).value, etype)
         elif isinstance(stmt, ast.Assign):
             self._assign(stmt.name, stmt.value)
         elif isinstance(stmt, ast.If):
@@ -179,6 +196,12 @@ class _Evaluator:
                     f"read of unassigned variable {expr.name!r}")
             value = self._env[expr.name]
             return _Val(value, self._types[expr.name], False, value)
+        if isinstance(expr, ast.IndexExpr):
+            etype, _size = self._array_types[expr.name]
+            contents = self._mem[expr.name]
+            addr = self._eval(expr.index).value & (len(contents) - 1)
+            value = contents[addr]
+            return _Val(value, etype, False, value)
         if isinstance(expr, ast.UnaryOp):
             return self._eval_unary(expr)
         if isinstance(expr, ast.BinaryOp):
@@ -218,7 +241,22 @@ def evaluate_process(process: ast.Process, inputs: dict[str, int], *,
                      ) -> dict[str, int]:
     """Execute one pass of a process AST; returns its output values.
 
+    Arrays start from zero on every call (power-on state).  Programs that
+    zero-initialize their arrays before any data-dependent read — the
+    discipline the generator enforces — behave identically under this
+    per-pass-stateless evaluation and the persistent-memory semantics of
+    the real pipeline.
+
     Raises :class:`InterpreterError` on missing inputs, reads of
     never-assigned variables, or a loop exceeding the iteration cap.
     """
     return _Evaluator(process, max_loop_iterations).run(inputs)
+
+
+def evaluate_passes(process: ast.Process, input_passes: list[dict[str, int]], *,
+                    max_loop_iterations: int = MAX_LOOP_ITERATIONS,
+                    ) -> list[dict[str, int]]:
+    """Execute several passes on ONE evaluator: arrays persist across
+    passes, exactly like the CDFG interpreter and the hardware backends."""
+    evaluator = _Evaluator(process, max_loop_iterations)
+    return [evaluator.run(inputs) for inputs in input_passes]

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from repro.errors import GenerationError
 from repro.genprog.config import GenConfig
 from repro.genprog.emit import emit_source, strip_positions
-from repro.genprog.evaluate import evaluate_process
+from repro.genprog.evaluate import evaluate_passes, evaluate_process
 from repro.lang import ast_nodes as ast
 from repro.lang.frontend import parse_process
 
@@ -137,6 +137,11 @@ class _Generator:
         self._name = name
         self._counter = 0
         self._budget = config.ops_budget
+        #: (name, element type, size) of every declared array.  Empty when
+        #: array_density is 0 — and every array-related rng draw below is
+        #: short-circuited on this list, so disabling arrays reproduces
+        #: pre-array programs byte-identically.
+        self._arrays: list[tuple[str, ast.Type, int]] = []
 
     def _fresh(self, prefix: str) -> str:
         self._counter += 1
@@ -155,16 +160,23 @@ class _Generator:
         name, _vtype = self._rng.choice(scope.readable)
         return ast.VarRef(line=0, name=name)
 
-    def _expr(self, scope: _Scope, depth: int) -> ast.Expr:
-        """A value expression (binary ops always read >= 1 variable)."""
+    def _expr(self, scope: _Scope, depth: int, *, loads: bool = True) -> ast.Expr:
+        """A value expression (binary ops always read >= 1 variable).
+
+        ``loads=False`` keeps array reads out of the tree — conditions use
+        it, because the frontend rejects loads in loop tests (the kernel
+        scheduler hoists tests past body stores).
+        """
         rng = self._rng
         if depth <= 0 or rng.random() < 0.35:
+            if loads and self._arrays and rng.random() < 0.30:
+                return self._load(scope)
             if rng.random() < 0.25:
                 return self._literal()
             return self._var_ref(scope)
         op = _weighted(rng, _VALUE_OPS)
         if op in ("<<", ">>"):
-            left = self._expr(scope, depth - 1)
+            left = self._expr(scope, depth - 1, loads=loads)
             if rng.random() < 0.25:
                 # Variable shift amount, masked small: a >> (b & 3).
                 right: ast.Expr = ast.BinaryOp(
@@ -173,11 +185,11 @@ class _Generator:
             else:
                 right = ast.IntLit(line=0, value=rng.randrange(1, 4))
             return ast.BinaryOp(line=0, op=op, left=left, right=right)
-        left = self._expr(scope, depth - 1)
+        left = self._expr(scope, depth - 1, loads=loads)
         if rng.random() < 0.3:
             right = self._literal()
         else:
-            right = self._expr(scope, depth - 1)
+            right = self._expr(scope, depth - 1, loads=loads)
         if not _has_var(left) and not _has_var(right):
             right = self._var_ref(scope)
         expr = ast.BinaryOp(line=0, op=op, left=left, right=right)
@@ -188,11 +200,74 @@ class _Generator:
     def _compare(self, scope: _Scope) -> ast.Expr:
         rng = self._rng
         op = rng.choice(_COMPARE_OPS)
-        left = self._expr(scope, 1)
-        right = self._literal() if rng.random() < 0.5 else self._expr(scope, 1)
+        left = self._expr(scope, 1, loads=False)
+        right = (self._literal() if rng.random() < 0.5
+                 else self._expr(scope, 1, loads=False))
         if not _has_var(left) and not _has_var(right):
             right = self._var_ref(scope)
         return ast.BinaryOp(line=0, op=op, left=left, right=right)
+
+    # -- array accesses -----------------------------------------------------
+
+    def _index(self, scope: _Scope) -> ast.Expr:
+        """A small index expression; any value works (indices wrap)."""
+        if self._rng.random() < 0.6:
+            return self._var_ref(scope)
+        return self._literal()
+
+    def _load(self, scope: _Scope) -> ast.IndexExpr:
+        name, _etype, _size = self._rng.choice(self._arrays)
+        return ast.IndexExpr(line=0, name=name, index=self._index(scope))
+
+    def _store(self, scope: _Scope) -> ast.ArrayAssign:
+        name, _etype, _size = self._rng.choice(self._arrays)
+        return ast.ArrayAssign(line=0, name=name, index=self._index(scope),
+                               value=self._expr(scope, self._cfg.expr_depth))
+
+    def _load_assign(self, scope: _Scope) -> ast.Assign:
+        """A scalar assignment guaranteed to read an array."""
+        name = self._rng.choice(scope.assignable)
+        load = self._load(scope)
+        if self._rng.random() < 0.5:
+            value: ast.Expr = load
+        else:
+            value = ast.BinaryOp(line=0, op=self._rng.choice(("+", "-", "^")),
+                                 left=load, right=self._var_ref(scope))
+        return ast.Assign(line=0, name=name, value=value)
+
+    def _array_prelude(self) -> tuple[ast.Stmt, ...]:
+        """Declare one array and zero-fill it with a generated loop.
+
+        The fill runs before any dynamic access, so every later load sees
+        only values stored this pass — which is what keeps the per-pass
+        stateless AST-evaluator reference valid even though arrays persist
+        across passes in the real pipeline.
+        """
+        name = self._fresh("m")
+        etype = self._type()
+        size = self._rng.choice(self._cfg.array_sizes)
+        self._arrays.append((name, etype, size))
+        iterator = self._fresh("z")
+        itype = ast.Type(max(8, size.bit_length() + 1), signed=True)
+        self._budget -= 2
+        return (
+            ast.ArrayDecl(line=0, name=name, elem_type=etype, size=size),
+            ast.VarDecl(line=0, name=iterator, declared_type=itype,
+                        init=ast.IntLit(line=0, value=0)),
+            ast.For(
+                line=0,
+                init=ast.Assign(line=0, name=iterator,
+                                value=ast.IntLit(line=0, value=0)),
+                cond=ast.BinaryOp(line=0, op="<",
+                                  left=ast.VarRef(line=0, name=iterator),
+                                  right=ast.IntLit(line=0, value=size)),
+                update=ast.Assign(line=0, name=iterator, value=ast.BinaryOp(
+                    line=0, op="+", left=ast.VarRef(line=0, name=iterator),
+                    right=ast.IntLit(line=0, value=1))),
+                body=(ast.ArrayAssign(line=0, name=name,
+                                      index=ast.VarRef(line=0, name=iterator),
+                                      value=ast.IntLit(line=0, value=0)),)),
+        )
 
     def _condition(self, scope: _Scope) -> ast.Expr:
         """A 1-bit condition: comparisons joined by logical connectives."""
@@ -313,6 +388,12 @@ class _Generator:
                     stmts.extend(self._for(scope, depth))
                 else:
                     stmts.extend(self._while(scope, depth))
+            elif self._arrays and roll < (cfg.branch_density + cfg.loop_density
+                                          + cfg.array_density):
+                if rng.random() < 0.5:
+                    stmts.append(self._store(scope))
+                else:
+                    stmts.append(self._load_assign(scope))
             elif roll < cfg.branch_density + cfg.loop_density + 0.15:
                 stmts.append(self._decl(scope))
             else:
@@ -341,6 +422,9 @@ class _Generator:
         body: list[ast.Stmt] = []
         for _ in range(max(2, cfg.n_outputs)):
             body.append(self._decl(scope))
+        if cfg.array_density > 0:
+            for _ in range(cfg.n_arrays):
+                body.extend(self._array_prelude())
         body.extend(self._block(scope, 0, min_stmts=2))
         for param in outputs:
             body.append(ast.Assign(line=0, name=param.name,
@@ -379,8 +463,9 @@ def check_roundtrip(program: GeneratedProgram, *, n_passes: int | None = None,
     n = n_passes if n_passes is not None else program.config.validate_passes
     stimulus = program.stimulus(n, seed=seed)
     store = simulate(cdfg, stimulus)
-    for idx, inputs in enumerate(stimulus):
-        expected = program.reference(**inputs)
+    # One evaluator across all passes: arrays persist, like the pipeline.
+    expected_passes = evaluate_passes(program.process, stimulus)
+    for idx, (inputs, expected) in enumerate(zip(stimulus, expected_passes)):
         for name, value in expected.items():
             got = int(store.outputs[name][idx])
             if got != value:

@@ -4,8 +4,8 @@ Four structural mutations over :class:`~repro.lang.ast_nodes.Process`
 values, used by :mod:`repro.genprog.fleet` to grow corpus programs
 toward uncovered structure:
 
-* ``widen``  — re-type one declared variable to a different width/sign
-  (perturbs operator widths, register shapes and STG structure);
+* ``widen``  — re-type one declared variable (or one array's element
+  type, perturbing RAM geometry) to a different width/sign;
 * ``nest``   — wrap a span of statements in a fresh ``if`` / bounded
   ``for`` / countdown ``while`` (grows region-nesting depth and shape);
 * ``graft``  — insert a renamed copy of a donor subtree at a new site;
@@ -27,7 +27,11 @@ therefore preserved structurally:
   remapped to variables readable at the insertion site;
 * ``nest`` never wraps a declaration whose variable is referenced after
   the wrapped span, and its new loops use fresh counters with constant
-  bounds.
+  bounds;
+* array declarations are protected like scalar declarations while
+  referenced later, and donor fragments never reference an array they
+  do not themselves declare (a free array read cannot be remapped onto
+  a scalar, and a fresh scalar cannot stand in for a RAM).
 
 Mutations that are structurally inapplicable return ``None``; mutants
 the CDFG builder soundly rejects (e.g. a loop-carried read with no
@@ -65,22 +69,33 @@ def loop_control_names(process: ast.Process) -> set[str]:
     return names
 
 
-def _exprs_of(stmt: ast.Stmt):
-    if isinstance(stmt, ast.VarDecl):
-        if stmt.init is not None:
-            yield stmt.init
-    elif isinstance(stmt, ast.Assign):
-        yield stmt.value
-    elif isinstance(stmt, (ast.If, ast.For, ast.While)):
-        yield stmt.cond
-
-
 def _names_read(stmts) -> set[str]:
     """Every name read by any expression anywhere under ``stmts``."""
     out: set[str] = set()
     for stmt in ast.walk_statements(tuple(stmts)):
-        for expr in _exprs_of(stmt):
+        for expr in ast.exprs_of(stmt):
             out |= ast.used_names(expr)
+    return out
+
+
+def _array_refs(stmts) -> set[str]:
+    """Array names accessed (read or written) anywhere under ``stmts``."""
+
+    def walk_expr(expr) -> set[str]:
+        if isinstance(expr, ast.IndexExpr):
+            return {expr.name} | walk_expr(expr.index)
+        if isinstance(expr, ast.UnaryOp):
+            return walk_expr(expr.operand)
+        if isinstance(expr, ast.BinaryOp):
+            return walk_expr(expr.left) | walk_expr(expr.right)
+        return set()
+
+    out: set[str] = set()
+    for stmt in ast.walk_statements(tuple(stmts)):
+        if isinstance(stmt, ast.ArrayAssign):
+            out.add(stmt.name)
+        for expr in ast.exprs_of(stmt):
+            out |= walk_expr(expr)
     return out
 
 
@@ -169,7 +184,8 @@ def _protected_indices(block: _Block, outputs: set[str]) -> set[int]:
 
     The trailing decrement of a ``while`` body (termination), any
     assignment to an output (conformance reads them), and any
-    declaration whose variable is referenced later in the block.
+    declaration (scalar or array) whose name is referenced later in the
+    block.
     """
     protected: set[int] = set()
     if block.kind == "while" and block.stmts:
@@ -180,6 +196,10 @@ def _protected_indices(block: _Block, outputs: set[str]) -> set[int]:
         elif isinstance(stmt, ast.VarDecl):
             suffix = block.stmts[idx + 1:]
             if stmt.name in (_names_read(suffix) | ast.assigned_names(suffix)):
+                protected.add(idx)
+        elif isinstance(stmt, ast.ArrayDecl):
+            suffix = block.stmts[idx + 1:]
+            if stmt.name in (_names_read(suffix) | _array_refs(suffix)):
                 protected.add(idx)
     return protected
 
@@ -208,6 +228,9 @@ def _donor_type(donor: ast.Process, name: str) -> ast.Type:
 def _rename_expr(expr: ast.Expr, mapping: dict[str, str]) -> ast.Expr:
     if isinstance(expr, ast.VarRef):
         return dataclasses.replace(expr, name=mapping.get(expr.name, expr.name))
+    if isinstance(expr, ast.IndexExpr):
+        return dataclasses.replace(expr, name=mapping.get(expr.name, expr.name),
+                                   index=_rename_expr(expr.index, mapping))
     if isinstance(expr, ast.UnaryOp):
         return dataclasses.replace(expr, operand=_rename_expr(expr.operand, mapping))
     if isinstance(expr, ast.BinaryOp):
@@ -222,6 +245,12 @@ def _rename_stmt(stmt: ast.Stmt, mapping: dict[str, str]) -> ast.Stmt:
         init = None if stmt.init is None else _rename_expr(stmt.init, mapping)
         return dataclasses.replace(stmt, name=mapping.get(stmt.name, stmt.name),
                                    init=init)
+    if isinstance(stmt, ast.ArrayDecl):
+        return dataclasses.replace(stmt, name=mapping.get(stmt.name, stmt.name))
+    if isinstance(stmt, ast.ArrayAssign):
+        return dataclasses.replace(stmt, name=mapping.get(stmt.name, stmt.name),
+                                   index=_rename_expr(stmt.index, mapping),
+                                   value=_rename_expr(stmt.value, mapping))
     if isinstance(stmt, ast.Assign):
         return dataclasses.replace(stmt, name=mapping.get(stmt.name, stmt.name),
                                    value=_rename_expr(stmt.value, mapping))
@@ -254,7 +283,7 @@ def _remapped_fragment(frag: tuple, donor: ast.Process, scope: tuple,
     are remapped onto site-readable variables.
     """
     declared = {s.name for s in ast.walk_statements(frag)
-                if isinstance(s, ast.VarDecl)}
+                if isinstance(s, (ast.VarDecl, ast.ArrayDecl))}
     free_writes = ast.assigned_names(frag) - declared
     free_reads = _names_read(frag) - declared - free_writes
     mapping: dict[str, str] = {}
@@ -280,11 +309,25 @@ def _remapped_fragment(frag: tuple, donor: ast.Process, scope: tuple,
     return tuple(prelude) + tuple(_rename_stmt(s, mapping) for s in frag)
 
 
-def _pick_fragment(donor: ast.Process, rng: random.Random) -> tuple:
-    """One donor statement (possibly compound) as a 1-tuple fragment."""
+def _pick_fragment(donor: ast.Process, rng: random.Random) -> tuple | None:
+    """One donor statement (possibly compound) as a 1-tuple fragment.
+
+    Fragments that access an array they do not themselves declare are
+    excluded: a free array reference cannot be remapped onto a scalar at
+    the insertion site, and fresh scalar declarations cannot stand in
+    for a RAM.
+    """
     pool = []
     for block in _collect_blocks(donor):
-        pool.extend(block.stmts)
+        for stmt in block.stmts:
+            frag = (stmt,)
+            declared = {s.name for s in ast.walk_statements(frag)
+                        if isinstance(s, ast.ArrayDecl)}
+            if _array_refs(frag) - declared:
+                continue
+            pool.append(stmt)
+    if not pool:
+        return None
     return (rng.choice(pool),)
 
 
@@ -296,14 +339,22 @@ def _widen(process: ast.Process, rng: random.Random,
     decls = [(block, idx, stmt)
              for block in blocks
              for idx, stmt in enumerate(block.stmts)
-             if isinstance(stmt, ast.VarDecl) and stmt.name not in control]
+             if (isinstance(stmt, ast.VarDecl) and stmt.name not in control)
+             or isinstance(stmt, ast.ArrayDecl)]
     if not decls:
         return None
     block, idx, stmt = rng.choice(decls)
-    current = (stmt.declared_type.width, stmt.declared_type.signed)
+    old_type = (stmt.elem_type if isinstance(stmt, ast.ArrayDecl)
+                else stmt.declared_type)
+    current = (old_type.width, old_type.signed)
     pool = [spec for spec in DEFAULT_WIDTHS if spec != current]
     width, signed = rng.choice(pool)
-    new_stmt = dataclasses.replace(stmt, declared_type=ast.Type(width, signed))
+    if isinstance(stmt, ast.ArrayDecl):
+        # Re-typing an array's elements perturbs RAM geometry (and with
+        # it port delay, area and the memory power term).
+        new_stmt = dataclasses.replace(stmt, elem_type=ast.Type(width, signed))
+    else:
+        new_stmt = dataclasses.replace(stmt, declared_type=ast.Type(width, signed))
     return _rebuild(process, block,
                     block.stmts[:idx] + (new_stmt,) + block.stmts[idx + 1:])
 
@@ -372,8 +423,10 @@ def _graft(process: ast.Process, rng: random.Random, blocks: list[_Block],
     if not sites:
         return None
     block, pos = rng.choice(sites)
-    frag = _remapped_fragment(_pick_fragment(donor, rng), donor,
-                              block.scopes[pos], rng, names)
+    picked = _pick_fragment(donor, rng)
+    if picked is None:
+        return None
+    frag = _remapped_fragment(picked, donor, block.scopes[pos], rng, names)
     # Optionally tie a fragment-declared variable into live dataflow so
     # the mutant is not pure dead code for the semantic oracles.
     fresh = [s.name for s in frag if isinstance(s, ast.VarDecl)]
@@ -398,8 +451,10 @@ def _splice(process: ast.Process, rng: random.Random, blocks: list[_Block],
     if not targets:
         return None
     block, idx = rng.choice(targets)
-    frag = _remapped_fragment(_pick_fragment(donor, rng), donor,
-                              block.scopes[idx], rng, names)
+    picked = _pick_fragment(donor, rng)
+    if picked is None:
+        return None
+    frag = _remapped_fragment(picked, donor, block.scopes[idx], rng, names)
     return _rebuild(process, block,
                     block.stmts[:idx] + frag + block.stmts[idx + 1:])
 

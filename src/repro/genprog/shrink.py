@@ -3,8 +3,9 @@
 Given a process AST and a predicate ("this program still fails"),
 :func:`shrink_process` repeatedly applies semantics-shrinking edits —
 delete a statement, replace an ``if`` by one arm, unroll a loop to its
-body, clamp a loop bound to 1, replace an expression by one operand or a
-small literal — keeping an edit only when the edited program is still
+body, clamp a loop bound to 1, halve an array, replace an expression
+(array reads included) by one operand or a small literal — keeping an
+edit only when the edited program is still
 *valid* (parses, type-checks and compiles) **and** still satisfies the
 predicate.  The result is the smallest reproducer the trial budget
 finds, in a deterministic order, which is what the fuzz driver attaches
@@ -80,6 +81,17 @@ def _statement_edits(stmts: tuple[ast.Stmt, ...],
             for value in _expr_edits(stmt.value):
                 yield _replace_body(
                     stmts, idx, (dataclasses.replace(stmt, value=value),))
+        elif isinstance(stmt, ast.ArrayDecl) and stmt.size > 2:
+            # Halve the RAM (stays a power of two, indices still wrap).
+            yield _replace_body(
+                stmts, idx, (dataclasses.replace(stmt, size=stmt.size // 2),))
+        elif isinstance(stmt, ast.ArrayAssign):
+            for index in _expr_edits(stmt.index):
+                yield _replace_body(
+                    stmts, idx, (dataclasses.replace(stmt, index=index),))
+            for value in _expr_edits(stmt.value):
+                yield _replace_body(
+                    stmts, idx, (dataclasses.replace(stmt, value=value),))
         # 4. Recurse into compound bodies.
         if isinstance(stmt, ast.If):
             for body in _statement_edits(stmt.then_body):
@@ -102,6 +114,10 @@ def _expr_edits(expr: ast.Expr) -> Iterator[ast.Expr]:
             yield dataclasses.replace(expr, left=left)
         for right in _expr_edits(expr.right):
             yield dataclasses.replace(expr, right=right)
+    elif isinstance(expr, ast.IndexExpr):
+        yield ast.IntLit(line=0, value=0)  # drop the memory read outright
+        for index in _expr_edits(expr.index):
+            yield dataclasses.replace(expr, index=index)
     elif isinstance(expr, ast.UnaryOp):
         yield expr.operand
     elif isinstance(expr, ast.IntLit) and expr.value > 1:

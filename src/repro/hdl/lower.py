@@ -41,15 +41,18 @@ from __future__ import annotations
 from repro.errors import HDLError
 from repro.cdfg.node import OpKind
 from repro.rtl.architecture import Architecture
-from repro.rtl.builder import edge_source
+from repro.rtl.builder import edge_source, producer_signal
 from repro.rtl.mux import MuxSource
 from repro.hdl.netlist import (
     ECase,
     EConst,
+    EMemRead,
     EMux,
     EOp,
     ERef,
     EWrap,
+    Memory,
+    MemoryPort,
     Netlist,
     PortDecl,
     WORD,
@@ -101,7 +104,7 @@ class _Lower:
         # readable emission order; references may be forward.
         self.sections: dict[str, list[Wire]] = {
             key: [] for key in ("clocking", "views", "selects", "ports",
-                                "shifts", "fus", "conds", "writes",
+                                "mems", "shifts", "fus", "conds", "writes",
                                 "control", "outputs")
         }
 
@@ -229,13 +232,14 @@ class _Lower:
         self._register_views()
         self._shift_wires()
         self._fu_wires()
+        self._memory_wires()
         self._register_writes()
         self._tmp_writes()
         self._control()
         self._outputs()
         self._cond_wires()  # last: _used_conds is complete now
-        for key in ("clocking", "views", "selects", "ports", "shifts",
-                    "fus", "conds", "writes", "control", "outputs"):
+        for key in ("clocking", "views", "selects", "ports", "mems",
+                    "shifts", "fus", "conds", "writes", "control", "outputs"):
             self.netlist.wires.extend(self.sections[key])
         self._meta()
         return self.netlist
@@ -347,9 +351,29 @@ class _Lower:
         return True
 
     def _shift_wires(self) -> None:
-        """Constant shifts are wiring, not FUs; still need a value wire."""
+        """Constant shifts and narrowing COPYs are wiring, not FUs; each
+        still needs a value wire."""
         for node in sorted(self.cdfg.op_nodes(), key=lambda n: n.id):
-            if node.needs_fu or node.kind is OpKind.COPY:
+            if node.needs_fu or node.mem is not None:
+                continue
+            if node.kind is OpKind.COPY:
+                # A COPY gets its own wire only when some chained consumer
+                # reads it as ("wire", id) — i.e. its re-typing is not
+                # value-preserving (see rtl.builder.producer_signal).
+                if not any(producer_signal(self.arch, node.id, sid)
+                           == ("wire", node.id)
+                           for sid in self.stg.states_of_node(node.id)):
+                    continue
+                by_state = {
+                    sid: EWrap(self._source_expr(
+                        edge_source(self.arch, self.cdfg.in_edge(node.id, 0),
+                                    sid)), node.width, node.signed)
+                    for sid in self.stg.states_of_node(node.id)
+                }
+                self.sections["shifts"].append(Wire(
+                    f"w{node.id}",
+                    self._state_case(by_state, EConst(0), collapse=True),
+                    f"narrowing copy {node.name}"))
                 continue
             by_state = {}
             for sid in self.stg.states_of_node(node.id):
@@ -383,6 +407,63 @@ class _Lower:
                 f"fu{fu_id}_out",
                 self._state_case(expr_by_state, EConst(0), collapse=True),
                 f"FU {fu_id} [{fu.module.name} w{fu.width}]: {ops}"))
+
+    def _memory_wires(self) -> None:
+        """RAM blocks: per-(array, port) address/data buses through the
+        standard multiplexed-port machinery, one asynchronous read wire
+        per load-carrying port, and a state-matched write enable per
+        store-capable port.
+
+        Every load's value wire ``w<id>`` re-signs the raw word the read
+        wire presents, so chained consumers and temporaries see exactly
+        the element-typed value the interpreter computes; a store commits
+        on the last cycle of its state, mirroring the register writes.
+        """
+        binding = self.arch.binding
+        for array in sorted(binding.mems):
+            mem = binding.mems[array]
+            by_port: dict[int, list[int]] = {}
+            for node_id, port in sorted(mem.port_of.items()):
+                by_port.setdefault(port, []).append(node_id)
+            ports = []
+            for port in sorted(by_port):
+                nodes = by_port[port]
+                addr_name = f"mem_{array}_addr{port}"
+                if not self._emit_port(("mem_addr", array, port),
+                                       addr_name, f"sel_{addr_name}"):
+                    continue
+                loads = [n for n in nodes
+                         if self.cdfg.node(n).kind is OpKind.LOAD]
+                stores = [n for n in nodes
+                          if self.cdfg.node(n).kind is OpKind.STORE]
+                din_name = we_name = None
+                if stores:
+                    din_name = f"mem_{array}_din{port}"
+                    self._emit_port(("mem_din", array, port),
+                                    din_name, f"sel_{din_name}")
+                    we_name = f"mem_{array}_we{port}"
+                    store_states = sorted(
+                        {sid for n in stores
+                         for sid in self.stg.states_of_node(n)})
+                    self.sections["mems"].append(Wire(
+                        we_name, self._write_enable(store_states, False),
+                        f"write enable, array {array!r} port {port}"))
+                if loads:
+                    q_name = f"mem_{array}_q{port}"
+                    self.sections["mems"].append(Wire(
+                        q_name, EMemRead(f"mem_{array}", ERef(addr_name)),
+                        f"asynchronous read, array {array!r} port {port}"))
+                    for node_id in loads:
+                        node = self.cdfg.node(node_id)
+                        self.sections["mems"].append(Wire(
+                            f"w{node_id}",
+                            EWrap(ERef(q_name), node.width, node.signed),
+                            f"load {node.name}"))
+                ports.append(MemoryPort(addr=addr_name, din=din_name,
+                                        we=we_name))
+            self.netlist.mems.append(Memory(
+                name=f"mem_{array}", width=mem.width, depth=mem.depth,
+                ports=ports))
 
     # -- storage ------------------------------------------------------------------
 
@@ -563,6 +644,15 @@ class _Lower:
                 {"id": rid, "width": reg.width,
                  "carriers": sorted(reg.carriers)}
                 for rid, reg in sorted(arch.binding.regs.items())
+            ],
+            "memories": [
+                {"array": array, "spec": mem.spec.name, "width": mem.width,
+                 "depth": mem.depth,
+                 "ports": {port: sorted(self.cdfg.node(n).name
+                                        for n, p in mem.port_of.items()
+                                        if p == port)
+                           for port in sorted(set(mem.port_of.values()))}}
+                for array, mem in sorted(arch.binding.mems.items())
             ],
             "temporaries": [
                 {"node": nid, "width": width,

@@ -98,6 +98,23 @@ class EWrap:
 
 
 @dataclass(frozen=True)
+class EMemRead:
+    """Asynchronous read of one memory word: ``mem[addr mod depth]``.
+
+    The address expression is taken modulo the (power-of-two) depth and
+    the raw stored word is yielded — a non-negative pattern at the
+    memory's width, exactly like referencing a register — so consumers
+    re-sign it through :class:`EWrap`.  To keep the printed Verilog
+    legal (a word select cannot nest inside arbitrary expressions in
+    Verilog-2001), lowering emits each memory read as the *top-level*
+    expression of a dedicated wire whose address is a plain :class:`ERef`.
+    """
+
+    mem: str
+    addr: object
+
+
+@dataclass(frozen=True)
 class ECase:
     """Select by exact match on a signal (the FSM ``case (state)`` idiom).
 
@@ -144,6 +161,38 @@ class Register:
 
 
 @dataclass
+class MemoryPort:
+    """The named buses of one RAM access port.
+
+    ``addr`` names the address wire (always present); write-capable
+    ports additionally name a data wire and a write-enable wire.  A
+    port with ``we`` None never writes (a pure read port).
+    """
+
+    addr: str
+    din: str | None = None
+    we: str | None = None
+
+
+@dataclass
+class Memory:
+    """One inferred on-chip RAM block.
+
+    Semantics shared by both backends: reads are asynchronous
+    (:class:`EMemRead` sees the current cycle's address), each
+    write-capable port commits ``din`` to ``mem[addr]`` on the clock
+    edge when its ``we`` is nonzero, and the contents power on at zero
+    and persist across start/done passes (there is no reset path into
+    a RAM array).  ``depth`` is a power of two; addresses wrap.
+    """
+
+    name: str
+    width: int
+    depth: int
+    ports: list[MemoryPort] = field(default_factory=list)
+
+
+@dataclass
 class PortDecl:
     """A module-level data port.  ``label`` is the behavioral name the
     conformance harness uses to match stimulus/outputs (None for pure
@@ -166,6 +215,7 @@ class Netlist:
     outputs: list[PortDecl] = field(default_factory=list)
     wires: list[Wire] = field(default_factory=list)
     regs: list[Register] = field(default_factory=list)
+    mems: list[Memory] = field(default_factory=list)
     #: Rendered into the emitted Verilog header (and useful for reports).
     meta: dict = field(default_factory=dict)
 
@@ -182,20 +232,37 @@ class Netlist:
     def validate(self) -> None:
         """Every reference must resolve; names must be unique."""
         names: set[str] = set()
-        for decl in (*self.inputs, *(w for w in self.wires), *self.regs):
+        for decl in (*self.inputs, *(w for w in self.wires), *self.regs,
+                     *self.mems):
             name = decl.name
             if name in names:
                 raise HDLError(f"duplicate netlist signal {name!r}")
             names.add(name)
         known = names | {"start", "rst", "clk"}
+        mem_names = {m.name for m in self.mems}
         for wire in self.wires:
             for ref in refs_of(wire.expr):
                 if ref not in known:
                     raise HDLError(f"wire {wire.name} references unknown signal {ref!r}")
+            for mem in mem_refs_of(wire.expr):
+                if mem not in mem_names:
+                    raise HDLError(f"wire {wire.name} reads unknown memory {mem!r}")
         for reg in self.regs:
             for ref in (reg.d, reg.en):
                 if ref is not None and ref not in known:
                     raise HDLError(f"register {reg.name} uses unknown signal {ref!r}")
+        for mem in self.mems:
+            if mem.depth & (mem.depth - 1) or mem.depth < 2:
+                raise HDLError(f"memory {mem.name} depth {mem.depth} is not a "
+                               f"power of two")
+            for port in mem.ports:
+                for ref in (port.addr, port.din, port.we):
+                    if ref is not None and ref not in known:
+                        raise HDLError(f"memory {mem.name} port uses unknown "
+                                       f"signal {ref!r}")
+                if (port.din is None) != (port.we is None):
+                    raise HDLError(f"memory {mem.name}: a write port needs "
+                                   f"both din and we")
         for out in self.outputs:
             if out.source is None or out.source not in known:
                 raise HDLError(f"output {out.name} has unknown source {out.source!r}")
@@ -219,6 +286,34 @@ def refs_of(expr: Expr) -> set[str]:
             walk(e.expr)
         elif isinstance(e, ECase):
             walk(e.subject)
+            for _codes, arm in e.arms:
+                walk(arm)
+            walk(e.default)
+        elif isinstance(e, EMemRead):
+            walk(e.addr)
+
+    walk(expr)
+    return out
+
+
+def mem_refs_of(expr: Expr) -> set[str]:
+    """All memory names read by an expression."""
+    out: set[str] = set()
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, EMemRead):
+            out.add(e.mem)
+            walk(e.addr)
+        elif isinstance(e, EOp):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, EMux):
+            walk(e.cond)
+            walk(e.a)
+            walk(e.b)
+        elif isinstance(e, EWrap):
+            walk(e.expr)
+        elif isinstance(e, ECase):
             for _codes, arm in e.arms:
                 walk(arm)
             walk(e.default)

@@ -26,6 +26,7 @@ from repro.errors import HDLError
 from repro.hdl.netlist import (
     ECase,
     EConst,
+    EMemRead,
     EMux,
     EOp,
     ERef,
@@ -42,8 +43,13 @@ MAX_CYCLES_PER_PASS = 1_000_000
 _WORD_MASK = mask_for_width(WORD)
 
 
-def _compile(expr):
-    """Compile an expression to a closure over the value environment."""
+def _compile(expr, mems=None):
+    """Compile an expression to a closure over the value environment.
+
+    ``mems`` maps memory names to their (mutable) word lists; the
+    compiled closures capture the list object, so in-place writes by the
+    clocked commit are visible to every subsequent read.
+    """
     if isinstance(expr, EConst):
         value = expr.value
         return lambda env: value
@@ -51,29 +57,36 @@ def _compile(expr):
         name = expr.name
         return lambda env: env[name]
     if isinstance(expr, EWrap):
-        inner = _compile(expr.expr)
+        inner = _compile(expr.expr, mems)
         width = expr.width
         if expr.signed:
             return lambda env: wrap_to_width(inner(env), width)
         mask = mask_for_width(width)
         return lambda env: inner(env) & mask
     if isinstance(expr, EMux):
-        cond = _compile(expr.cond)
-        a = _compile(expr.a)
-        b = _compile(expr.b)
+        cond = _compile(expr.cond, mems)
+        a = _compile(expr.a, mems)
+        b = _compile(expr.b, mems)
         return lambda env: a(env) if cond(env) else b(env)
     if isinstance(expr, ECase):
-        subject = _compile(expr.subject)
+        subject = _compile(expr.subject, mems)
         table = {}
         for codes, arm in expr.arms:
-            arm_fn = _compile(arm)
+            arm_fn = _compile(arm, mems)
             for code in codes:
                 table[code] = arm_fn
-        default = _compile(expr.default)
+        default = _compile(expr.default, mems)
         return lambda env: table.get(subject(env), default)(env)
     if isinstance(expr, EOp):
-        args = [_compile(a) for a in expr.args]
+        args = [_compile(a, mems) for a in expr.args]
         return _compile_op(expr.op, args)
+    if isinstance(expr, EMemRead):
+        if mems is None or expr.mem not in mems:
+            raise HDLError(f"read of undeclared memory {expr.mem!r}")
+        words = mems[expr.mem]
+        addr = _compile(expr.addr, mems)
+        mask = len(words) - 1
+        return lambda env: words[addr(env) & mask]
     raise HDLError(f"cannot compile expression {expr!r}")
 
 
@@ -124,7 +137,13 @@ class NetlistSimulator:
     def __init__(self, netlist: Netlist):
         netlist.validate()
         self.netlist = netlist
-        self._wires = [(w.name, _compile(w.expr)) for w in self._topo_wires()]
+        #: Memory contents as raw word patterns (power-on zero; persist
+        #: across passes).  Built before wire compilation: the compiled
+        #: read closures capture these list objects.
+        self.mems: dict[str, list[int]] = {
+            m.name: [0] * m.depth for m in netlist.mems}
+        self._wires = [(w.name, _compile(w.expr, self.mems))
+                       for w in self._topo_wires()]
         self._regs = {r.name: r for r in netlist.regs}
         self._input_widths = {p.name: p.width for p in netlist.inputs}
         self.env: dict[str, int] = {}
@@ -159,6 +178,10 @@ class NetlistSimulator:
         self.env["start"] = 0
         for reg in self.netlist.regs:
             self.env[reg.name] = to_unsigned(reg.reset, reg.width)
+        for words in self.mems.values():
+            # In place: compiled read closures hold these list objects.
+            for i in range(len(words)):
+                words[i] = 0
         for name, _fn in self._wires:
             self.env[name] = 0
         self._settle()
@@ -185,7 +208,9 @@ class NetlistSimulator:
         raise HDLError("combinational nets did not settle (true logic cycle)")
 
     def step(self, start: int = 0) -> None:
-        """One clock edge: settle, then commit enabled registers."""
+        """One clock edge: settle, then commit enabled registers and
+        enabled memory write ports (two-phase, like the registers: every
+        din/addr is sampled before anything commits)."""
         self.env["start"] = 1 if start else 0
         self._settle()
         env = self.env
@@ -194,8 +219,20 @@ class NetlistSimulator:
             if reg.en is not None and not env[reg.en]:
                 continue
             updates.append((reg.name, env[reg.d] & mask_for_width(reg.width)))
+        mem_updates = []
+        for mem in self.netlist.mems:
+            data_mask = mask_for_width(mem.width)
+            addr_mask = mem.depth - 1
+            for port in mem.ports:
+                if port.we is None or not env[port.we]:
+                    continue
+                mem_updates.append((self.mems[mem.name],
+                                    env[port.addr] & addr_mask,
+                                    env[port.din] & data_mask))
         for name, pattern in updates:
             env[name] = pattern
+        for words, addr, pattern in mem_updates:
+            words[addr] = pattern
         self.env["start"] = 0
         self._settle()
 
@@ -227,6 +264,10 @@ class NetSimResult:
     outputs: dict[str, list[int]]
     cycles: list[int]
     state_seq: list[list[int]] = field(default_factory=list)
+    #: Final memory contents as raw word patterns, keyed by the netlist
+    #: memory name (``mem_<array>``); re-sign with the array's element
+    #: type to compare against the behavioral image.
+    mems: dict[str, list[int]] = field(default_factory=dict)
 
     @property
     def total_cycles(self) -> int:
@@ -270,4 +311,6 @@ def run_passes(netlist: Netlist, input_passes: list[dict[str, int]],
         state_seq.append(states[:-1])  # drop the done-state entry
         sim.step()  # done -> IDLE
     return NetSimResult(outputs=outputs, cycles=cycles_per_pass,
-                        state_seq=state_seq)
+                        state_seq=state_seq,
+                        mems={name: list(words)
+                              for name, words in sim.mems.items()})

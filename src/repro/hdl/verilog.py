@@ -21,6 +21,7 @@ from repro.hdl.netlist import (
     BOOL_OPS,
     ECase,
     EConst,
+    EMemRead,
     EMux,
     EOp,
     ERef,
@@ -57,6 +58,7 @@ class _Printer:
         self.netlist = netlist
         #: signal name -> 'wire' | 'reg' | 'input', for width-aware printing.
         self.kinds = netlist.signal_kinds()
+        self.mems = {m.name: m for m in netlist.mems}
         self.lines: list[str] = []
 
     # -- expressions --------------------------------------------------------------
@@ -75,7 +77,21 @@ class _Printer:
             return self._op(e)
         if isinstance(e, ECase):
             raise HDLError("case expressions only occur at wire top level")
+        if isinstance(e, EMemRead):
+            raise HDLError("memory reads only occur at wire top level")
         raise HDLError(f"cannot print expression {e!r}")
+
+    def _mem_read(self, e: EMemRead) -> str:
+        """A word select — Verilog-2001 only allows it on an identifier
+        address, so lowering guarantees the address is a plain ERef."""
+        mem = self.mems.get(e.mem)
+        if mem is None:
+            raise HDLError(f"read of undeclared memory {e.mem!r}")
+        if not isinstance(e.addr, ERef):
+            raise HDLError(f"memory read address must be a wire reference, "
+                           f"got {e.addr!r}")
+        abits = max(1, (mem.depth - 1).bit_length())
+        return f"{mem.name}[{e.addr.name}[{abits - 1}:0]]"
 
     def _wrap(self, e: EWrap) -> str:
         pad = WORD - e.width
@@ -147,6 +163,9 @@ class _Printer:
             for reg in meta.get("registers", []):
                 self._emit(f"//   r{reg['id']}: w{reg['width']} "
                            f"<- {', '.join(reg['carriers'])}")
+            for mem in meta.get("memories", []):
+                self._emit(f"//   mem_{mem['array']}: {mem['spec']} "
+                           f"{mem['width']}x{mem['depth']}")
             for state in meta.get("states", []):
                 self._emit(f"//   state {state['id']} ({state['duration']} cyc): "
                            f"{', '.join(state['ops']) or '-'}")
@@ -170,6 +189,20 @@ class _Printer:
             comment = f"  // {reg.comment}" if reg.comment else ""
             self._emit(f"  reg [{reg.width - 1}:0] {reg.name};{comment}")
         self._emit()
+        for mem in self.netlist.mems:
+            self._emit(f"  reg [{mem.width - 1}:0] {mem.name} "
+                       f"[0:{mem.depth - 1}];  // inferred block RAM")
+        if self.netlist.mems:
+            # Power-on zero (the behavioral array semantics); there is no
+            # reset path into a RAM array, so this is an initial block.
+            self._emit("  integer mem_i;")
+            self._emit("  initial begin")
+            for mem in self.netlist.mems:
+                self._emit(f"    for (mem_i = 0; mem_i < {mem.depth}; "
+                           f"mem_i = mem_i + 1) {mem.name}[mem_i] = "
+                           f"{mem.width}'d0;")
+            self._emit("  end")
+            self._emit()
         for wire in self.netlist.wires:
             kind = "reg" if isinstance(wire.expr, ECase) else "wire"
             comment = f"  // {wire.comment}" if wire.comment else ""
@@ -180,6 +213,12 @@ class _Printer:
         for wire in self.netlist.wires:
             if isinstance(wire.expr, ECase):
                 self._case_block(wire)
+            elif isinstance(wire.expr, EMemRead):
+                # Unsigned W-bit word onto a signed 64-bit wire: the
+                # continuous assign zero-extends, yielding the raw
+                # pattern — the same convention as a register reference.
+                self._emit(f"  assign {wire.name} = "
+                           f"{self._mem_read(wire.expr)};")
             else:
                 self._emit(f"  assign {wire.name} = {self.expr(wire.expr)};")
         self._emit()
@@ -214,5 +253,13 @@ class _Printer:
                 self._emit(f"      {target}")
             else:
                 self._emit(f"      if ({reg.en} != {WORD}'sd0) {target}")
+        for mem in self.netlist.mems:
+            abits = max(1, (mem.depth - 1).bit_length())
+            for port in mem.ports:
+                if port.we is None:
+                    continue
+                self._emit(f"      if ({port.we} != {WORD}'sd0) "
+                           f"{mem.name}[{port.addr}[{abits - 1}:0]] <= "
+                           f"{port.din}[{mem.width - 1}:0];")
         self._emit("    end")
         self._emit("  end")

@@ -57,6 +57,14 @@ class VarRef(Expr):
 
 
 @dataclass(frozen=True)
+class IndexExpr(Expr):
+    """An indexed array read: ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
 class UnaryOp(Expr):
     op: str  # "-" or "!"
     operand: Expr
@@ -86,8 +94,32 @@ class VarDecl(Stmt):
 
 
 @dataclass(frozen=True)
+class ArrayDecl(Stmt):
+    """A fixed-size array declaration: ``var name: elem_type[size];``.
+
+    Arrays are process-level memory: every location powers on at zero and
+    the contents persist across stimulus passes (they lower to RAMs, not
+    registers).  ``size`` must be a power of two so index arithmetic wraps
+    identically in every backend.
+    """
+
+    name: str
+    elem_type: Type
+    size: int
+
+
+@dataclass(frozen=True)
 class Assign(Stmt):
     name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Stmt):
+    """An indexed array write: ``name[index] = value;``."""
+
+    name: str
+    index: Expr
     value: Expr
 
 
@@ -164,11 +196,54 @@ def assigned_names(body: tuple[Stmt, ...]) -> set[str]:
 
 
 def used_names(expr: Expr) -> set[str]:
-    """Variable names read by an expression."""
+    """Variable names read by an expression (array reads count the array)."""
     if isinstance(expr, VarRef):
         return {expr.name}
+    if isinstance(expr, IndexExpr):
+        return {expr.name} | used_names(expr.index)
     if isinstance(expr, UnaryOp):
         return used_names(expr.operand)
     if isinstance(expr, BinaryOp):
         return used_names(expr.left) | used_names(expr.right)
     return set()
+
+
+def array_names(body: tuple[Stmt, ...]) -> set[str]:
+    """Names declared as arrays anywhere inside ``body``."""
+    return {stmt.name for stmt in walk_statements(body)
+            if isinstance(stmt, ArrayDecl)}
+
+
+def uses_arrays(body: tuple[Stmt, ...]) -> bool:
+    """True when ``body`` declares or accesses any array."""
+    for stmt in walk_statements(body):
+        if isinstance(stmt, (ArrayDecl, ArrayAssign)):
+            return True
+        for expr in exprs_of(stmt):
+            if _expr_uses_index(expr):
+                return True
+    return False
+
+
+def exprs_of(stmt: Stmt):
+    """Top-level expressions of one statement (non-recursive)."""
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            yield stmt.init
+    elif isinstance(stmt, ArrayAssign):
+        yield stmt.index
+        yield stmt.value
+    elif isinstance(stmt, Assign):
+        yield stmt.value
+    elif isinstance(stmt, (If, For, While)):
+        yield stmt.cond
+
+
+def _expr_uses_index(expr: Expr) -> bool:
+    if isinstance(expr, IndexExpr):
+        return True
+    if isinstance(expr, UnaryOp):
+        return _expr_uses_index(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return _expr_uses_index(expr.left) or _expr_uses_index(expr.right)
+    return False

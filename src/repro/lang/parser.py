@@ -149,7 +149,7 @@ class Parser:
             return stmt
         raise ParseError(f"expected a statement, found {token.text!r}", token.line, token.column)
 
-    def _parse_var_decl(self) -> ast.VarDecl:
+    def _parse_var_decl(self) -> ast.Stmt:
         start = self._expect_keyword("var")
         name = self._expect_ident().text
         declared: ast.Type | None = None
@@ -157,17 +157,38 @@ class Parser:
         if self._peek().is_punct(":"):
             self._advance()
             declared = self._parse_type()
+            if self._peek().is_punct("["):
+                # "var a: int8[16];" — a fixed-size array declaration.
+                self._advance()
+                size_token = self._peek()
+                if size_token.kind is not TokenKind.INT:
+                    raise ParseError("expected a constant array size",
+                                     size_token.line, size_token.column)
+                self._advance()
+                self._expect_punct("]")
+                self._expect_punct(";")
+                return ast.ArrayDecl(line=start.line, name=name,
+                                     elem_type=declared,
+                                     size=int(size_token.text))
         if self._peek().is_punct("="):
             self._advance()
             init = self._parse_expr()
         self._expect_punct(";")
         return ast.VarDecl(line=start.line, name=name, declared_type=declared, init=init)
 
-    def _parse_simple(self) -> ast.Assign:
-        """An assignment, ``x++`` or ``x--`` (used in statements and for-headers)."""
+    def _parse_simple(self) -> ast.Stmt:
+        """An assignment, indexed store, ``x++`` or ``x--`` (statements
+        and for-headers; the for-header grammar never uses the store form)."""
         name_token = self._expect_ident()
         name = name_token.text
         token = self._peek()
+        if token.is_punct("["):
+            self._advance()
+            index = self._parse_expr()
+            self._expect_punct("]")
+            self._expect_punct("=")
+            return ast.ArrayAssign(line=name_token.line, name=name,
+                                   index=index, value=self._parse_expr())
         if token.is_punct("++") or token.is_punct("--"):
             self._advance()
             op = "+" if token.text == "++" else "-"
@@ -197,10 +218,16 @@ class Parser:
         start = self._expect_keyword("for")
         self._expect_punct("(")
         init = self._parse_simple()
+        if not isinstance(init, ast.Assign):
+            raise ParseError("for-header init must assign a scalar variable",
+                             start.line, start.column)
         self._expect_punct(";")
         cond = self._parse_expr()
         self._expect_punct(";")
         update = self._parse_simple()
+        if not isinstance(update, ast.Assign):
+            raise ParseError("for-header update must assign a scalar variable",
+                             start.line, start.column)
         self._expect_punct(")")
         body = self._parse_block()
         return ast.For(line=start.line, init=init, cond=cond, update=update, body=body)
@@ -250,6 +277,12 @@ class Parser:
             return ast.BoolLit(line=token.line, value=False)
         if token.kind is TokenKind.IDENT:
             self._advance()
+            if self._peek().is_punct("["):
+                self._advance()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                return ast.IndexExpr(line=token.line, name=token.text,
+                                     index=index)
             return ast.VarRef(line=token.line, name=token.text)
         if token.is_punct("("):
             self._advance()

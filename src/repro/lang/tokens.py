@@ -23,7 +23,7 @@ KEYWORDS = frozenset(
 # Longest-match-first punctuation table.
 _PUNCTS = (
     "->", "++", "--", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
-    "(", ")", "{", "}", ",", ";", ":", "=", "<", ">", "+", "-", "*",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "<", ">", "+", "-", "*",
     "&", "|", "^", "!",
 )
 

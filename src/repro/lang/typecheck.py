@@ -66,20 +66,32 @@ def literal_type(value: int) -> ast.Type:
     return ast.Type(min(width, MAX_WIDTH), signed=False)
 
 
+#: Array sizes the memory layer accepts: powers of two so index wrapping
+#: (``index & (size - 1)``) is identical in every backend, and bounded so
+#: a single inferred RAM stays plausible.
+MAX_ARRAY_SIZE = 1024
+
+
 @dataclass
 class CheckResult:
-    """Outcome of :func:`check_process`: per-variable types."""
+    """Outcome of :func:`check_process`: per-variable and array types."""
 
     var_types: dict[str, ast.Type] = field(default_factory=dict)
+    #: name -> (element type, size); kept apart from ``var_types`` because
+    #: arrays bind to RAM ports, never to registers.
+    array_types: dict[str, tuple[ast.Type, int]] = field(default_factory=dict)
 
 
 class _Checker:
     def __init__(self, process: ast.Process):
         self._process = process
         self._types: dict[str, ast.Type] = {}
+        self._arrays: dict[str, tuple[ast.Type, int]] = {}
         self._defined: set[str] = set()
         self._inputs = set(process.input_names())
         self._outputs = set(process.output_names())
+        self._depth = 0
+        self._in_loop_cond = False
 
     def run(self) -> CheckResult:
         process = self._process
@@ -95,7 +107,8 @@ class _Checker:
         if missing:
             raise TypeCheckError(
                 f"output(s) never assigned: {', '.join(sorted(missing))}", process.line)
-        return CheckResult(var_types=dict(self._types))
+        return CheckResult(var_types=dict(self._types),
+                           array_types=dict(self._arrays))
 
     # -- statements ----------------------------------------------------------
 
@@ -104,9 +117,20 @@ class _Checker:
             self._check_stmt(stmt)
 
     def _check_stmt(self, stmt: ast.Stmt) -> None:
-        if isinstance(stmt, ast.VarDecl):
+        if isinstance(stmt, ast.ArrayDecl):
+            self._check_array_decl(stmt)
+        elif isinstance(stmt, ast.ArrayAssign):
+            if stmt.name not in self._arrays:
+                raise TypeCheckError(
+                    f"indexed store into undeclared array {stmt.name!r}", stmt.line)
+            self._check_index(stmt.name, stmt.index, stmt.line)
+            self._check_expr(stmt.value)  # wraps to the element type on store
+        elif isinstance(stmt, ast.VarDecl):
             if stmt.name in self._inputs:
                 raise TypeCheckError(f"cannot redeclare input {stmt.name!r}", stmt.line)
+            if stmt.name in self._arrays:
+                raise TypeCheckError(
+                    f"{stmt.name!r} is an array; cannot redeclare as a scalar", stmt.line)
             init_type = self._check_expr(stmt.init) if stmt.init is not None else None
             declared = stmt.declared_type
             if declared is None:
@@ -120,6 +144,9 @@ class _Checker:
         elif isinstance(stmt, ast.Assign):
             if stmt.name in self._inputs:
                 raise TypeCheckError(f"cannot assign to input {stmt.name!r}", stmt.line)
+            if stmt.name in self._arrays:
+                raise TypeCheckError(
+                    f"array {stmt.name!r} needs an index to be assigned", stmt.line)
             value_type = self._check_expr(stmt.value)
             if stmt.name not in self._types:
                 self._types[stmt.name] = self._widen_inferred(stmt.value, value_type)
@@ -131,21 +158,62 @@ class _Checker:
             # the union (the CDFG builder routes undefined-else values from
             # the pre-branch value, which must itself exist -- checked there).
             before = set(self._defined)
+            self._depth += 1
             self._check_body(stmt.then_body)
             after_then = set(self._defined)
             self._defined = set(before)
             self._check_body(stmt.else_body)
+            self._depth -= 1
             self._defined |= after_then
         elif isinstance(stmt, ast.For):
             self._check_stmt(stmt.init)
-            self._check_expr(stmt.cond)
+            self._check_loop_cond(stmt.cond)
+            self._depth += 1
             self._check_body(stmt.body)
+            self._depth -= 1
             self._check_stmt(stmt.update)
         elif isinstance(stmt, ast.While):
-            self._check_expr(stmt.cond)
+            self._check_loop_cond(stmt.cond)
+            self._depth += 1
             self._check_body(stmt.body)
+            self._depth -= 1
         else:
             raise TypeCheckError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_array_decl(self, stmt: ast.ArrayDecl) -> None:
+        if self._depth > 0:
+            raise TypeCheckError(
+                f"array {stmt.name!r} must be declared at the top level "
+                f"(arrays are process-scoped memory)", stmt.line)
+        if stmt.name in self._inputs or stmt.name in self._outputs:
+            raise TypeCheckError(
+                f"cannot redeclare port {stmt.name!r} as an array", stmt.line)
+        if stmt.name in self._types or stmt.name in self._arrays:
+            raise TypeCheckError(f"duplicate declaration of {stmt.name!r}", stmt.line)
+        size = stmt.size
+        if size < 2 or size > MAX_ARRAY_SIZE or size & (size - 1):
+            raise TypeCheckError(
+                f"array {stmt.name!r} size must be a power of two in "
+                f"[2, {MAX_ARRAY_SIZE}], got {size}", stmt.line)
+        self._arrays[stmt.name] = (stmt.elem_type, size)
+
+    def _check_loop_cond(self, cond: ast.Expr) -> None:
+        """Loop conditions may not read arrays: the scheduler hoists loop
+        tests into kernel states that evaluate the *next* iteration's test
+        alongside the current body, which would reorder a test-side load
+        around the body's stores."""
+        self._in_loop_cond = True
+        try:
+            self._check_expr(cond)
+        finally:
+            self._in_loop_cond = False
+
+    def _check_index(self, name: str, index: ast.Expr, line: int) -> ast.Type:
+        # Any integer expression indexes; it wraps modulo the (power-of-two)
+        # size, so out-of-range values are well-defined in every backend.
+        self._check_expr(index)
+        elem_type, _size = self._arrays[name]
+        return elem_type
 
     @staticmethod
     def _widen_inferred(expr: ast.Expr | None, inferred: ast.Type) -> ast.Type:
@@ -163,9 +231,22 @@ class _Checker:
         if isinstance(expr, ast.BoolLit):
             return ast.Type.bool_type()
         if isinstance(expr, ast.VarRef):
+            if expr.name in self._arrays:
+                raise TypeCheckError(
+                    f"array {expr.name!r} needs an index to be read", expr.line)
             if expr.name not in self._types:
                 raise TypeCheckError(f"use of undefined variable {expr.name!r}", expr.line)
             return self._types[expr.name]
+        if isinstance(expr, ast.IndexExpr):
+            if expr.name not in self._arrays:
+                raise TypeCheckError(
+                    f"indexed read of undeclared array {expr.name!r}", expr.line)
+            if self._in_loop_cond:
+                raise TypeCheckError(
+                    f"array read {expr.name!r}[...] not allowed in a loop "
+                    f"condition (loop tests are hoisted past body stores)",
+                    expr.line)
+            return self._check_index(expr.name, expr.index, expr.line)
         if isinstance(expr, ast.UnaryOp):
             return unary_result_type(expr.op, self._check_expr(expr.operand))
         if isinstance(expr, ast.BinaryOp):

@@ -1,0 +1,89 @@
+"""RAM specifications for array (process-scoped memory) synthesis.
+
+Arrays lower to on-chip RAM instances.  A :class:`RamSpec` characterizes
+one RAM organization the way :class:`~repro.library.module.ModuleSpec`
+characterizes a functional unit: delay/area/capacitance at a reference
+geometry, plus the number of simultaneously usable access ports.  The
+``SubstituteRam`` move swaps an array's organization (single- vs
+dual-port); the ``BindMemoryPort`` move reassigns one access to another
+port of a multi-port RAM — both are first-class IMPACT moves alongside
+FU sharing and module substitution.
+
+Access-delay model: a RAM access is address-decode (grows with
+log2(depth)) plus bit-line/sense time (grows weakly with width).  Areas
+are gate-equivalent units per bit plus a per-port decoder overhead;
+capacitance is per access (one word's bit lines plus the decoder).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Reference geometry for the characterization numbers below.
+REFERENCE_DEPTH = 16
+REFERENCE_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class RamSpec:
+    """One RAM organization: port count and characterization.
+
+    ``access_ns`` / ``area_per_bit`` / ``cap_pf`` are the values at
+    :data:`REFERENCE_DEPTH` words of :data:`REFERENCE_WIDTH` bits, 5 V.
+    """
+
+    name: str
+    ports: int
+    access_ns: float
+    area_per_bit: float
+    cap_pf: float
+
+    def __post_init__(self) -> None:
+        if self.ports < 1:
+            raise ValueError(f"{self.name}: need at least one port")
+        if self.access_ns <= 0 or self.area_per_bit <= 0 or self.cap_pf <= 0:
+            raise ValueError(f"{self.name}: characterization must be positive")
+
+
+#: The two organizations every array can choose between.  Dual-port pays
+#: roughly 30 % delay and capacitance and nearly double the cell area
+#: (two word lines / two bit-line pairs per cell) for same-state access
+#: parallelism.
+RAM_SPECS: tuple[RamSpec, ...] = (
+    RamSpec("ram_1p", ports=1, access_ns=6.0, area_per_bit=1.6, cap_pf=0.50),
+    RamSpec("ram_2p", ports=2, access_ns=7.8, area_per_bit=3.0, cap_pf=0.65),
+)
+
+_BY_NAME = {spec.name: spec for spec in RAM_SPECS}
+
+
+def ram_spec(name: str) -> RamSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"no RAM organization named {name!r}") from None
+
+
+def _geometry_factor(width: int, depth: int) -> float:
+    """Delay growth with geometry: decode is logarithmic in depth, the
+    sense path weakly (logarithmically) wider with word width."""
+    decode = math.log2(max(depth, 2)) / math.log2(REFERENCE_DEPTH)
+    sense = math.log2(max(width, 2)) / math.log2(REFERENCE_WIDTH)
+    return 0.7 * decode + 0.3 * sense
+
+
+def ram_access_delay(spec: RamSpec, width: int, depth: int) -> float:
+    """Address-to-data (read) / write-setup delay in ns (floor 1 ns)."""
+    return max(1.0, spec.access_ns * _geometry_factor(width, depth))
+
+
+def ram_area(spec: RamSpec, width: int, depth: int) -> float:
+    """Area in gate-equivalent units: cell array plus per-port decoders."""
+    decoder = 12.0 * spec.ports * math.log2(max(depth, 2))
+    return spec.area_per_bit * width * depth + decoder
+
+
+def ram_access_cap(spec: RamSpec, width: int, depth: int) -> float:
+    """Effective switched capacitance (pF) of one access."""
+    return spec.cap_pf * (width / REFERENCE_WIDTH) * _geometry_factor(width, depth)

@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import PowerModelError
 from repro.cdfg.node import OpKind
 from repro.core.profile import PROFILER
+from repro.library.memory import ram_access_cap
 from repro.library.module import scale_capacitance
 from repro.utils.bitwidth import to_unsigned_array
 from repro.utils.hamming import popcount, toggle_series
@@ -61,6 +62,7 @@ class PowerEstimate:
 
     fus: float = 0.0
     registers: float = 0.0
+    memories: float = 0.0
     muxes: float = 0.0
     controller: float = 0.0
     per_fu: dict[int, float] = field(default_factory=dict)
@@ -73,12 +75,14 @@ class PowerEstimate:
 
     @property
     def total(self) -> float:
-        return self.fus + self.registers + self.muxes + self.controller
+        return (self.fus + self.registers + self.memories + self.muxes
+                + self.controller)
 
     def breakdown(self) -> dict[str, float]:
         return {
             "fus": self.fus,
             "registers": self.registers,
+            "memories": self.memories,
             "muxes": self.muxes,
             "controller": self.controller,
             "total": self.total,
@@ -88,6 +92,11 @@ class PowerEstimate:
 #: Weight of internal (carry / partial-product) toggles in FU energy; the
 #: same constant the bit-level measurement uses.
 INTERNAL_WEIGHT = 0.8
+
+#: Split of a RAM access's energy into a fixed part (word-line select and
+#: bit-line precharge fire every access regardless of data) and a part
+#: scaled by measured address/data toggle activity.
+MEM_STATIC_WEIGHT = 0.6
 
 
 def _internal_activity(arch: Architecture, fu, stream) -> float:
@@ -209,6 +218,23 @@ def _estimate(arch: Architecture, traces: UnitTraces, vdd: float,
         estimate.per_port[port.key] = energy / time_ns
         mux_energy += energy
     estimate.muxes = mux_energy / time_ns
+
+    # Memories: per-access RAM energy from the bound organization and the
+    # merged access streams.  Always recomputed (designs hold at most a
+    # few arrays and the activity memos live on the shared stream
+    # objects), which keeps SubstituteRam honest under trace sharing:
+    # the stream is the parent's, the capacitance is this binding's.
+    mem_energy = 0.0
+    for name in sorted(arch.binding.mems):
+        mem = arch.binding.mems[name]
+        stream = traces.mem_streams.get(name)
+        if stream is None or stream.executions == 0:
+            continue
+        cap = ram_access_cap(mem.spec, mem.width, mem.depth)
+        alpha = 0.5 * (stream.addr_activity() + stream.data_activity())
+        scale = MEM_STATIC_WEIGHT + (1.0 - MEM_STATIC_WEIGHT) * alpha
+        mem_energy += stream.executions * cap * v2 * scale
+    estimate.memories = mem_energy / time_ns
 
     # Controller (always recomputed: the model is a handful of counters
     # that change with any structural edit, and it costs nothing).

@@ -87,12 +87,48 @@ class RegStream:
 
 
 @dataclass
+class MemStream:
+    """Merged access trace of one RAM instance (loads and stores).
+
+    ``addrs``/``values`` are the address and data word of every access in
+    execution order; activity memos ride on the stream object like the
+    other stream types, so design points sharing the stream share the
+    toggle counting.
+    """
+
+    name: str
+    width: int
+    addr_bits: int
+    addrs: np.ndarray
+    values: np.ndarray
+    _addr_activity: float | None = field(default=None, repr=False)
+    _data_activity: float | None = field(default=None, repr=False)
+
+    @property
+    def executions(self) -> int:
+        return int(self.values.shape[0])
+
+    def addr_activity(self) -> float:
+        if self._addr_activity is None:
+            self._addr_activity = stream_activity(self.addrs, self.addr_bits) \
+                if self.executions >= 2 else 0.0
+        return self._addr_activity
+
+    def data_activity(self) -> float:
+        if self._data_activity is None:
+            self._data_activity = stream_activity(self.values, self.width) \
+                if self.executions >= 2 else 0.0
+        return self._data_activity
+
+
+@dataclass
 class UnitTraces:
     """Every RT unit's merged trace plus derived statistics."""
 
     total_cycles: int
     fu_streams: dict[int, FUStream] = field(default_factory=dict)
     reg_streams: dict[object, RegStream] = field(default_factory=dict)
+    mem_streams: dict[str, MemStream] = field(default_factory=dict)
     port_stats: dict[tuple, list[tuple[object, float, float]]] = field(default_factory=dict)
     port_samples: dict[tuple, int] = field(default_factory=dict)
     _activity_cache: dict[object, float] = field(default_factory=dict)
@@ -170,6 +206,7 @@ class _Merger:
     def run(self) -> UnitTraces:
         self._merge_fus()
         self._merge_registers()
+        self._merge_memories()
         self._port_statistics()
         return self.traces
 
@@ -294,6 +331,43 @@ class _Merger:
             occ, _cycles, _starts = got
             self.traces.reg_streams[("tmp", node_id)] = RegStream(
                 ("tmp", node_id), width, occ.out)
+
+    def _merge_memories(self) -> None:
+        cdfg = self.arch.cdfg
+        accesses_by_array: dict[str, list[int]] = {}
+        for node in cdfg.mem_nodes():
+            accesses_by_array.setdefault(node.mem, []).append(node.id)
+        for name, accesses in sorted(accesses_by_array.items()):
+            if self.parent is not None:
+                # The incremental path only runs when the STG is the
+                # parent's (or replay-equivalent to it), so an array's
+                # access trace — occurrence values in replay cycle order —
+                # is the parent's exactly, for any binding edit.
+                stream = self.parent.mem_streams.get(name)
+                if stream is not None:
+                    self.traces.mem_streams[name] = stream
+                    continue
+            width, _signed, depth = cdfg.array_types[name]
+            addr_bits = max(1, depth.bit_length() - 1)
+            parts = []
+            for node_id in sorted(accesses):
+                got = self._occ_arrays(node_id)
+                if got is None:
+                    continue
+                occ, cycles, starts = got
+                parts.append((occ, cycles, starts))
+            if not parts:
+                continue
+            cycles = np.concatenate([p[1] for p in parts])
+            starts = np.concatenate([p[2] for p in parts])
+            order = np.lexsort((starts, cycles))
+            mask = np.int64(depth - 1)
+            addrs = np.concatenate([p[0].ins[0] for p in parts])[order] & mask
+            # occ.out is the read word for loads and the written word for
+            # stores: the data bus traffic either way.
+            values = np.concatenate([p[0].out for p in parts])[order]
+            self.traces.mem_streams[name] = MemStream(
+                name, width, addr_bits, addrs, values)
 
     # -- signal activities & mux statistics ----------------------------------------
 

@@ -25,6 +25,7 @@ from repro.library.modules_data import (
     REGISTER_AREA_PER_BIT,
     CHAIN_OVERHEAD,
 )
+from repro.library.memory import ram_area
 from repro.library.module import scale_area
 from repro.library.voltage import max_vdd_scaling
 from repro.rtl.controller import ControllerModel
@@ -146,12 +147,20 @@ class Architecture:
 
     def _input_mux_delay(self, node_id: int, state_id: int) -> float:
         node = self.cdfg.node(node_id)
-        if not node.needs_fu:
+        if node.mem is not None:
+            mem = self.binding.mems[node.mem]
+            ram_port = mem.port_of[node_id]
+            keys: list[PortKey] = [("mem_addr", node.mem, ram_port)]
+            if node.kind is OpKind.STORE:
+                keys.append(("mem_din", node.mem, ram_port))
+        elif node.needs_fu:
+            fu = self.binding.fu_of(node_id)
+            keys = [("fu_in", fu.id, k)
+                    for k in range(len(self.cdfg.in_edges(node_id)))]
+        else:
             return 0.0
-        fu = self.binding.fu_of(node_id)
         worst = 0.0
-        for k, _edge in enumerate(self.cdfg.in_edges(node_id)):
-            key: PortKey = ("fu_in", fu.id, k)
+        for key in keys:
             port = self.datapath.ports.get(key)
             if port is None or port.tree is None:
                 continue
@@ -250,6 +259,8 @@ class Architecture:
             total += reg.width * REGISTER_AREA_PER_BIT
         for width in self.datapath.tmp_regs.values():
             total += width * REGISTER_AREA_PER_BIT
+        for mem in self.binding.mems.values():
+            total += ram_area(mem.spec, mem.width, mem.depth)
         for port in self.datapath.ports.values():
             total += port.n_muxes() * port.width * MUX_AREA_PER_BIT
         total += self.controller.area()
@@ -260,11 +271,14 @@ class Architecture:
         fus = sum(scale_area(fu.module, fu.width) for fu in self.binding.fus.values())
         regs = (sum(r.width for r in self.binding.regs.values())
                 + sum(self.datapath.tmp_regs.values())) * REGISTER_AREA_PER_BIT
+        mems = sum(ram_area(m.spec, m.width, m.depth)
+                   for m in self.binding.mems.values())
         muxes = sum(p.n_muxes() * p.width * MUX_AREA_PER_BIT
                     for p in self.datapath.ports.values())
         return {
             "fus": fus,
             "registers": regs,
+            "memories": mems,
             "muxes": muxes,
             "controller": self.controller.area(),
             "total": self.area(),

@@ -33,6 +33,7 @@ from repro.rtl.architecture import Architecture
 from repro.rtl.controller import ControllerModel
 from repro.rtl.datapath import Datapath, PortKey, SourceKey
 from repro.sched.stg import STG
+from repro.utils.bitwidth import mask_for_width, wrap_to_width
 
 
 def build_architecture(cdfg: CDFG, binding: Binding, stg: STG,
@@ -126,13 +127,48 @@ def _loop_test_nodes(arch: Architecture, loop_id: int) -> set[int]:
     return nodes
 
 
+def copy_is_transparent(src_width: int, src_signed: bool,
+                        dst_width: int, dst_signed: bool) -> bool:
+    """True when re-typing (src_width, src_signed) to (dst_width,
+    dst_signed) is the identity on every representable source value —
+    i.e. a chained COPY between those types is free wiring.
+
+    Narrowing, or a signed source viewed unsigned, changes values (e.g.
+    ``int6 -1`` viewed as ``uint4`` is 15) and must materialize a wrap.
+    """
+    if src_signed == dst_signed:
+        return dst_width >= src_width
+    if not src_signed and dst_signed:
+        # An unsigned value needs one extra bit to stay itself signed.
+        return dst_width > src_width
+    return False
+
+
 def producer_signal(arch: Architecture, node_id: int, state_id: int) -> SourceKey:
-    """The signal a producer presents inside a state (chained view)."""
+    """The signal a producer presents inside a state (chained view).
+
+    A COPY chains straight through to its own source only when the
+    re-typing it performs is value-preserving (:func:`copy_is_transparent`);
+    otherwise the COPY's wrap is real hardware and the consumer reads the
+    COPY's own wire (``("wire", node_id)``), which the HDL backend emits
+    and gatesim computes in chain order.
+    """
     node = arch.cdfg.node(node_id)
     if node.needs_fu:
         return ("fu", arch.binding.fu_of(node_id).id)
     if node.kind is OpKind.COPY:
-        return edge_source(arch, arch.cdfg.in_edge(node_id, 0), state_id)
+        edge = arch.cdfg.in_edge(node_id, 0)
+        source = edge_source(arch, edge, state_id)
+        if source[0] == "const":
+            if node.signed:
+                value = wrap_to_width(source[1], node.width)
+            else:
+                value = source[1] & mask_for_width(node.width)
+            return ("const", value)
+        src = arch.cdfg.node(edge.src)
+        if copy_is_transparent(src.width, src.signed, node.width, node.signed):
+            return source
+        return ("wire", node_id)
     return ("wire", node_id)
 
 
@@ -179,6 +215,7 @@ class _ArchBuilder:
             if cached_nodes is not None:
                 self.arch._state_node_cache = cached_nodes
         self._wire_fu_inputs()
+        self._wire_memory_inputs()
         self._wire_register_inputs()
         self._finalize_trees()
         self.arch.controller = self._controller_model()
@@ -283,6 +320,40 @@ class _ArchBuilder:
                     else:
                         self._share(key)
 
+    def _wire_memory_inputs(self) -> None:
+        """Route address (and store-data) buses onto each RAM port.
+
+        Accesses sharing a (array, port) pair across states mux onto one
+        address bus, exactly like operations sharing an FU input port.
+        """
+        cdfg = self.cdfg
+        mems = self.binding.mems
+        add_driver = self.datapath.add_driver
+        full = self.parent is None
+        for state in self.stg.states.values():
+            sid = state.id
+            for op in state.ops:
+                node = cdfg.node(op.node)
+                if node.mem is None:
+                    continue
+                mem = mems[node.mem]
+                port = mem.port_of[op.node]
+                addr_bits = max(1, (mem.depth - 1).bit_length())
+                targets = [(("mem_addr", node.mem, port), addr_bits,
+                            cdfg.in_edge(op.node, 0))]
+                if node.kind is OpKind.STORE:
+                    targets.append((("mem_din", node.mem, port), mem.width,
+                                    cdfg.in_edge(op.node, 1)))
+                for key, width, edge in targets:
+                    if full:
+                        add_driver(key, width, op.node, sid,
+                                   self._resolve_edge(edge, sid))
+                    elif self._port_dirty(key):
+                        self._wire(key, width, op.node, sid,
+                                   self._resolve_edge(edge, sid))
+                    else:
+                        self._share(key)
+
     def _wire_register_inputs(self) -> None:
         cdfg = self.cdfg
         reg_of = self.binding.reg_of
@@ -331,6 +402,7 @@ class _ArchBuilder:
             if port.needs_mux():
                 select_lines += max(1, (len(port.sources) - 1).bit_length())
         write_enables = len(self.binding.regs) + len(self.datapath.tmp_regs)
+        write_enables += sum(m.spec.ports for m in self.binding.mems.values())
         fu_enables = len(self.binding.fus)
         cond_inputs = len(self.stg.condition_inputs())
         return ControllerModel(

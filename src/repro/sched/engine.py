@@ -191,6 +191,7 @@ class _SchedAnalysis:
             self._strong[node.id] = strong
 
         self._build_waw_constraints()
+        self._build_memory_constraints()
         self._build_weak_constraints()
         for region in cdfg.regions.values():
             if isinstance(region, (IfRegion, LoopRegion)):
@@ -209,6 +210,29 @@ class _SchedAnalysis:
             schedulable = [w for w in writers if cdfg.node(w).is_schedulable]
             for i, later in enumerate(schedulable):
                 for earlier in schedulable[:i]:
+                    if mutually_exclusive(cdfg, earlier, later):
+                        continue
+                    self._strong.setdefault(later, []).append(("node", earlier))
+
+    def _build_memory_constraints(self) -> None:
+        """Memory dependence: same-array accesses commit in program order
+        whenever either side is a store (loads commute freely).
+
+        Like WAW, each later access depends on *every* conflicting earlier
+        access, not just the nearest — mutually-exclusive pairs are
+        skipped, and exclusivity breaks transitive chains.
+        """
+        cdfg = self.cdfg
+        by_array: dict[str, list[int]] = {}
+        for node in cdfg.mem_nodes():
+            by_array.setdefault(node.mem, []).append(node.id)
+        for accesses in by_array.values():
+            accesses.sort()
+            for i, later in enumerate(accesses):
+                for earlier in accesses[:i]:
+                    if cdfg.node(earlier).kind is not OpKind.STORE \
+                            and cdfg.node(later).kind is not OpKind.STORE:
+                        continue
                     if mutually_exclusive(cdfg, earlier, later):
                         continue
                     self._strong.setdefault(later, []).append(("node", earlier))
@@ -345,6 +369,7 @@ class _Engine:
         self._placed: dict[int, dict[int, float]] = {}
         self._fu_occupancy: dict[int, dict[int, list[int]]] = {}
         self._carrier_writes: dict[int, dict[str, list[int]]] = {}
+        self._mem_occupancy: dict[int, dict[str, list[int]]] = {}
         #: Fragment scripts of the parent schedule this run may replay
         #: (None on a from-scratch run) and the scripts this run records.
         self._plan_in = plan_in
@@ -451,6 +476,22 @@ class _Engine:
         placed_here = self._placed.get(state_id, {}) if state_id is not None else {}
         fu_occupancy = self._fu_occupancy.get(state_id, {}) if state_id is not None else {}
         carrier_writes = self._carrier_writes.get(state_id, {}) if state_id is not None else {}
+        mem_occupancy = self._mem_occupancy.get(state_id, {}) if state_id is not None else {}
+
+        if node.mem is not None:
+            mem = self.binding.mems[node.mem]
+            port = mem.port_of[node_id]
+            is_store = node.kind is OpKind.STORE
+            for other in mem_occupancy.get(node.mem, ()):
+                # Gatesim executes every op of a visited state, so a store
+                # may never share a state with another access of its array
+                # -- even a mutually exclusive one would double-commit.
+                if is_store or self.cdfg.node(other).kind is OpKind.STORE:
+                    return False
+                # One address bus per port: two loads share a state only on
+                # different ports (exclusivity cannot split a bus).
+                if mem.port_of[other] == port:
+                    return False
 
         if fu_id is not None:
             for other in fu_occupancy.get(fu_id, ()):
@@ -498,6 +539,9 @@ class _Engine:
             reg = self.binding.reg_of(node.carrier).id
             self._carrier_writes.setdefault(state.id, {}).setdefault(
                 reg, []).append(node_id)
+        if node.mem is not None:
+            self._mem_occupancy.setdefault(state.id, {}).setdefault(
+                node.mem, []).append(node_id)
         self.done_nodes.add(node_id)
         return True
 

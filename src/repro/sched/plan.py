@@ -166,7 +166,7 @@ def fragment_fingerprint(engine, kind: str, region_ids: tuple, cursor,
                 fu_id = fu.id
                 n_fu_ops = len(fu.ops)
         ctx.append((delays.get(n, 0.0), heights.get(n, 0.0), fu_id, n_fu_ops,
-                    _reg_of(engine, n)))
+                    _reg_of(engine, n), _mem_port_of(engine, n)))
 
     done_nodes = engine.done_nodes
     done_regions = engine.done_regions
@@ -189,6 +189,19 @@ def _reg_of(engine, node_id: int) -> int | None:
     if carrier is None:
         return None
     return engine.binding.reg_of(carrier).id
+
+
+def _mem_port_of(engine, node_id: int) -> tuple[str, int] | None:
+    """RAM-organization + port context of a memory access (None otherwise).
+
+    Port assignment steers the same-state conflict checks in
+    ``_try_place``, so it is part of what a fragment execution reads.
+    """
+    array = engine.cdfg.node(node_id).mem
+    if array is None:
+        return None
+    mem = engine.binding.mems[array]
+    return (mem.spec.name, mem.port_of[node_id])
 
 
 # ----------------------------------------------------------- record / replay
@@ -308,6 +321,10 @@ def replay_script(engine, script: FragmentScript, cursor):
                 reg = binding.reg_of(carrier).id
                 engine._carrier_writes.setdefault(state.id, {}).setdefault(
                     reg, []).append(node)
+            array = cdfg.node(node).mem
+            if array is not None:
+                engine._mem_occupancy.setdefault(state.id, {}).setdefault(
+                    array, []).append(node)
 
     for src_ref, dst, conds in script.transitions:
         stg.add_transition(id_of(src_ref), created[dst].id, conds)

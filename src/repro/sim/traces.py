@@ -103,6 +103,10 @@ class TraceStore:
     occurrences: dict[int, OccurrenceArray] = field(default_factory=dict)
     outputs: dict[str, np.ndarray] = field(default_factory=dict)
     loop_trips: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Final array contents after the last pass (element-typed values) —
+    #: the reference image the conformance harness holds every other
+    #: backend's memory traffic against.
+    mem_final: dict[str, list[int]] = field(default_factory=dict)
 
     def occ(self, node_id: int) -> OccurrenceArray:
         try:

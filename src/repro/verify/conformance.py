@@ -49,6 +49,7 @@ from repro.hdl import (
 from repro.rtl.architecture import Architecture
 from repro.sched.replay import replay
 from repro.sim.traces import TraceStore
+from repro.utils.bitwidth import mask_for_width, wrap_to_width
 
 #: The always-available oracle chain, in comparison order.
 BACKENDS = ("interpreter", "replay", "gatesim", "netsim")
@@ -145,11 +146,31 @@ def _compare_run(cdfg: CDFG, arch: Architecture, netlist, stimulus,
                 divergences.append(Divergence(
                     idx, "cycles", backend, detail, stimulus=dict(stimulus[idx])))
 
+    def check_mems(backend: str, got_mems: dict) -> None:
+        # Memory traffic conformance: after the whole stimulus, every
+        # backend must hold the interpreter's exact array image (arrays
+        # persist across passes, so a single misrouted store surfaces
+        # here even when no output ever reads the clobbered word).
+        for array, expected in sorted(store.mem_final.items()):
+            got = got_mems.get(array)
+            if got is None or got == expected:
+                continue
+            if len(divergences) >= MAX_DIVERGENCES:
+                return
+            bad = next(i for i, (e, g) in enumerate(zip(expected, got))
+                       if e != g)
+            divergences.append(Divergence(
+                len(stimulus) - 1, "memory", backend,
+                f"array {array!r}[{bad}] = {got[bad]}, interpreter says "
+                f"{expected[bad]}",
+                stimulus=dict(stimulus[-1]) if stimulus else {}))
+
     try:
         gs = simulate_architecture(arch, stimulus, expected_outputs=store.outputs,
                                    record_states=True)
         check_outputs("gatesim", gs.outputs)
         check_cycles("gatesim", gs.cycles, gs.state_seq, rep.state_seq)
+        check_mems("gatesim", gs.mems or {})
     except ReproError as exc:
         divergences.append(Divergence(0, "error", "gatesim", str(exc)))
 
@@ -163,6 +184,20 @@ def _compare_run(cdfg: CDFG, arch: Architecture, netlist, stimulus,
         ns_visits = [visits_from_cycle_trace(seq, durations)
                      for seq in ns.state_seq]
         check_cycles("netsim", ns.cycles, ns_visits, rep.state_seq)
+        if store.mem_final:
+            # Netsim stores raw word patterns; re-sign each with its
+            # array's element type before comparing.
+            signed_mems = {}
+            for array, (width, signed, _size) in cdfg.array_types.items():
+                raw = ns.mems.get(f"mem_{array}")
+                if raw is None:
+                    continue
+                if signed:
+                    signed_mems[array] = [wrap_to_width(v, width) for v in raw]
+                else:
+                    mask = mask_for_width(width)
+                    signed_mems[array] = [v & mask for v in raw]
+            check_mems("netsim", signed_mems)
     except ReproError as exc:
         divergences.append(Divergence(0, "error", "netsim", str(exc)))
 

@@ -26,7 +26,7 @@ class TestRegistry:
 
         synth = {n for n in BENCHMARKS if n.startswith("synth_")}
         assert synth == set(SYNTH_SPECS)
-        assert len(BENCHMARKS) == 6 + len(SYNTH_SPECS)
+        assert len(BENCHMARKS) == 7 + len(SYNTH_SPECS)  # classic six + histogram
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ExperimentError):

@@ -11,7 +11,7 @@ Golden files under ``tests/golden/`` are regenerated with::
     from repro.library import default_library
     from repro.sched.engine import ScheduleOptions
     from repro.hdl import lower_architecture, emit_verilog
-    for name in ("gcd", "paulin"):
+    for name in ("gcd", "paulin", "histogram"):
         bench = get_benchmark(name)
         cdfg = bench.cdfg()
         store = simulate(cdfg, bench.stimulus(4, seed=0))
@@ -137,7 +137,7 @@ class TestNetlistValidation:
 
 
 class TestLowering:
-    @pytest.mark.parametrize("bench_name", ["gcd", "loops", "dealer", "paulin"])
+    @pytest.mark.parametrize("bench_name", ["gcd", "loops", "dealer", "paulin", "histogram"])
     def test_lowered_netlist_validates(self, bench_name):
         _cdfg, arch = _bench_arch(bench_name)
         nl = lower_architecture(arch, name=bench_name)
@@ -288,7 +288,7 @@ def _normalize(text: str) -> str:
 class TestGoldenFiles:
     """Committed canonical emissions make codegen diffs visible in review."""
 
-    @pytest.mark.parametrize("bench_name", ["gcd", "paulin"])
+    @pytest.mark.parametrize("bench_name", ["gcd", "paulin", "histogram"])
     def test_emission_matches_golden(self, bench_name):
         _cdfg, arch = _bench_arch(bench_name)
         emitted = emit_verilog(lower_architecture(arch, name=bench_name))
@@ -297,7 +297,7 @@ class TestGoldenFiles:
             f"{bench_name}.v drifted from tests/golden/{bench_name}.v — "
             f"review the diff and regenerate (see module docstring)")
 
-    @pytest.mark.parametrize("bench_name", ["gcd", "paulin"])
+    @pytest.mark.parametrize("bench_name", ["gcd", "paulin", "histogram"])
     def test_emission_is_stimulus_independent(self, bench_name):
         bench = get_benchmark(bench_name)
         cdfg = bench.cdfg()
@@ -311,7 +311,7 @@ class TestGoldenFiles:
 
 @pytest.mark.skipif(not iverilog_available(), reason="iverilog not installed")
 class TestIcarusCosim:
-    @pytest.mark.parametrize("bench_name", ["gcd", "loops", "paulin"])
+    @pytest.mark.parametrize("bench_name", ["gcd", "loops", "paulin", "histogram"])
     def test_emitted_verilog_simulates_correctly(self, bench_name):
         from repro.sched.replay import replay
 

@@ -1,0 +1,303 @@
+"""Unit tests for the memory layer: arrays end to end.
+
+Targeted coverage for the pieces the conformance and property suites
+exercise only in bulk: language-level array legality rules, interpreter
+load/store semantics (index wrap, store wrap, power-on zero,
+cross-pass persistence), the binding's RAM instance API and its two
+IMPACT moves, netlist-level memory validation, the simulators' final
+memory images, and the conformance harness's ability to actually
+*catch* a corrupted memory image in each backend.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.cdfg.interpreter import simulate
+from repro.core.binding import Binding
+from repro.core.engine import SynthesisEngine
+from repro.core.moves import BindMemoryPort, SubstituteRam
+from repro.errors import BindingError, HDLError, TypeCheckError
+from repro.gatesim import simulate_architecture
+from repro.hdl import lower_architecture, simulate_netlist
+from repro.hdl.netlist import EConst, EMemRead, Wire
+from repro.lang import parse
+from repro.library import default_library
+from repro.library.memory import ram_spec
+from repro.sched.engine import ScheduleOptions
+
+
+def _program(body: str, *, decl: str = "var m: int6[8];",
+             out: str = "o: int10") -> str:
+    return f"process p(a: int8) -> ({out}) {{ {decl} {body} }}"
+
+
+# -- language rules ------------------------------------------------------------
+
+
+class TestArrayLanguageRules:
+    def test_array_read_forbidden_in_while_condition(self):
+        src = _program("var i: int4 = 0; "
+                       "while (m[0] > i) { i = i + 1; } o = i;")
+        with pytest.raises(TypeCheckError, match="loop condition"):
+            parse(src)
+
+    def test_array_read_forbidden_in_for_condition(self):
+        src = _program("var s: int10 = 0; "
+                       "for (i = 0; i < m[1]; i++) { s = s + 1; } o = s;")
+        with pytest.raises(TypeCheckError, match="loop condition"):
+            parse(src)
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(TypeCheckError, match="power of two"):
+            parse(_program("o = m[0];", decl="var m: int6[6];"))
+
+    def test_size_bounds(self):
+        with pytest.raises(TypeCheckError, match="power of two"):
+            parse(_program("o = m[0];", decl="var m: int6[1];"))
+        with pytest.raises(TypeCheckError, match="power of two"):
+            parse(_program("o = m[0];", decl="var m: int6[2048];"))
+
+    def test_declaration_must_be_top_level(self):
+        src = ("process p(a: int8) -> (o: int10) { "
+               "if (a > 0) { var m: int6[4]; m[0] = a; } o = a; }")
+        with pytest.raises(TypeCheckError, match="top level"):
+            parse(src)
+
+    def test_whole_array_read_is_rejected(self):
+        with pytest.raises(TypeCheckError, match="needs an index"):
+            parse(_program("o = m + 1;"))
+
+    def test_whole_array_assign_is_rejected(self):
+        with pytest.raises(TypeCheckError):
+            parse(_program("m = 3; o = a;"))
+
+    def test_store_to_undeclared_array(self):
+        src = ("process p(a: int8) -> (o: int10) { q[0] = a; o = a; }")
+        with pytest.raises(TypeCheckError, match="undeclared array"):
+            parse(src)
+
+    def test_load_of_undeclared_array(self):
+        src = ("process p(a: int8) -> (o: int10) { o = q[0]; }")
+        with pytest.raises(TypeCheckError, match="undeclared array"):
+            parse(src)
+
+    def test_array_name_cannot_be_redeclared_as_scalar(self):
+        with pytest.raises(TypeCheckError):
+            parse(_program("var m: int8 = 0; o = m;"))
+
+
+# -- interpreter semantics -----------------------------------------------------
+
+
+class TestInterpreterMemory:
+    def test_index_wraps_modulo_size(self):
+        # Index 10 in a size-8 array lands on word 2.
+        src = _program("m[10] = 5; o = m[2];")
+        store = simulate(parse(src), [{"a": 0}])
+        assert store.outputs["o"] == [5]
+        assert store.mem_final["m"][2] == 5
+
+    def test_store_wraps_to_element_type(self):
+        # 9 does not fit a signed int4: 9 mod 16 = 9 -> re-signed -7.
+        src = _program("m[0] = 9; o = m[0];", decl="var m: int4[4];")
+        store = simulate(parse(src), [{"a": 0}])
+        assert store.outputs["o"] == [-7]
+        assert store.mem_final["m"] == [-7, 0, 0, 0]
+
+    def test_power_on_zero_and_persistence_across_passes(self):
+        src = _program("m[1] = m[1] + a; o = m[1];")
+        store = simulate(parse(src), [{"a": 5}, {"a": 7}, {"a": 1}])
+        # Pass 1 reads the power-on zero; later passes accumulate.
+        assert [int(x) for x in store.outputs["o"]] == [5, 12, 13]
+        assert store.mem_final["m"] == [0, 13, 0, 0, 0, 0, 0, 0]
+
+
+# -- binding API and the two memory moves --------------------------------------
+
+
+def _bound(src: str):
+    cdfg = parse(src)
+    return cdfg, Binding.initial_parallel(cdfg, default_library())
+
+
+class TestBindingMemory:
+    SRC = _program("m[a] = m[a] + 1; m[a + 1] = m[2]; o = m[0];")
+
+    def test_initial_binding_is_dual_port(self):
+        _, binding = _bound(self.SRC)
+        mem = binding.mems["m"]
+        assert mem.spec.name == "ram_2p"
+        assert mem.width == 6 and mem.depth == 8
+        # Every LOAD/STORE node got a port; ports stay in range.
+        assert all(0 <= p < mem.spec.ports for p in mem.port_of.values())
+
+    def test_bind_mem_port_rejects_bad_arguments(self):
+        _, binding = _bound(self.SRC)
+        node = next(iter(binding.mems["m"].port_of))
+        with pytest.raises(BindingError, match="no RAM instance"):
+            binding.bind_mem_port("nope", node, 0)
+        with pytest.raises(BindingError, match="not an access"):
+            binding.bind_mem_port("m", 10_000, 0)
+        with pytest.raises(BindingError, match="out of range"):
+            binding.bind_mem_port("m", node, 2)
+
+    def test_substitute_ram_narrowing_rebinds_to_port_zero(self):
+        _, binding = _bound(self.SRC)
+        mem = binding.mems["m"]
+        node = next(iter(mem.port_of))
+        binding.bind_mem_port("m", node, 1)
+        binding.substitute_ram("m", ram_spec("ram_1p"))
+        assert mem.spec.name == "ram_1p"
+        assert set(mem.port_of.values()) == {0}
+
+    def test_substitute_ram_unknown_array(self):
+        _, binding = _bound(self.SRC)
+        with pytest.raises(BindingError, match="no RAM instance"):
+            binding.substitute_ram("nope", ram_spec("ram_1p"))
+
+
+# -- shared histogram engine ---------------------------------------------------
+
+
+_ENGINE_CACHE: dict = {}
+
+
+def _hist_engine(incremental: bool = True) -> SynthesisEngine:
+    if incremental not in _ENGINE_CACHE:
+        bench = get_benchmark("histogram")
+        options = ScheduleOptions(clock_ns=bench.clock_ns)
+        if incremental:
+            engine = SynthesisEngine(bench.cdfg(), bench.stimulus(8, seed=5),
+                                     options=options, incremental=True)
+        else:
+            inc = _hist_engine(True)
+            engine = SynthesisEngine(bench.cdfg(), inc.stimulus,
+                                     options=options, incremental=False,
+                                     store=inc.store)
+        _ENGINE_CACHE[incremental] = engine
+    return _ENGINE_CACHE[incremental]
+
+
+# -- netlist validation --------------------------------------------------------
+
+
+class TestNetlistMemory:
+    def _netlist(self):
+        arch = _hist_engine().initial.arch
+        return lower_architecture(arch, name="histogram")
+
+    def test_lowered_histogram_has_a_ram(self):
+        netlist = self._netlist()
+        assert [(m.name, m.width, m.depth) for m in netlist.mems] == \
+            [("mem_bins", 10, 8)]
+        netlist.validate()
+
+    def test_validate_rejects_non_power_of_two_depth(self):
+        netlist = copy.deepcopy(self._netlist())
+        netlist.mems[0].depth = 6
+        with pytest.raises(HDLError, match="power of two"):
+            netlist.validate()
+
+    def test_validate_rejects_half_wired_write_port(self):
+        netlist = copy.deepcopy(self._netlist())
+        port = next(p for m in netlist.mems for p in m.ports
+                    if p.we is not None)
+        port.din = None
+        with pytest.raises(HDLError, match="din and we"):
+            netlist.validate()
+
+    def test_validate_rejects_read_of_unknown_memory(self):
+        netlist = copy.deepcopy(self._netlist())
+        netlist.wires.append(Wire("bogus_rd", EMemRead("mem_nope", EConst(0))))
+        with pytest.raises(HDLError, match="unknown memory"):
+            netlist.validate()
+
+
+# -- simulator memory images ---------------------------------------------------
+
+
+class TestSimulatorMemoryImages:
+    def test_gatesim_final_image_matches_interpreter(self):
+        engine = _hist_engine()
+        gs = simulate_architecture(engine.initial.arch, engine.stimulus,
+                                   expected_outputs=engine.store.outputs)
+        assert gs.mems["bins"] == engine.store.mem_final["bins"]
+
+    def test_netsim_final_image_matches_interpreter(self):
+        engine = _hist_engine()
+        netlist = lower_architecture(engine.initial.arch, name="histogram")
+        ns = simulate_netlist(netlist, engine.stimulus)
+        # histogram's bins are non-negative int10 counts, so the raw
+        # word patterns equal the re-signed values directly.
+        assert ns.mems["mem_bins"] == engine.store.mem_final["bins"]
+
+
+# -- conformance actually catches memory corruption ----------------------------
+
+
+class TestConformanceMemoryDivergence:
+    def test_clean_run_is_conformant(self):
+        report = _hist_engine().verify(use_iverilog="off", minimize=False)
+        assert report.ok, report.divergences
+
+    def test_corrupted_netsim_image_is_caught(self, monkeypatch):
+        import repro.verify.conformance as conf
+
+        real = conf.simulate_netlist
+
+        def corrupting(netlist, stimulus, **kwargs):
+            result = real(netlist, stimulus, **kwargs)
+            result.mems["mem_bins"][0] ^= 1
+            return result
+
+        monkeypatch.setattr(conf, "simulate_netlist", corrupting)
+        report = _hist_engine().verify(use_iverilog="off", minimize=False)
+        assert not report.ok
+        assert any(d.kind == "memory" and d.backend == "netsim"
+                   for d in report.divergences)
+
+    def test_corrupted_gatesim_image_is_caught(self, monkeypatch):
+        import repro.verify.conformance as conf
+
+        real = conf.simulate_architecture
+
+        def corrupting(arch, stimulus, **kwargs):
+            result = real(arch, stimulus, **kwargs)
+            result.mems["bins"][3] += 1
+            return result
+
+        monkeypatch.setattr(conf, "simulate_architecture", corrupting)
+        report = _hist_engine().verify(use_iverilog="off", minimize=False)
+        assert not report.ok
+        assert any(d.kind == "memory" and d.backend == "gatesim"
+                   for d in report.divergences)
+
+
+# -- memory moves: incremental == full -----------------------------------------
+
+
+def _evaluation_bundle(design) -> tuple:
+    ev = design.evaluate()
+    return (ev.enc, ev.legal, ev.area, ev.vdd, ev.power_5v, ev.power_scaled,
+            tuple(sorted(design.arch.duration_map().items())))
+
+
+class TestMemoryMovesIncremental:
+    def test_memory_moves_match_full_reevaluation(self):
+        inc = _hist_engine(True).initial
+        full = _hist_engine(False).initial
+        mem = inc.binding.mems["bins"]
+        node = next(iter(mem.port_of))
+        moves = [
+            BindMemoryPort("bins", node, 1),
+            SubstituteRam("bins", "ram_1p"),
+            SubstituteRam("bins", "ram_2p"),
+        ]
+        for move in moves:
+            inc, full = move.apply(inc), move.apply(full)
+            assert _evaluation_bundle(inc) == _evaluation_bundle(full), \
+                f"diverged after {move.signature()}"
